@@ -1,0 +1,58 @@
+//! Ablations beyond the paper's evaluation (design choices called out in
+//! DESIGN.md §7):
+//!
+//! 1. **Restart mode** — the paper's file-based Phase 3 vs the
+//!    memory-based restart it names as future work.
+//! 2. **Transport** — the RDMA Read engine vs the Wang et al. style
+//!    staged-copy path over IPoIB sockets (§III-B's argument).
+//! 3. **Buffer pool size** — §IV's observation that migration overhead is
+//!    insensitive to the pool size because Phase 3 dominates.
+
+use jobmig_bench::{ablation_pool_sweep, ablation_restart_mode, ablation_transport, secs};
+
+fn main() {
+    println!("Ablation 1: Phase 3 restart strategy (LU.C.64)");
+    let (file, mem) = ablation_restart_mode();
+    println!(
+        "{:<14} restart {}  total {}",
+        "file-based",
+        secs(file.restart),
+        secs(file.total())
+    );
+    println!(
+        "{:<14} restart {}  total {}",
+        "memory-based",
+        secs(mem.restart),
+        secs(mem.total())
+    );
+    println!(
+        "memory-based restart cuts the cycle by {:.2}x",
+        file.total().as_secs_f64() / mem.total().as_secs_f64()
+    );
+    assert!(mem.restart < file.restart / 2);
+
+    println!("\nAblation 2: chunk transport (LU.C.64)");
+    let (rdma, ipoib) = ablation_transport();
+    println!("{:<14} migrate {}", "RDMA read", secs(rdma.migrate));
+    println!("{:<14} migrate {}", "IPoIB staged", secs(ipoib.migrate));
+    println!(
+        "zero-copy RDMA speeds Phase 2 by {:.2}x",
+        ipoib.migrate.as_secs_f64() / rdma.migrate.as_secs_f64()
+    );
+    assert!(ipoib.migrate > rdma.migrate);
+
+    println!("\nAblation 3: buffer pool size sweep (LU.C.64, 1 MB chunks)");
+    println!("{:<10} {:>9} {:>9}", "pool(MB)", "migr(s)", "total(s)");
+    let sweep = ablation_pool_sweep(&[2, 5, 10, 20, 40]);
+    for (mbs, r) in &sweep {
+        println!("{:<10} {} {}", mbs, secs(r.migrate), secs(r.total()));
+    }
+    let totals: Vec<f64> = sweep.iter().map(|(_, r)| r.total().as_secs_f64()).collect();
+    let spread = totals.iter().cloned().fold(f64::MIN, f64::max)
+        / totals.iter().cloned().fold(f64::MAX, f64::min);
+    println!("max/min total ratio across pool sizes: {spread:.3}");
+    assert!(
+        spread < 1.15,
+        "paper §IV: overhead does not vary significantly with pool size"
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 4 — Process Migration Overhead.
+//!
+//! "Time cost for a complete migration cycle, from the instant when the
+//! migration is triggered, till all application processes resume
+//! execution", decomposed into the four phases, for LU/BT/SP class C with
+//! 64 processes on 8 compute nodes (8 per node) and one spare.
+//!
+//! Paper reference points: Phase 1 completes in tens of milliseconds;
+//! Phase 2 in 0.4–0.8 s depending on image size; Phase 3 dominates
+//! (file-based restart); Phase 4 roughly constant (~1 s); totals ≈
+//! 6.3 s (LU) to ~11 s (BT).
+
+use jobmig_bench::{fig4_migration, secs, APPS};
+
+fn main() {
+    println!("Figure 4: Process Migration Overhead (64 ranks, 8 nodes, 1 spare)");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "app", "stall(s)", "migr(s)", "restart", "resume", "total(s)"
+    );
+    for app in APPS {
+        let r = fig4_migration(app);
+        println!(
+            "{:<10} {} {} {} {} {}",
+            npbsim::Workload::new(app, npbsim::NpbClass::C, 64).name(),
+            secs(r.stall),
+            secs(r.migrate),
+            secs(r.restart),
+            secs(r.resume),
+            secs(r.total()),
+        );
+        // The shape assertions of the paper:
+        assert!(r.stall.as_millis() < 100, "stall is tens of ms");
+        assert!(
+            (0.2..1.0).contains(&r.migrate.as_secs_f64()),
+            "phase 2 in/near the 0.4-0.8 s band"
+        );
+        assert!(r.restart > r.migrate + r.resume, "phase 3 dominates");
+    }
+    println!("\npaper: LU 6.3 s total; stall ~tens of ms; migrate 0.4-0.8 s; restart dominant");
+}

@@ -1,0 +1,31 @@
+//! Figure 5 — Application Execution Time with/without Migration.
+//!
+//! Total runtime of LU/BT/SP class C (64 ranks on 8 nodes) without any
+//! migration and with one mid-run migration. Paper: +3.9 % (LU), +6.7 %
+//! (BT), +4.6 % (SP).
+
+use jobmig_bench::{fig5_app_overhead, APPS};
+
+fn main() {
+    println!("Figure 5: Application Execution Time with/without Migration");
+    println!(
+        "{:<10} {:>12} {:>14} {:>10}",
+        "app", "no mig (s)", "1 mig (s)", "overhead"
+    );
+    for app in APPS {
+        let row = fig5_app_overhead(app);
+        println!(
+            "{:<10} {:>12.1} {:>14.1} {:>9.1}%",
+            row.name,
+            row.base.as_secs_f64(),
+            row.with_migration.as_secs_f64(),
+            row.overhead() * 100.0
+        );
+        assert!(
+            (0.01..0.12).contains(&row.overhead()),
+            "one migration should cost a few percent, got {:.1}%",
+            row.overhead() * 100.0
+        );
+    }
+    println!("\npaper: LU +3.9%  BT +6.7%  SP +4.6%");
+}

@@ -1,0 +1,60 @@
+//! Figure 7 — Comparing Job Migration with Checkpoint/Restart.
+//!
+//! For each of LU/BT/SP class C with 64 ranks: the migration cycle vs a
+//! full coordinated CR cycle (stall + checkpoint + resume + restart) with
+//! images on local ext3 and on PVFS (4 data servers, 1 MB stripes, 64
+//! concurrent client streams).
+//!
+//! Paper reference (LU.C.64): migration 6.3 s; CR(ext3) 12.9 s (2.03x);
+//! CR(PVFS) 28.3 s (4.49x). Checkpoint-only: 6.4 s ext3, 16.3 s PVFS.
+
+use jobmig_bench::{fig7_panel, secs, APPS};
+
+fn main() {
+    println!("Figure 7: Job Migration vs Checkpoint/Restart (64 ranks, 8 nodes)");
+    for app in APPS {
+        let p = fig7_panel(app);
+        println!("\n--- {} ---", p.name);
+        println!(
+            "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "strategy", "stall(s)", "ckpt/mig", "resume", "restart", "total(s)"
+        );
+        let m = &p.migration;
+        println!(
+            "{:<16} {} {} {} {} {}",
+            "Migration",
+            secs(m.stall),
+            secs(m.migrate),
+            secs(m.resume),
+            secs(m.restart),
+            secs(m.total())
+        );
+        for (label, cr) in [("CR(ext3)", &p.cr_ext3), ("CR(PVFS)", &p.cr_pvfs)] {
+            let total = cr.total_with_restart().expect("restart measured");
+            println!(
+                "{:<16} {} {} {} {} {}",
+                label,
+                secs(cr.stall),
+                secs(cr.checkpoint),
+                secs(cr.resume),
+                secs(cr.restart.unwrap()),
+                secs(total)
+            );
+        }
+        let mig = m.total().as_secs_f64();
+        let ext3 = p.cr_ext3.total_with_restart().unwrap().as_secs_f64();
+        let pvfs = p.cr_pvfs.total_with_restart().unwrap().as_secs_f64();
+        println!(
+            "speedup of migration: {:.2}x over CR(ext3), {:.2}x over CR(PVFS)",
+            ext3 / mig,
+            pvfs / mig
+        );
+        // The paper's ordering must hold:
+        assert!(mig < ext3, "migration beats CR(ext3)");
+        assert!(ext3 < pvfs, "PVFS contention makes CR slower than ext3");
+        assert!(pvfs / mig > 2.5, "migration speedup over CR(PVFS) is large");
+        // And checkpoint-only to PVFS is far slower than to local disks:
+        assert!(p.cr_pvfs.checkpoint > p.cr_ext3.checkpoint * 2);
+    }
+    println!("\npaper (LU): 6.3 s vs 12.9 s (2.03x) vs 28.3 s (4.49x)");
+}

@@ -1,0 +1,33 @@
+//! Table I — Amount of Data Movement (MB).
+//!
+//! Bytes moved by one migration (the failing node's 8 process images)
+//! versus bytes dumped by a coordinated checkpoint (all 64 images).
+//!
+//! Paper: LU 170.4 vs 1363.2; BT 308.8 vs 2470.4; SP 303.2 vs 2425.6 —
+//! an exact 8x ratio (64 vs 8 processes).
+
+use jobmig_bench::{mb, table1_row, APPS};
+
+fn main() {
+    println!("Table I: Amount of Data Movement (MB)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>8}",
+        "app", "Migration", "CR", "ratio"
+    );
+    for app in APPS {
+        let row = table1_row(app);
+        let ratio = row.cr_bytes as f64 / row.migration_bytes as f64;
+        println!(
+            "{:<10} {} {} {:>7.2}x",
+            row.name,
+            mb(row.migration_bytes),
+            mb(row.cr_bytes),
+            ratio
+        );
+        assert!(
+            (7.9..8.1).contains(&ratio),
+            "CR dumps exactly 8x the migration volume (64 vs 8 ranks)"
+        );
+    }
+    println!("\npaper: LU 170.4/1363.2  BT 308.8/2470.4  SP 303.2/2425.6 (all 8.0x)");
+}

@@ -1,0 +1,147 @@
+//! Fault-tolerance policy scenarios — the paper's closing argument made
+//! runnable: "our approach has the potential to benefit the existing
+//! Checkpoint/Restart strategy by prolonging the interval between full
+//! job-wide checkpoints."
+//!
+//! A scenario runs an NPB job under a periodic-checkpoint policy and a
+//! fixed failure trace. Each failure is either *predicted* (a health
+//! monitor gives warning before the node dies — handled by proactive
+//! migration when the policy allows it) or *unpredicted* (the node dies
+//! outright — the job is lost, waits in the resubmission queue, and
+//! restarts from the last completed checkpoint, repeating the lost work).
+
+use jobmig_core::prelude::*;
+use jobmig_core::report::CrStoreKind;
+use jobmig_core::runtime::JobSpec;
+use npbsim::{NpbApp, NpbClass, Workload};
+use simkit::{dur, SimTime, Simulation};
+use std::time::Duration;
+
+/// One failure in the trace.
+#[derive(Debug, Clone, Copy)]
+pub struct Failure {
+    /// When the node's health collapses.
+    pub at: Duration,
+    /// Whether prediction gives enough warning to act proactively.
+    pub predicted: bool,
+}
+
+/// A fault-tolerance policy scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Interval between full job-wide checkpoints.
+    pub ckpt_interval: Duration,
+    /// Failure trace (sorted by time).
+    pub failures: Vec<Failure>,
+    /// Batch-queue delay paid on every resubmission after a crash.
+    pub queue_delay: Duration,
+    /// Whether predicted failures are handled by proactive migration
+    /// (true = the paper's framework; false = CR-only, predictions are
+    /// wasted and the node crashes anyway).
+    pub migrate_on_prediction: bool,
+}
+
+/// Outcome of a scenario run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Virtual time at which the application finally completed.
+    pub completion: Duration,
+    /// Checkpoints taken.
+    pub checkpoints: usize,
+    /// Migrations performed.
+    pub migrations: usize,
+    /// Crash/rollback recoveries performed.
+    pub rollbacks: usize,
+}
+
+/// Run `scenario` for LU.C.64 on the paper testbed (plus enough spares
+/// for the predicted failures) and report the outcome.
+pub fn run_scenario(scenario: &Scenario) -> Outcome {
+    let mut sim = Simulation::new(777);
+    let mut cspec = ClusterSpec::paper_testbed();
+    cspec.spare_nodes = scenario.failures.len() as u32 + 1;
+    let cluster = Cluster::build(&sim.handle(), cspec);
+    let wl = Workload::new(NpbApp::Lu, NpbClass::C, 64);
+    let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 8));
+
+    // Periodic checkpoint policy (paused while the job is down).
+    let down = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let rt2 = rt.clone();
+    let interval = scenario.ckpt_interval;
+    let down_p = down.clone();
+    sim.handle().spawn_daemon("ckpt-policy", move |ctx| {
+        // initial checkpoint shortly after launch, then periodic
+        ctx.sleep(dur::secs(5));
+        loop {
+            if rt2.is_complete() {
+                return;
+            }
+            if !down_p.load(std::sync::atomic::Ordering::Relaxed) {
+                rt2.trigger_checkpoint(CrStoreKind::LocalExt3);
+            }
+            ctx.sleep(interval);
+        }
+    });
+
+    // Failure injector.
+    let rt3 = rt.clone();
+    let scn = scenario.clone();
+    let migrations = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let rollbacks = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let (m2, rb2) = (migrations.clone(), rollbacks.clone());
+    sim.handle().spawn_daemon("failure-injector", move |ctx| {
+        let mut last = Duration::ZERO;
+        for f in &scn.failures {
+            let wait = f.at.saturating_sub(last);
+            ctx.sleep(wait);
+            last = f.at;
+            if rt3.is_complete() {
+                return;
+            }
+            if f.predicted && scn.migrate_on_prediction && rt3.spares_left() > 0 {
+                // Proactive path: the prediction arrives in time; the job
+                // keeps running while the node is drained.
+                rt3.trigger_migration(None);
+                m2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            } else {
+                // Crash path: the job dies *now*, waits in the
+                // resubmission queue, and restarts from the last
+                // completed checkpoint.
+                down.store(true, std::sync::atomic::Ordering::Relaxed);
+                rt3.simulate_failure();
+                let last_ckpt = rt3
+                    .cr_reports()
+                    .last()
+                    .map(|r| r.cycle)
+                    .expect("a checkpoint must exist before the first crash");
+                ctx.sleep(scn.queue_delay);
+                rt3.trigger_restart_from(last_ckpt);
+                // wait until the restart has actually completed
+                loop {
+                    ctx.sleep(dur::secs(1));
+                    let recovered = rt3
+                        .cr_reports()
+                        .iter()
+                        .find(|r| r.cycle == last_ckpt)
+                        .map(|r| r.restart.is_some())
+                        .unwrap_or(false);
+                    if recovered || rt3.is_complete() {
+                        break;
+                    }
+                }
+                down.store(false, std::sync::atomic::Ordering::Relaxed);
+                rb2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    });
+
+    sim.run_until_set(rt.completion(), SimTime::from_secs_f64(36_000.0))
+        .expect("scenario simulation");
+    let _ = dur::secs(0);
+    Outcome {
+        completion: Duration::from_nanos(sim.now().as_nanos()),
+        checkpoints: rt.cr_reports().len(),
+        migrations: migrations.load(std::sync::atomic::Ordering::Relaxed) as usize,
+        rollbacks: rollbacks.load(std::sync::atomic::Ordering::Relaxed) as usize,
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests: the checkpoint stream format survives arbitrary
+//! re-chunking (what the buffer pool does to it) for arbitrary images.
+
+use blcrsim::{parse_stream, serialize_image, ProcessImage, Segment, SegmentKind, SliceCursor};
+use ibfabric::DataSlice;
+use proptest::prelude::*;
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    let kind = prop_oneof![
+        Just(SegmentKind::Code),
+        Just(SegmentKind::Stack),
+        Just(SegmentKind::Heap),
+        Just(SegmentKind::Anon),
+    ];
+    let data = prop_oneof![
+        // pattern data of assorted sizes (including > chunk size)
+        (any::<u64>(), 0u64..5000, 1u64..4_000_000)
+            .prop_map(|(seed, off, len)| DataSlice::pattern(seed, off, len)),
+        // small literal data
+        proptest::collection::vec(any::<u8>(), 1..512).prop_map(DataSlice::bytes),
+        // zero runs
+        (1u64..100_000).prop_map(DataSlice::zero),
+    ];
+    (kind, data).prop_map(|(kind, data)| Segment { kind, data })
+}
+
+fn arb_image() -> impl Strategy<Value = ProcessImage> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..128),
+        proptest::collection::vec(arb_segment(), 0..6),
+    )
+        .prop_map(|(pid, state, segments)| {
+            let mut img = ProcessImage::new(pid, state);
+            img.segments = segments;
+            img
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_plain(img in arb_image()) {
+        let parsed = parse_stream(serialize_image(&img)).unwrap();
+        prop_assert_eq!(parsed.pid, img.pid);
+        prop_assert_eq!(&parsed.app_state, &img.app_state);
+        prop_assert_eq!(parsed.segments.len(), img.segments.len());
+        prop_assert_eq!(parsed.memory_bytes(), img.memory_bytes());
+        prop_assert_eq!(parsed.checksum(), img.checksum());
+    }
+
+    #[test]
+    fn roundtrip_after_random_rechunk(
+        img in arb_image(),
+        chunk in 1u64..3_000_000,
+    ) {
+        let stream = serialize_image(&img);
+        let mut cur = SliceCursor::new(stream);
+        let mut rechunked = Vec::new();
+        while cur.remaining() > 0 {
+            let n = cur.remaining().min(chunk);
+            rechunked.extend(cur.take(n).unwrap());
+        }
+        let parsed = parse_stream(rechunked).unwrap();
+        prop_assert_eq!(parsed.memory_bytes(), img.memory_bytes());
+        prop_assert_eq!(parsed.checksum(), img.checksum());
+    }
+
+    #[test]
+    fn truncation_never_parses(img in arb_image(), cut in 1u64..1000) {
+        let stream = serialize_image(&img);
+        let total: u64 = stream.iter().map(|s| s.len).sum();
+        prop_assume!(total > cut);
+        let mut cur = SliceCursor::new(stream);
+        let short = cur.take(total - cut).unwrap();
+        prop_assert!(parse_stream(short).is_err());
+    }
+
+    #[test]
+    fn cursor_take_is_exact(len in 1u64..100_000, splits in proptest::collection::vec(1u64..10_000, 0..10)) {
+        let mut cur = SliceCursor::new(vec![DataSlice::pattern(9, 0, len)]);
+        let mut consumed = 0u64;
+        for s in splits {
+            if consumed + s > len { break; }
+            let parts = cur.take(s).unwrap();
+            prop_assert_eq!(ibfabric::total_len(&parts), s);
+            // content must line up with the original
+            prop_assert_eq!(parts[0].byte_at(0), ibfabric::pattern_byte(9, consumed));
+            consumed += s;
+        }
+        prop_assert_eq!(cur.remaining(), len - consumed);
+    }
+}

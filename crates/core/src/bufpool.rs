@@ -1,0 +1,505 @@
+//! The RDMA-based process migration engine (paper §III-B, Figure 3).
+//!
+//! On the **source** node a user-level buffer manager owns a pool of
+//! chunks inside a registered memory region. BLCR checkpoint streams from
+//! the co-located MPI processes are aggregated into those chunks (one
+//! chunk carries data of exactly one process). Whenever a chunk fills, an
+//! *RDMA-read request* — carrying the chunk's rkey/offset/length and the
+//! owning rank — is sent to the **target** buffer manager, which pulls the
+//! chunk with an RDMA Read, appends it to that rank's checkpoint file
+//! (page-cache buffered), and acknowledges so the source can reuse the
+//! chunk. Pool exhaustion naturally throttles the checkpoint writers —
+//! the paper's flow control.
+
+use crate::calib;
+use blcrsim::CheckpointSink;
+use ibfabric::{DataSlice, Hca, Qp, QpAddr, RemoteMr};
+use parking_lot::Mutex;
+use simkit::{Ctx, Event, Semaphore, SimHandle};
+use std::time::Duration;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use storesim::CkptStore;
+
+/// How chunk data crosses the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// The paper's design: the target pulls chunks with zero-copy RDMA
+    /// Read.
+    RdmaRead,
+    /// The Wang et al. style staged-copy path over IPoIB sockets: the
+    /// same wire, plus a kernel memory copy on each side — the approach
+    /// §III-B argues against.
+    IpoibStaged,
+}
+
+/// Where restarted processes load their images from (Phase 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartMode {
+    /// The paper's implementation: chunks are staged into temporary
+    /// checkpoint files on the target and BLCR restarts from them (file
+    /// I/O dominates Phase 3).
+    FileBased,
+    /// The paper's stated future work: restart directly from the buffer
+    /// pool in memory, eliminating the file I/O.
+    MemoryBased,
+}
+
+/// Buffer pool geometry and engine options.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Total pool bytes (paper default 10 MB).
+    pub pool_bytes: u64,
+    /// Chunk size (paper default 1 MB).
+    pub chunk_bytes: u64,
+    /// Wire transport for chunk data.
+    pub transport: Transport,
+    /// Phase 3 restart strategy.
+    pub restart_mode: RestartMode,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            pool_bytes: calib::BUFFER_POOL_BYTES,
+            chunk_bytes: calib::CHUNK_BYTES,
+            transport: Transport::RdmaRead,
+            restart_mode: RestartMode::FileBased,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Number of chunks in the pool.
+    pub fn slots(&self) -> u32 {
+        (self.pool_bytes / self.chunk_bytes).max(1) as u32
+    }
+}
+
+// wire tags on the manager QP
+const TAG_HELLO: u64 = 0;
+const TAG_REQ: u64 = 1;
+const TAG_EOF: u64 = 2;
+const TAG_DONE: u64 = 3;
+const TAG_ACK: u64 = 4;
+const TAG_DONE_ACK: u64 = 5;
+
+/// RDMA-read request for one filled chunk.
+struct ChunkReq {
+    rank: u32,
+    slot: u32,
+    len: u64,
+    src_mr: RemoteMr,
+}
+
+/// End-of-stream marker for one process.
+struct RankEof {
+    rank: u32,
+    total_bytes: u64,
+    image_checksum: u64,
+}
+
+struct AckMsg {
+    slot: u32,
+}
+
+/// Rendezvous published by the source manager so the target can connect
+/// (stands in for the launcher's out-of-band address exchange).
+#[derive(Clone)]
+pub struct PoolRendezvous {
+    addr: Arc<Mutex<Option<QpAddr>>>,
+    ready: Event,
+}
+
+impl PoolRendezvous {
+    /// Create an empty rendezvous.
+    pub fn new(handle: &SimHandle) -> Self {
+        PoolRendezvous {
+            addr: Arc::new(Mutex::new(None)),
+            ready: Event::new(handle, "pool-rendezvous"),
+        }
+    }
+
+    fn publish(&self, addr: QpAddr) {
+        *self.addr.lock() = Some(addr);
+        self.ready.set();
+    }
+
+    fn wait(&self, ctx: &Ctx) -> QpAddr {
+        self.ready.wait(ctx);
+        self.addr.lock().expect("rendezvous set")
+    }
+}
+
+struct SourceState {
+    free_slots: Mutex<Vec<u32>>,
+    slot_sem: Semaphore,
+    /// Requests sent and not yet acked.
+    outstanding: Mutex<u64>,
+    /// Ranks that have not closed their sink yet.
+    ranks_remaining: Mutex<u32>,
+    done_sent: Mutex<bool>,
+    bytes_streamed: AtomicU64,
+    /// All data acked and DONE_ACK received.
+    finished: Event,
+}
+
+/// The source-side buffer manager.
+pub struct SourcePool {
+    cfg: PoolConfig,
+    qp: Qp,
+    mr: ibfabric::Mr,
+    /// Target connected and ready to receive requests.
+    channel_ready: Event,
+    st: Arc<SourceState>,
+}
+
+impl SourcePool {
+    /// Set up the source manager on `hca`: registers the pool MR (timed),
+    /// publishes its QP address on `rendezvous`, and spawns the ack loop.
+    /// `nranks` is the number of local processes that will stream through
+    /// the pool.
+    pub fn setup(
+        ctx: &Ctx,
+        hca: &Hca,
+        cfg: PoolConfig,
+        nranks: u32,
+        rendezvous: &PoolRendezvous,
+    ) -> Arc<SourcePool> {
+        let handle = ctx.handle();
+        let mr = hca.register_mr(ctx, cfg.pool_bytes);
+        let qp = hca.create_qp();
+        rendezvous.publish(qp.addr());
+        let slots = cfg.slots();
+        let st = Arc::new(SourceState {
+            free_slots: Mutex::new((0..slots).collect()),
+            slot_sem: Semaphore::new(&handle, slots as u64),
+            outstanding: Mutex::new(0),
+            ranks_remaining: Mutex::new(nranks),
+            done_sent: Mutex::new(false),
+            bytes_streamed: AtomicU64::new(0),
+            finished: Event::new(&handle, "source-pool-finished"),
+        });
+        let pool = Arc::new(SourcePool {
+            cfg,
+            qp: qp.clone(),
+            mr,
+            channel_ready: Event::new(&handle, "pool-channel-ready"),
+            st,
+        });
+        // Ack loop: receives HELLO (target address), ACKs and DONE_ACK.
+        let p = Arc::clone(&pool);
+        ctx.spawn("srcpool-ackloop", move |ctx| p.ack_loop(ctx));
+        pool
+    }
+
+    fn ack_loop(&self, ctx: &Ctx) {
+        loop {
+            let msg = match self.qp.recv(ctx) {
+                Ok(m) => m,
+                Err(_) => return,
+            };
+            match msg.tag {
+                TAG_HELLO => {
+                    let addr = *msg.body.downcast::<QpAddr>().expect("hello addr");
+                    self.qp.connect(ctx, addr).expect("source qp connect");
+                    self.channel_ready.set();
+                }
+                TAG_ACK => {
+                    let ack = msg.body.downcast::<AckMsg>().expect("ack");
+                    self.st.free_slots.lock().push(ack.slot);
+                    self.st.slot_sem.release(1);
+                    let mut o = self.st.outstanding.lock();
+                    *o -= 1;
+                }
+                TAG_DONE_ACK => {
+                    self.st.finished.set();
+                    return;
+                }
+                other => panic!("source pool: unexpected tag {other}"),
+            }
+        }
+    }
+
+    /// A checkpoint sink streaming `rank`'s image through the pool.
+    /// `image_checksum` rides the EOF marker for end-to-end verification.
+    pub fn sink(self: &Arc<Self>, ctx: &Ctx, rank: u32, image_checksum: u64) -> AggregationSink {
+        // Writers may not race ahead of the control channel.
+        self.channel_ready.wait(ctx);
+        AggregationSink {
+            pool: Arc::clone(self),
+            rank,
+            image_checksum,
+            slot: None,
+            fill: 0,
+            total: 0,
+        }
+    }
+
+    /// Completion event: all data pulled and acknowledged by the target.
+    pub fn finished(&self) -> &Event {
+        &self.st.finished
+    }
+
+    /// Stream bytes pushed through the pool (Table I accounting).
+    pub fn bytes_streamed(&self) -> u64 {
+        self.st.bytes_streamed.load(Ordering::Relaxed)
+    }
+
+    fn submit_chunk(&self, ctx: &Ctx, rank: u32, slot: u32, len: u64) {
+        ctx.sleep(calib::CHUNK_PROTOCOL_OVERHEAD);
+        *self.st.outstanding.lock() += 1;
+        self.st.bytes_streamed.fetch_add(len, Ordering::Relaxed);
+        self.qp
+            .send(
+                ctx,
+                TAG_REQ,
+                Box::new(ChunkReq {
+                    rank,
+                    slot,
+                    len,
+                    src_mr: self.mr.remote(),
+                }),
+                96,
+            )
+            .expect("chunk request send");
+    }
+
+    fn rank_eof(&self, ctx: &Ctx, rank: u32, total: u64, checksum: u64) {
+        self.qp
+            .send(
+                ctx,
+                TAG_EOF,
+                Box::new(RankEof {
+                    rank,
+                    total_bytes: total,
+                    image_checksum: checksum,
+                }),
+                96,
+            )
+            .expect("eof send");
+        let mut remaining = self.st.ranks_remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            let mut sent = self.st.done_sent.lock();
+            if !*sent {
+                *sent = true;
+                self.qp
+                    .send(ctx, TAG_DONE, Box::new(()), 64)
+                    .expect("done send");
+            }
+        }
+    }
+}
+
+/// [`CheckpointSink`] that aggregates one process's checkpoint stream into
+/// pool chunks (paper: "each chunk containing data from one process").
+pub struct AggregationSink {
+    pool: Arc<SourcePool>,
+    rank: u32,
+    image_checksum: u64,
+    slot: Option<u32>,
+    fill: u64,
+    total: u64,
+}
+
+impl AggregationSink {
+    fn acquire_slot(&mut self, ctx: &Ctx) -> u32 {
+        if let Some(s) = self.slot {
+            return s;
+        }
+        self.pool.st.slot_sem.acquire(ctx, 1);
+        let s = self
+            .pool
+            .st
+            .free_slots
+            .lock()
+            .pop()
+            .expect("semaphore guarantees a free slot");
+        self.slot = Some(s);
+        self.fill = 0;
+        s
+    }
+
+    fn flush_chunk(&mut self, ctx: &Ctx) {
+        if let Some(slot) = self.slot.take() {
+            if self.fill > 0 {
+                self.pool.submit_chunk(ctx, self.rank, slot, self.fill);
+            } else {
+                // nothing written: return the slot silently
+                self.pool.st.free_slots.lock().push(slot);
+                self.pool.st.slot_sem.release(1);
+            }
+            self.fill = 0;
+        }
+    }
+}
+
+impl CheckpointSink for AggregationSink {
+    fn write(&mut self, ctx: &Ctx, data: DataSlice) {
+        let chunk = self.pool.cfg.chunk_bytes;
+        let mut offset = 0u64;
+        while offset < data.len {
+            let slot = self.acquire_slot(ctx);
+            let room = chunk - self.fill;
+            let n = room.min(data.len - offset);
+            let base = slot as u64 * chunk;
+            self.pool
+                .mr
+                .write_local(base + self.fill, data.slice(offset, n));
+            self.fill += n;
+            self.total += n;
+            offset += n;
+            if self.fill == chunk {
+                self.flush_chunk(ctx);
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &Ctx) {
+        self.flush_chunk(ctx);
+        self.pool
+            .rank_eof(ctx, self.rank, self.total, self.image_checksum);
+    }
+}
+
+/// What the target manager assembled for one rank.
+#[derive(Debug, Clone)]
+pub struct AssembledImage {
+    /// Checkpoint file path on the target filesystem (file-based mode).
+    pub path: String,
+    /// Total stream bytes.
+    pub bytes: u64,
+    /// Source-side image checksum (verify after restart).
+    pub expected_checksum: u64,
+    /// In-memory stream (memory-based restart mode).
+    pub slices: Option<Vec<DataSlice>>,
+}
+
+/// Result of a completed target-side pull.
+pub struct TargetResult {
+    /// Per-rank assembled images.
+    pub images: HashMap<u32, AssembledImage>,
+    /// Total bytes pulled over RDMA.
+    pub bytes_pulled: u64,
+}
+
+/// Run the target-side buffer manager to completion: connect back to the
+/// source, pull every announced chunk with RDMA Read, append chunks to
+/// per-rank checkpoint files on `store` (buffered temp files), and
+/// acknowledge. Returns once the source signals DONE.
+pub fn run_target_pool(
+    ctx: &Ctx,
+    hca: &Hca,
+    cfg: PoolConfig,
+    rendezvous: &PoolRendezvous,
+    store: Arc<dyn CkptStore>,
+    file_prefix: &str,
+) -> TargetResult {
+    let src_addr = rendezvous.wait(ctx);
+    // Local staging pool mirrors the source pool geometry.
+    let _staging = hca.register_mr(ctx, cfg.pool_bytes);
+    let qp = hca.create_qp();
+    qp.connect(ctx, src_addr).expect("target qp connect");
+    qp.send(ctx, TAG_HELLO, Box::new(qp.addr()), 64)
+        .expect("hello send");
+
+    let mut images: HashMap<u32, AssembledImage> = HashMap::new();
+    let mut created: HashMap<u32, String> = HashMap::new();
+    let mut memory: HashMap<u32, Vec<DataSlice>> = HashMap::new();
+    let mut bytes_pulled = 0u64;
+    loop {
+        let msg = qp.recv(ctx).expect("target pool recv");
+        match msg.tag {
+            TAG_REQ => {
+                let req = msg.body.downcast::<ChunkReq>().expect("req");
+                let base = req.slot as u64 * cfg.chunk_bytes;
+                let slices = match cfg.transport {
+                    Transport::RdmaRead => qp
+                        .rdma_read(ctx, &req.src_mr, base, req.len)
+                        .expect("rdma read of chunk"),
+                    Transport::IpoibStaged => {
+                        // Same wire, but through the socket stack: an
+                        // extra kernel copy on each side of the transfer.
+                        ctx.sleep(Duration::from_secs_f64(
+                            req.len as f64 / calib::IPOIB_COPY_BW,
+                        ));
+                        let slices = qp
+                            .rdma_read(ctx, &req.src_mr, base, req.len)
+                            .expect("staged read of chunk");
+                        ctx.sleep(Duration::from_secs_f64(
+                            req.len as f64 / calib::IPOIB_COPY_BW,
+                        ));
+                        slices
+                    }
+                };
+                bytes_pulled += req.len;
+                match cfg.restart_mode {
+                    RestartMode::FileBased => {
+                        let path = created.entry(req.rank).or_insert_with(|| {
+                            let p = format!("{file_prefix}.{}", req.rank);
+                            store.create(ctx, &p);
+                            p
+                        });
+                        for s in slices {
+                            store.append(ctx, path, s, false);
+                        }
+                    }
+                    RestartMode::MemoryBased => {
+                        memory.entry(req.rank).or_default().extend(slices);
+                    }
+                }
+                qp.send(ctx, TAG_ACK, Box::new(AckMsg { slot: req.slot }), 64)
+                    .expect("ack send");
+            }
+            TAG_EOF => {
+                let eof = msg.body.downcast::<RankEof>().expect("eof");
+                let (path, slices) = match cfg.restart_mode {
+                    RestartMode::FileBased => {
+                        let path = created
+                            .get(&eof.rank)
+                            .cloned()
+                            .unwrap_or_else(|| panic!("EOF for rank {} with no chunks", eof.rank));
+                        assert_eq!(
+                            store.len(&path),
+                            Some(eof.total_bytes),
+                            "assembled file length mismatch for rank {}",
+                            eof.rank
+                        );
+                        (path, None)
+                    }
+                    RestartMode::MemoryBased => {
+                        let slices = memory.remove(&eof.rank).unwrap_or_default();
+                        let total: u64 = slices.iter().map(|s| s.len).sum();
+                        assert_eq!(
+                            total, eof.total_bytes,
+                            "assembled stream length mismatch for rank {}",
+                            eof.rank
+                        );
+                        (String::new(), Some(slices))
+                    }
+                };
+                images.insert(
+                    eof.rank,
+                    AssembledImage {
+                        path,
+                        bytes: eof.total_bytes,
+                        expected_checksum: eof.image_checksum,
+                        slices,
+                    },
+                );
+            }
+            TAG_DONE => {
+                qp.send(ctx, TAG_DONE_ACK, Box::new(()), 64)
+                    .expect("done ack");
+                break;
+            }
+            other => panic!("target pool: unexpected tag {other}"),
+        }
+    }
+    TargetResult {
+        images,
+        bytes_pulled,
+    }
+}

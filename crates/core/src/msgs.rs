@@ -1,0 +1,119 @@
+//! Protocol vocabulary: FTB event names, payloads, and NLA states —
+//! exactly the message set of the paper's Figure 2.
+
+use ibfabric::NodeId;
+
+/// FTB namespace all migration-framework events use.
+pub const MPI_SPACE: &str = "FTB.MPI.MVAPICH2";
+
+/// Phase 1 kick-off: carries [`MigrateMsg`]. Received by every NLA and
+/// every MPI process (C/R thread).
+pub const FTB_MIGRATE: &str = "FTB_MIGRATE";
+
+/// End of Phase 2 ("Process Image In-place Complete"), published by the
+/// source NLA once all images have been migrated to the target.
+pub const FTB_MIGRATE_PIIC: &str = "FTB_MIGRATE_PIIC";
+
+/// Phase 3 broadcast from the Job Manager: carries [`RestartMsg`].
+pub const FTB_RESTART: &str = "FTB_RESTART";
+
+/// Marks the end of Phase 3 (all migrated processes restarted on the
+/// target), published by the target NLA.
+pub const FTB_RESTART_DONE: &str = "FTB_RESTART_DONE";
+
+/// Per-rank suspension acknowledgement (Phase 1 coordination traffic; the
+/// stall-phase latency the paper measures is dominated by this fan-in).
+pub const FTB_SUSPEND_ACK: &str = "FTB_SUSPEND_ACK";
+
+/// Coordinated-checkpoint kick-off for the CR baseline.
+pub const FTB_CHECKPOINT: &str = "FTB_CHECKPOINT";
+
+/// Payload of [`FTB_MIGRATE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateMsg {
+    /// Health-deteriorating node whose processes move.
+    pub source: NodeId,
+    /// Hot-spare node receiving them.
+    pub target: NodeId,
+    /// Migration cycle sequence number (supports repeated migrations).
+    pub cycle: u64,
+}
+
+/// Payload of [`FTB_MIGRATE_PIIC`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PiicMsg {
+    /// The completed cycle.
+    pub cycle: u64,
+    /// Ranks whose images now sit on the target.
+    pub ranks: Vec<u32>,
+    /// Stream bytes moved over RDMA (Table I accounting).
+    pub bytes_moved: u64,
+}
+
+/// Payload of [`FTB_RESTART`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartMsg {
+    /// The cycle being restarted.
+    pub cycle: u64,
+    /// Target node to restart on.
+    pub target: NodeId,
+    /// Ranks to restart there.
+    pub ranks: Vec<u32>,
+}
+
+/// Payload of [`FTB_CHECKPOINT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointMsg {
+    /// Checkpoint cycle number.
+    pub cycle: u64,
+    /// Storage target for the dump.
+    pub store: crate::report::CrStoreKind,
+}
+
+/// Payload of [`FTB_SUSPEND_ACK`] (per-rank Phase 1 acknowledgement; the
+/// fan-in of these through the FTB tree is what the measured Job Stall
+/// time is mostly made of).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuspendAckMsg {
+    /// The cycle being acknowledged.
+    pub cycle: u64,
+    /// Acknowledging rank.
+    pub rank: u32,
+}
+
+/// Node Launch Agent states, as named in §III-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NlaState {
+    /// Active compute node participating in the job.
+    MigrationReady,
+    /// Hot spare, standing by to receive processes.
+    MigrationSpare,
+    /// Former source node after its processes have left.
+    MigrationInactive,
+}
+
+impl std::fmt::Display for NlaState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NlaState::MigrationReady => "MIGRATION_READY",
+            NlaState::MigrationSpare => "MIGRATION_SPARE",
+            NlaState::MigrationInactive => "MIGRATION_INACTIVE",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nla_state_names_match_paper() {
+        assert_eq!(NlaState::MigrationReady.to_string(), "MIGRATION_READY");
+        assert_eq!(NlaState::MigrationSpare.to_string(), "MIGRATION_SPARE");
+        assert_eq!(
+            NlaState::MigrationInactive.to_string(),
+            "MIGRATION_INACTIVE"
+        );
+    }
+}

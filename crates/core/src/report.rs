@@ -1,0 +1,160 @@
+//! Phase-decomposed measurement reports matching the paper's figures.
+
+use ibfabric::NodeId;
+use std::fmt;
+use std::time::Duration;
+
+/// One completed migration cycle, decomposed as in Figures 4/6/7.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// Cycle sequence number.
+    pub cycle: u64,
+    /// Health-deteriorating node the processes left.
+    pub source: NodeId,
+    /// Spare node they moved to.
+    pub target: NodeId,
+    /// Phase 1 — Job Stall: coordination, drain, endpoint teardown.
+    pub stall: Duration,
+    /// Phase 2 — Job Migration: aggregated checkpoint + RDMA transfer.
+    pub migrate: Duration,
+    /// Phase 3 — Restart on the spare node (file-based BLCR restart).
+    pub restart: Duration,
+    /// Phase 4 — Resume: migration barrier, endpoint rebuild, reopen.
+    pub resume: Duration,
+    /// Processes moved.
+    pub ranks_moved: usize,
+    /// Checkpoint stream bytes moved over RDMA (Table I).
+    pub bytes_moved: u64,
+}
+
+impl MigrationReport {
+    /// Whole-cycle duration (trigger to resumed execution).
+    pub fn total(&self) -> Duration {
+        self.stall + self.migrate + self.restart + self.resume
+    }
+}
+
+impl fmt::Display for MigrationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "migration #{} {}→{}: stall {:>8.1?}  migrate {:>8.1?}  restart {:>8.1?}  resume {:>8.1?}  total {:>8.1?}  ({} ranks, {:.1} MB)",
+            self.cycle,
+            self.source,
+            self.target,
+            self.stall,
+            self.migrate,
+            self.restart,
+            self.resume,
+            self.total(),
+            self.ranks_moved,
+            self.bytes_moved as f64 / 1e6,
+        )
+    }
+}
+
+/// Where a coordinated checkpoint was written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrStoreKind {
+    /// Each node's local ext3 filesystem.
+    LocalExt3,
+    /// The shared PVFS deployment.
+    Pvfs,
+}
+
+impl fmt::Display for CrStoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrStoreKind::LocalExt3 => write!(f, "ext3"),
+            CrStoreKind::Pvfs => write!(f, "PVFS"),
+        }
+    }
+}
+
+/// One coordinated Checkpoint/Restart cycle (the Figure 7 baseline).
+#[derive(Debug, Clone)]
+pub struct CrReport {
+    /// Checkpoint cycle number.
+    pub cycle: u64,
+    /// Storage target.
+    pub store: CrStoreKind,
+    /// Job Stall (same machinery as migration Phase 1).
+    pub stall: Duration,
+    /// Checkpoint: every process dumps its image to storage.
+    pub checkpoint: Duration,
+    /// Resume: endpoint rebuild and reopen.
+    pub resume: Duration,
+    /// Restart from the files (populated by a later restart run; `None`
+    /// until then — the paper notes this phase is optional for CR).
+    pub restart: Option<Duration>,
+    /// Bytes dumped (Table I).
+    pub bytes_written: u64,
+}
+
+impl CrReport {
+    /// Checkpoint-only duration (stall + dump + resume).
+    pub fn checkpoint_cycle(&self) -> Duration {
+        self.stall + self.checkpoint + self.resume
+    }
+
+    /// Full failure-handling cycle, if a restart was measured.
+    pub fn total_with_restart(&self) -> Option<Duration> {
+        self.restart.map(|r| self.checkpoint_cycle() + r)
+    }
+}
+
+impl fmt::Display for CrReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CR({}) #{}: stall {:>8.1?}  checkpoint {:>8.1?}  resume {:>8.1?}  restart {}  ({:.1} MB)",
+            self.store,
+            self.cycle,
+            self.stall,
+            self.checkpoint,
+            self.resume,
+            match self.restart {
+                Some(r) => format!("{r:>8.1?}"),
+                None => "   (not run)".to_string(),
+            },
+            self.bytes_written as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let m = MigrationReport {
+            cycle: 1,
+            source: NodeId(1),
+            target: NodeId(9),
+            stall: Duration::from_millis(30),
+            migrate: Duration::from_millis(450),
+            restart: Duration::from_millis(4500),
+            resume: Duration::from_millis(1100),
+            ranks_moved: 8,
+            bytes_moved: 170_400_000,
+        };
+        assert_eq!(m.total(), Duration::from_millis(6080));
+        let c = CrReport {
+            cycle: 1,
+            store: CrStoreKind::LocalExt3,
+            stall: Duration::from_millis(30),
+            checkpoint: Duration::from_millis(6400),
+            resume: Duration::from_millis(1100),
+            restart: Some(Duration::from_millis(5300)),
+            bytes_written: 1_363_200_000,
+        };
+        assert_eq!(c.checkpoint_cycle(), Duration::from_millis(7530));
+        assert_eq!(
+            c.total_with_restart(),
+            Some(Duration::from_millis(12830))
+        );
+        // Display renders without panicking
+        let _ = format!("{m}\n{c}");
+    }
+}

@@ -1,0 +1,1020 @@
+//! The job runtime: Job Manager, Node Launch Agents, per-rank C/R
+//! threads, and the four-phase migration protocol of §III-A.
+//!
+//! Process anatomy of a running job (all simulated processes):
+//!
+//! * **Job Manager** (login node): launches the NLA tree, owns the trigger
+//!   queue, orchestrates migrations and coordinated checkpoints, measures
+//!   phase times from protocol messages.
+//! * **NLA** (every compute + spare node): spawns/kills local MPI
+//!   processes; on `FTB_MIGRATE` runs the source or target buffer manager
+//!   side; on `FTB_RESTART` restarts the migrated processes from their
+//!   assembled images.
+//! * **App thread** (per rank): runs the [`AppBody`]; killed on the source
+//!   node during Phase 2 and re-spawned from the image on the target.
+//! * **C/R thread** (per rank): MVAPICH2's checkpoint thread — reacts to
+//!   `FTB_MIGRATE`/`FTB_CHECKPOINT`, suspends and drains communication,
+//!   checkpoints through the buffer pool (source ranks) or to storage
+//!   (CR baseline), and executes Phase 4 (migration barrier, endpoint
+//!   rebuild, resume).
+
+use crate::bufpool::{AssembledImage, PoolConfig, PoolRendezvous, SourcePool};
+use crate::calib;
+use crate::cluster::Cluster;
+use crate::cr_baseline;
+use crate::msgs::*;
+use crate::report::{CrReport, CrStoreKind, MigrationReport};
+use blcrsim::{ProcessImage, StoreSource};
+use bytes::Bytes;
+use ftb::{EventFilter, FtbClient, FtbEvent, Severity};
+use ibfabric::NodeId;
+use mpisim::{CrMeta, MpiConfig, MpiJob, MpiRank};
+use parking_lot::Mutex;
+use simkit::{Countdown, Ctx, Event, ProcHandle, Queue, SimTime};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The application code a rank runs. Must be written re-entrantly: on a
+/// restart it is re-invoked and resumes from the rank's restored
+/// application state (see `mpisim`'s replay-safety docs).
+pub trait AppBody: Send + Sync + 'static {
+    /// Run rank `rank` to completion.
+    fn run(&self, ctx: &Ctx, rank: &mut MpiRank);
+}
+
+impl<F> AppBody for F
+where
+    F: Fn(&Ctx, &mut MpiRank) + Send + Sync + 'static,
+{
+    fn run(&self, ctx: &Ctx, rank: &mut MpiRank) {
+        self(ctx, rank)
+    }
+}
+
+/// Everything needed to launch a job.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Number of MPI ranks.
+    pub nranks: u32,
+    /// Processes per node.
+    pub ppn: u32,
+    /// The application.
+    pub app: Arc<dyn AppBody>,
+    /// MPI library tunables.
+    pub mpi: MpiConfig,
+    /// Migration buffer pool geometry.
+    pub pool: PoolConfig,
+    /// Workload seed (segment contents, determinism).
+    pub seed: u64,
+    /// Automatically migrate away from nodes that publish
+    /// `HEALTH_PREDICT`/`HEALTH_CRITICAL` events.
+    pub auto_migrate_on_health: bool,
+}
+
+impl JobSpec {
+    /// A spec running the given NPB workload.
+    pub fn npb(workload: npbsim::Workload, ppn: u32) -> JobSpec {
+        let nranks = workload.np;
+        let seed = 42;
+        let w = workload;
+        JobSpec {
+            nranks,
+            ppn,
+            app: Arc::new(move |ctx: &Ctx, rank: &mut MpiRank| {
+                npbsim::run_rank(ctx, rank, &w, seed);
+            }),
+            mpi: MpiConfig::default(),
+            pool: PoolConfig::default(),
+            seed,
+            auto_migrate_on_health: false,
+        }
+    }
+
+    /// A spec running arbitrary application code.
+    pub fn custom(nranks: u32, ppn: u32, app: impl AppBody) -> JobSpec {
+        JobSpec {
+            nranks,
+            ppn,
+            app: Arc::new(app),
+            mpi: MpiConfig::default(),
+            pool: PoolConfig::default(),
+            seed: 42,
+            auto_migrate_on_health: false,
+        }
+    }
+}
+
+pub(crate) enum Trigger {
+    Migrate { source: Option<NodeId> },
+    Checkpoint { store: CrStoreKind },
+    RestartFromCkpt { cycle: u64 },
+}
+
+/// Shared state of one migration cycle.
+pub(crate) struct MigCycle {
+    pub id: u64,
+    pub source: NodeId,
+    pub target: NodeId,
+    pub ranks: Vec<u32>,
+    pub stall_done: Countdown,
+    pub rendezvous: PoolRendezvous,
+    source_pool: Mutex<Option<Arc<SourcePool>>>,
+    source_pool_ready: Event,
+    pub piic: Event,
+    pub piic_bytes: Mutex<u64>,
+    pub images: Mutex<HashMap<u32, AssembledImage>>,
+    pub images_ready: Event,
+    pub restart_done: Event,
+    pub barrier: Countdown,
+    pub resumed: Countdown,
+}
+
+impl MigCycle {
+    fn set_source_pool(&self, p: Arc<SourcePool>) {
+        *self.source_pool.lock() = Some(p);
+        self.source_pool_ready.set();
+    }
+
+    fn wait_source_pool(&self, ctx: &Ctx) -> Arc<SourcePool> {
+        self.source_pool_ready.wait(ctx);
+        self.source_pool.lock().clone().expect("pool set")
+    }
+}
+
+/// Shared state of one coordinated-checkpoint cycle.
+pub(crate) struct CkptCycle {
+    pub id: u64,
+    pub store: CrStoreKind,
+    pub stall_done: Countdown,
+    pub cut: Mutex<Option<SimTime>>,
+    pub ckpt_done: Countdown,
+    pub resumed: Countdown,
+    pub bytes: AtomicU64,
+    pub checksums: Mutex<HashMap<u32, u64>>,
+}
+
+pub(crate) struct NlaShared {
+    pub node: NodeId,
+    pub state: Mutex<NlaState>,
+    pub ranks: Mutex<Vec<u32>>,
+}
+
+/// A trivial model of the mpispawn tree the Job Manager adjusts in
+/// Phase 3 (login root, one NLA level).
+pub(crate) struct SpawnTree {
+    pub root: NodeId,
+    pub nodes: Vec<NodeId>,
+}
+
+impl SpawnTree {
+    fn snapshot(&self) -> (NodeId, Vec<NodeId>) {
+        (self.root, self.nodes.clone())
+    }
+
+    fn replace(&mut self, old: NodeId, new: NodeId) {
+        for n in &mut self.nodes {
+            if *n == old {
+                *n = new;
+            }
+        }
+    }
+}
+
+pub(crate) struct RtInner {
+    pub cluster: Cluster,
+    pub spec: JobSpec,
+    pub job: MpiJob,
+    pub nlas: Mutex<HashMap<NodeId, Arc<NlaShared>>>,
+    pub spares: Mutex<Vec<NodeId>>,
+    pub triggers: Queue<Trigger>,
+    pub pending_sources: Mutex<HashSet<NodeId>>,
+    pub next_cycle: Mutex<u64>,
+    pub mig_cycles: Mutex<HashMap<u64, Arc<MigCycle>>>,
+    pub ckpt_cycles: Mutex<HashMap<u64, Arc<CkptCycle>>>,
+    pub mig_reports: Mutex<Vec<MigrationReport>>,
+    pub cr_reports: Mutex<Vec<CrReport>>,
+    pub app_threads: Mutex<HashMap<u32, ProcHandle>>,
+    pub finished: Mutex<HashSet<u32>>,
+    pub all_done: Event,
+    pub spawn_tree: Mutex<SpawnTree>,
+    pub no_spare_failures: AtomicU64,
+}
+
+/// A launched job: handles for triggering migrations/checkpoints and
+/// reading reports. Cloning shares the runtime.
+#[derive(Clone)]
+pub struct JobRuntime {
+    pub(crate) inner: Arc<RtInner>,
+}
+
+impl JobRuntime {
+    /// Launch `spec` on `cluster`: places ranks block-wise (`ppn` per
+    /// compute node), starts NLAs, app threads, C/R threads and the Job
+    /// Manager. Endpoints are built untimed (startup cost is not part of
+    /// any measured figure).
+    pub fn launch(cluster: &Cluster, spec: JobSpec) -> JobRuntime {
+        let handle = cluster.handle().clone();
+        let nodes_needed = spec.nranks.div_ceil(spec.ppn);
+        assert!(
+            nodes_needed as usize <= cluster.compute_nodes().len(),
+            "need {nodes_needed} compute nodes, have {}",
+            cluster.compute_nodes().len()
+        );
+        let job = MpiJob::new(
+            &handle,
+            cluster.fabric().clone(),
+            spec.nranks,
+            spec.mpi.clone(),
+        );
+        let mut nlas = HashMap::new();
+        let mut used_nodes = Vec::new();
+        for r in 0..spec.nranks {
+            let node = cluster.compute_nodes()[(r / spec.ppn) as usize];
+            job.init_rank(r, node, Bytes::new());
+            let nla = nlas.entry(node).or_insert_with(|| {
+                used_nodes.push(node);
+                Arc::new(NlaShared {
+                    node,
+                    state: Mutex::new(NlaState::MigrationReady),
+                    ranks: Mutex::new(Vec::new()),
+                })
+            });
+            nla.ranks.lock().push(r);
+        }
+        for spare in cluster.spare_nodes() {
+            nlas.insert(
+                *spare,
+                Arc::new(NlaShared {
+                    node: *spare,
+                    state: Mutex::new(NlaState::MigrationSpare),
+                    ranks: Mutex::new(Vec::new()),
+                }),
+            );
+        }
+        let rt = JobRuntime {
+            inner: Arc::new(RtInner {
+                cluster: cluster.clone(),
+                spec,
+                job,
+                spares: Mutex::new(cluster.spare_nodes().to_vec()),
+                nlas: Mutex::new(nlas),
+                triggers: Queue::new(&handle),
+                pending_sources: Mutex::new(HashSet::new()),
+                next_cycle: Mutex::new(1),
+                mig_cycles: Mutex::new(HashMap::new()),
+                ckpt_cycles: Mutex::new(HashMap::new()),
+                mig_reports: Mutex::new(Vec::new()),
+                cr_reports: Mutex::new(Vec::new()),
+                app_threads: Mutex::new(HashMap::new()),
+                finished: Mutex::new(HashSet::new()),
+                all_done: Event::new(&handle, "job-complete"),
+                spawn_tree: Mutex::new(SpawnTree {
+                    root: cluster.login(),
+                    nodes: Vec::new(),
+                }),
+                no_spare_failures: AtomicU64::new(0),
+            }),
+        };
+        rt.inner.spawn_tree.lock().nodes = used_nodes.clone();
+
+        // NLA daemons on every participating node (compute + spares).
+        let all_nla_nodes: Vec<NodeId> = {
+            let nlas = rt.inner.nlas.lock();
+            let mut v: Vec<NodeId> = nlas.keys().copied().collect();
+            v.sort();
+            v
+        };
+        for node in all_nla_nodes {
+            let rt2 = rt.clone();
+            handle.spawn_daemon(&format!("nla@{node}"), move |ctx| nla_proc(ctx, rt2, node));
+        }
+        // Job Manager on the login node.
+        let rt2 = rt.clone();
+        handle.spawn_daemon("job-manager", move |ctx| jm_proc(ctx, rt2));
+        // Health-event bridge.
+        if rt.inner.spec.auto_migrate_on_health {
+            let rt2 = rt.clone();
+            handle.spawn_daemon("health-bridge", move |ctx| health_bridge(ctx, rt2));
+        }
+        rt
+    }
+
+    /// The MPI job.
+    pub fn job(&self) -> &MpiJob {
+        &self.inner.job
+    }
+
+    /// The cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.inner.cluster
+    }
+
+    /// The job spec.
+    pub fn spec(&self) -> &JobSpec {
+        &self.inner.spec
+    }
+
+    /// Request a migration (source `None` = first ready node hosting
+    /// ranks). This is the paper's user-level Migration Trigger.
+    pub fn trigger_migration(&self, source: Option<NodeId>) {
+        self.inner.triggers.push(Trigger::Migrate { source });
+    }
+
+    /// Fire a migration trigger after `d` of virtual time.
+    pub fn trigger_migration_after(&self, d: Duration) {
+        let rt = self.clone();
+        self.inner
+            .cluster
+            .handle()
+            .spawn_daemon("migration-trigger", move |ctx| {
+                ctx.sleep(d);
+                rt.trigger_migration(None);
+            });
+    }
+
+    /// Request a coordinated checkpoint of the whole job.
+    pub fn trigger_checkpoint(&self, store: CrStoreKind) {
+        self.inner.triggers.push(Trigger::Checkpoint { store });
+    }
+
+    /// Request a restart-from-checkpoint of cycle `cycle` (simulates the
+    /// failure/recovery path whose cost Figure 7 reports as "Restart").
+    pub fn trigger_restart_from(&self, cycle: u64) {
+        self.inner.triggers.push(Trigger::RestartFromCkpt { cycle });
+    }
+
+    /// Completed migration reports, in order.
+    pub fn migration_reports(&self) -> Vec<MigrationReport> {
+        self.inner.mig_reports.lock().clone()
+    }
+
+    /// Completed checkpoint reports, in order.
+    pub fn cr_reports(&self) -> Vec<CrReport> {
+        self.inner.cr_reports.lock().clone()
+    }
+
+    /// Whether every rank's application body has finished.
+    pub fn is_complete(&self) -> bool {
+        self.inner.all_done.is_set()
+    }
+
+    /// Event set when the whole application completes.
+    pub fn completion(&self) -> &Event {
+        &self.inner.all_done
+    }
+
+    /// The NLA state of `node`.
+    pub fn nla_state(&self, node: NodeId) -> Option<NlaState> {
+        self.inner.nlas.lock().get(&node).map(|n| *n.state.lock())
+    }
+
+    /// Spare nodes still available.
+    pub fn spares_left(&self) -> usize {
+        self.inner.spares.lock().len()
+    }
+
+    /// Migrations that failed for lack of a spare node.
+    pub fn failed_triggers(&self) -> u64 {
+        self.inner.no_spare_failures.load(Ordering::Relaxed)
+    }
+
+    /// The current mpispawn tree: `(root, NLA nodes in launch order)`.
+    /// Phase 3 replaces the migration source with the target here.
+    pub fn spawn_tree(&self) -> (NodeId, Vec<NodeId>) {
+        self.inner.spawn_tree.lock().snapshot()
+    }
+
+    /// Simulate an abrupt whole-job failure: every application process
+    /// dies immediately and communication gates close. The job makes no
+    /// further progress until [`JobRuntime::trigger_restart_from`]
+    /// recovers it from a checkpoint.
+    pub fn simulate_failure(&self) {
+        for rank in 0..self.inner.spec.nranks {
+            self.kill_app(rank);
+            self.inner.job.cr(rank).close_gate();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internal helpers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn mig_cycle(&self, id: u64) -> Arc<MigCycle> {
+        self.inner.mig_cycles.lock()[&id].clone()
+    }
+
+    pub(crate) fn ckpt_cycle(&self, id: u64) -> Arc<CkptCycle> {
+        self.inner.ckpt_cycles.lock()[&id].clone()
+    }
+
+    pub(crate) fn next_cycle_id(&self) -> u64 {
+        let mut c = self.inner.next_cycle.lock();
+        let id = *c;
+        *c += 1;
+        id
+    }
+
+    pub(crate) fn spawn_app(&self, rank: u32) {
+        let rt = self.clone();
+        let ph = self
+            .inner
+            .cluster
+            .handle()
+            .spawn(&format!("app-r{rank}"), move |ctx| {
+                let mut r = rt.inner.job.attach(rank);
+                rt.inner.spec.app.run(ctx, &mut r);
+                rt.rank_finished(rank);
+            });
+        self.inner.app_threads.lock().insert(rank, ph);
+    }
+
+    pub(crate) fn kill_app(&self, rank: u32) {
+        if let Some(ph) = self.inner.app_threads.lock().get(&rank) {
+            ph.kill();
+        }
+    }
+
+    fn rank_finished(&self, rank: u32) {
+        let mut f = self.inner.finished.lock();
+        if f.insert(rank) && f.len() as u32 == self.inner.spec.nranks {
+            self.inner.all_done.set();
+        }
+    }
+
+    pub(crate) fn spawn_cr_thread(&self, rank: u32, resume: Option<Arc<MigCycle>>) {
+        let rt = self.clone();
+        self.inner
+            .cluster
+            .handle()
+            .spawn_daemon(&format!("cr-r{rank}"), move |ctx| {
+                cr_thread(ctx, rt, rank, resume)
+            });
+    }
+
+    /// The checkpoint store for `kind` as seen from `node`.
+    pub(crate) fn store_for(&self, kind: CrStoreKind, node: NodeId) -> Arc<dyn storesim::CkptStore> {
+        match kind {
+            CrStoreKind::LocalExt3 => Arc::new(self.inner.cluster.node(node).fs.clone()),
+            CrStoreKind::Pvfs => Arc::new(
+                self.inner
+                    .cluster
+                    .pvfs()
+                    .expect("cluster has no PVFS deployment")
+                    .client(node),
+            ),
+        }
+    }
+
+    pub(crate) fn resume_overhead(&self) -> Duration {
+        calib::RESUME_BASE + calib::RESUME_PER_RANK * self.inner.spec.nranks
+    }
+}
+
+// ---------------------------------------------------------------------------
+// checkpoint image metadata framing
+// ---------------------------------------------------------------------------
+
+/// Pack C/R metadata into the image's app-state field:
+/// `[completed_ops u64 LE][application state bytes]`.
+pub(crate) fn wrap_meta(meta: &CrMeta) -> Bytes {
+    let mut v = Vec::with_capacity(8 + meta.app_state.len());
+    v.extend_from_slice(&meta.completed_ops.to_le_bytes());
+    v.extend_from_slice(&meta.app_state);
+    Bytes::from(v)
+}
+
+/// Reverse of [`wrap_meta`], recombining with the image's segments.
+pub(crate) fn unwrap_meta(image: &ProcessImage) -> CrMeta {
+    assert!(image.app_state.len() >= 8, "image meta truncated");
+    let completed = u64::from_le_bytes(image.app_state[..8].try_into().unwrap());
+    CrMeta {
+        app_state: image.app_state.slice(8..),
+        completed_ops: completed,
+        segments: image.segments.clone(),
+    }
+}
+
+/// Build the BLCR image of `rank` from captured metadata.
+pub(crate) fn build_image(rank: u32, meta: &CrMeta) -> ProcessImage {
+    let mut img = ProcessImage::new(rank as u64, wrap_meta(meta));
+    img.segments = meta.segments.clone();
+    img
+}
+
+// ---------------------------------------------------------------------------
+// Job Manager
+// ---------------------------------------------------------------------------
+
+fn jm_proc(ctx: &Ctx, rt: JobRuntime) {
+    let login = rt.inner.cluster.login();
+    let ftb = FtbClient::connect(rt.inner.cluster.ftb(), login, "job-manager");
+    let sub = ftb.subscribe(&ctx.handle(), EventFilter::space(MPI_SPACE));
+    loop {
+        match rt.inner.triggers.pop(ctx) {
+            Trigger::Migrate { source } => run_migration(ctx, &rt, &ftb, &sub, source),
+            Trigger::Checkpoint { store } => {
+                cr_baseline::run_checkpoint(ctx, &rt, &ftb, &sub, store)
+            }
+            Trigger::RestartFromCkpt { cycle } => cr_baseline::run_restart(ctx, &rt, cycle),
+        }
+    }
+}
+
+/// Pop events from `sub` until one matches `name` and `pred` on its cycle
+/// id (other traffic — acks from old cycles, suspend acks — is skipped).
+fn wait_named(ctx: &Ctx, sub: &Queue<FtbEvent>, name: &str, cycle: u64) -> FtbEvent {
+    loop {
+        let ev = sub.pop(ctx);
+        if ev.name != name {
+            continue;
+        }
+        let matches = match ev.name.as_str() {
+            FTB_MIGRATE_PIIC => ev.payload_as::<PiicMsg>().map(|m| m.cycle == cycle),
+            FTB_RESTART_DONE => ev.payload_as::<RestartMsg>().map(|m| m.cycle == cycle),
+            _ => Some(true),
+        };
+        if matches == Some(true) {
+            return ev;
+        }
+    }
+}
+
+/// Count `FTB_SUSPEND_ACK`s for `cycle` until all `n` ranks have
+/// acknowledged — the Phase 1 fan-in the paper's Job Stall time measures.
+fn wait_suspend_acks(ctx: &Ctx, sub: &Queue<FtbEvent>, cycle: u64, n: u32) {
+    let mut seen = HashSet::new();
+    while seen.len() < n as usize {
+        let ev = sub.pop(ctx);
+        if ev.name == FTB_SUSPEND_ACK {
+            if let Some(a) = ev.payload_as::<SuspendAckMsg>() {
+                if a.cycle == cycle {
+                    seen.insert(a.rank);
+                }
+            }
+        }
+    }
+}
+
+fn run_migration(
+    ctx: &Ctx,
+    rt: &JobRuntime,
+    ftb: &FtbClient,
+    sub: &Queue<FtbEvent>,
+    source: Option<NodeId>,
+) {
+    let inner = &rt.inner;
+    // Resolve the source node.
+    let source = match source {
+        Some(s) => s,
+        None => {
+            let nlas = inner.nlas.lock();
+            let mut candidates: Vec<NodeId> = nlas
+                .values()
+                .filter(|n| {
+                    *n.state.lock() == NlaState::MigrationReady && !n.ranks.lock().is_empty()
+                })
+                .map(|n| n.node)
+                .collect();
+            candidates.sort();
+            match candidates.first() {
+                Some(s) => *s,
+                None => return,
+            }
+        }
+    };
+    let ranks = {
+        let nlas = inner.nlas.lock();
+        match nlas.get(&source) {
+            Some(n) if *n.state.lock() == NlaState::MigrationReady => n.ranks.lock().clone(),
+            _ => {
+                inner.pending_sources.lock().remove(&source);
+                return;
+            }
+        }
+    };
+    if ranks.is_empty() {
+        inner.pending_sources.lock().remove(&source);
+        return;
+    }
+    let target = {
+        let mut spares = inner.spares.lock();
+        if spares.is_empty() {
+            drop(spares);
+            inner.no_spare_failures.fetch_add(1, Ordering::Relaxed);
+            inner.pending_sources.lock().remove(&source);
+            return;
+        }
+        spares.remove(0) // FIFO: spares are consumed in id order
+    };
+    let id = rt.next_cycle_id();
+    let handle = inner.cluster.handle();
+    let n = inner.spec.nranks as u64;
+    let cycle = Arc::new(MigCycle {
+        id,
+        source,
+        target,
+        ranks: ranks.clone(),
+        stall_done: Countdown::new(handle, "mig-stall", n),
+        rendezvous: PoolRendezvous::new(handle),
+        source_pool: Mutex::new(None),
+        source_pool_ready: Event::new(handle, "srcpool"),
+        piic: Event::new(handle, "piic"),
+        piic_bytes: Mutex::new(0),
+        images: Mutex::new(HashMap::new()),
+        images_ready: Event::new(handle, "images-ready"),
+        restart_done: Event::new(handle, "restart-done"),
+        barrier: Countdown::new(handle, "mig-barrier", n),
+        resumed: Countdown::new(handle, "mig-resumed", n),
+    });
+    inner.mig_cycles.lock().insert(id, cycle.clone());
+
+    let t0 = ctx.now();
+    ftb.publish(
+        ctx,
+        FtbEvent::with_payload(
+            MPI_SPACE,
+            FTB_MIGRATE,
+            Severity::Error,
+            inner.cluster.login(),
+            MigrateMsg {
+                source,
+                target,
+                cycle: id,
+            },
+        ),
+    );
+    // Phase 1 complete: every rank suspended and acknowledged.
+    wait_suspend_acks(ctx, sub, id, inner.spec.nranks);
+    cycle.stall_done.wait(ctx);
+    let t1 = ctx.now();
+    // Phase 2 complete: source NLA published PIIC.
+    wait_named(ctx, sub, FTB_MIGRATE_PIIC, id);
+    cycle.piic.wait(ctx);
+    let t2 = ctx.now();
+    // Phase 3: adjust the mpispawn tree and broadcast the restart.
+    ctx.sleep(calib::SPAWN_TREE_ADJUST);
+    inner.spawn_tree.lock().replace(source, target);
+    ftb.publish(
+        ctx,
+        FtbEvent::with_payload(
+            MPI_SPACE,
+            FTB_RESTART,
+            Severity::Error,
+            inner.cluster.login(),
+            RestartMsg {
+                cycle: id,
+                target,
+                ranks: ranks.clone(),
+            },
+        ),
+    );
+    wait_named(ctx, sub, FTB_RESTART_DONE, id);
+    cycle.restart_done.wait(ctx);
+    let t3 = ctx.now();
+    // Phase 4 complete: all ranks out of the barrier and reopened.
+    cycle.resumed.wait(ctx);
+    let t4 = ctx.now();
+
+    inner.mig_reports.lock().push(MigrationReport {
+        cycle: cycle.id,
+        source: cycle.source,
+        target: cycle.target,
+        stall: t1 - t0,
+        migrate: t2 - t1,
+        restart: t3 - t2,
+        resume: t4 - t3,
+        ranks_moved: cycle.ranks.len(),
+        bytes_moved: *cycle.piic_bytes.lock(),
+    });
+    inner.pending_sources.lock().remove(&source);
+}
+
+fn health_bridge(ctx: &Ctx, rt: JobRuntime) {
+    let login = rt.inner.cluster.login();
+    let client = FtbClient::connect(rt.inner.cluster.ftb(), login, "health-bridge");
+    let sub = client.subscribe(
+        &ctx.handle(),
+        EventFilter {
+            space: Some(healthmon::HEALTH_SPACE.to_string()),
+            name: None,
+            min_severity: Some(Severity::Error),
+        },
+    );
+    loop {
+        let ev = sub.pop(ctx);
+        let Some(alert) = ev.payload_as::<healthmon::HealthAlert>() else {
+            continue;
+        };
+        let node = alert.node;
+        let hosts_ranks = {
+            let nlas = rt.inner.nlas.lock();
+            nlas.get(&node)
+                .map(|n| {
+                    *n.state.lock() == NlaState::MigrationReady && !n.ranks.lock().is_empty()
+                })
+                .unwrap_or(false)
+        };
+        if hosts_ranks && rt.inner.pending_sources.lock().insert(node) {
+            rt.inner.triggers.push(Trigger::Migrate { source: Some(node) });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Node Launch Agent
+// ---------------------------------------------------------------------------
+
+fn nla_proc(ctx: &Ctx, rt: JobRuntime, node: NodeId) {
+    let inner = &rt.inner;
+    let nla = inner.nlas.lock()[&node].clone();
+    // Startup: launch local MPI processes (fork/exec cost per rank),
+    // build endpoints untimed, start app + C/R threads.
+    let local_ranks = nla.ranks.lock().clone();
+    for rank in &local_ranks {
+        ctx.sleep(calib::NLA_SPAWN);
+        let cr = inner.job.cr(*rank);
+        cr.rebuild_endpoints(ctx, false);
+        cr.reopen();
+        rt.spawn_app(*rank);
+        rt.spawn_cr_thread(*rank, None);
+    }
+
+    let ftb = FtbClient::connect(inner.cluster.ftb(), node, &format!("nla@{node}"));
+    let sub = ftb.subscribe(&ctx.handle(), EventFilter::space(MPI_SPACE));
+    loop {
+        let ev = sub.pop(ctx);
+        match ev.name.as_str() {
+            FTB_MIGRATE => {
+                let Some(m) = ev.payload_as::<MigrateMsg>() else {
+                    continue;
+                };
+                let m = *m;
+                if m.source == node {
+                    source_side_phase2(ctx, &rt, &nla, &ftb, m);
+                } else if m.target == node {
+                    target_side_pull(ctx, &rt, m);
+                }
+            }
+            FTB_RESTART => {
+                let Some(r) = ev.payload_as::<RestartMsg>() else {
+                    continue;
+                };
+                if r.target == node {
+                    let r = r.clone();
+                    target_side_restart(ctx, &rt, &nla, &ftb, r);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Source NLA, Phase 2: stand up the buffer manager, wait until every
+/// local image has been pulled and acknowledged, publish PIIC, go
+/// inactive.
+fn source_side_phase2(
+    ctx: &Ctx,
+    rt: &JobRuntime,
+    nla: &Arc<NlaShared>,
+    ftb: &FtbClient,
+    m: MigrateMsg,
+) {
+    let inner = &rt.inner;
+    let cycle = rt.mig_cycle(m.cycle);
+    let nlocal = nla.ranks.lock().len() as u32;
+    let hca = inner.cluster.fabric().attach(m.source);
+    let pool = SourcePool::setup(ctx, &hca, inner.spec.pool, nlocal, &cycle.rendezvous);
+    cycle.set_source_pool(pool.clone());
+    pool.finished().wait(ctx);
+    *cycle.piic_bytes.lock() = pool.bytes_streamed();
+    *nla.state.lock() = NlaState::MigrationInactive;
+    let moved = std::mem::take(&mut *nla.ranks.lock());
+    ftb.publish(
+        ctx,
+        FtbEvent::with_payload(
+            MPI_SPACE,
+            FTB_MIGRATE_PIIC,
+            Severity::Info,
+            m.source,
+            PiicMsg {
+                cycle: m.cycle,
+                ranks: moved,
+                bytes_moved: pool.bytes_streamed(),
+            },
+        ),
+    );
+    cycle.piic.set();
+}
+
+/// Target NLA, Phase 2 (receiving side): pull chunks and assemble images
+/// into buffered temp files on the local filesystem.
+fn target_side_pull(ctx: &Ctx, rt: &JobRuntime, m: MigrateMsg) {
+    let inner = &rt.inner;
+    let cycle = rt.mig_cycle(m.cycle);
+    let hca = inner.cluster.fabric().attach(m.target);
+    let store: Arc<dyn storesim::CkptStore> = Arc::new(inner.cluster.node(m.target).fs.clone());
+    let result = crate::bufpool::run_target_pool(
+        ctx,
+        &hca,
+        inner.spec.pool,
+        &cycle.rendezvous,
+        store,
+        &format!("mig.{}", m.cycle),
+    );
+    *cycle.images.lock() = result.images;
+    cycle.images_ready.set();
+}
+
+/// Target NLA, Phase 3: restart every migrated process from its image.
+fn target_side_restart(
+    ctx: &Ctx,
+    rt: &JobRuntime,
+    nla: &Arc<NlaShared>,
+    ftb: &FtbClient,
+    r: RestartMsg,
+) {
+    let inner = &rt.inner;
+    let cycle = rt.mig_cycle(r.cycle);
+    cycle.images_ready.wait(ctx);
+    let res = inner.cluster.node(r.target);
+    if calib::RESTART_READS_COLD
+        && inner.spec.pool.restart_mode == crate::bufpool::RestartMode::FileBased
+    {
+        use storesim::CkptStore;
+        res.fs.drop_caches();
+    }
+    let done = Countdown::new(&ctx.handle(), "restart-workers", r.ranks.len() as u64);
+    for rank in r.ranks.clone() {
+        let rt2 = rt.clone();
+        let cycle2 = cycle.clone();
+        let done2 = done.clone();
+        let target = r.target;
+        ctx.spawn_daemon(&format!("restart-r{rank}"), move |ctx| {
+            restart_one_rank(ctx, &rt2, &cycle2, rank, target);
+            done2.arrive();
+        });
+    }
+    done.wait(ctx);
+    *nla.ranks.lock() = r.ranks.clone();
+    *nla.state.lock() = NlaState::MigrationReady;
+    ftb.publish(
+        ctx,
+        FtbEvent::with_payload(
+            MPI_SPACE,
+            FTB_RESTART_DONE,
+            Severity::Info,
+            r.target,
+            r.clone(),
+        ),
+    );
+    cycle.restart_done.set();
+}
+
+fn restart_one_rank(ctx: &Ctx, rt: &JobRuntime, cycle: &Arc<MigCycle>, rank: u32, target: NodeId) {
+    let inner = &rt.inner;
+    let info = cycle.images.lock()[&rank].clone();
+    let res = inner.cluster.node(target);
+    let image = match info.slices {
+        // Memory-based restart (the paper's future work): the stream is
+        // already in the buffer pool; only parse + populate costs remain.
+        Some(slices) => res
+            .blcr
+            .restart(ctx, &mut blcrsim::MemSource::new(slices), &calib::restart_costs())
+            .expect("migrated image parse"),
+        None => {
+            let store: Arc<dyn storesim::CkptStore> = Arc::new(res.fs.clone());
+            let mut src = StoreSource::new(store, info.path.clone());
+            res.blcr
+                .restart(ctx, &mut src, &calib::restart_costs())
+                .expect("migrated image parse")
+        }
+    };
+    assert_eq!(
+        image.checksum(),
+        info.expected_checksum,
+        "image integrity violated for rank {rank}"
+    );
+    let meta = unwrap_meta(&image);
+    inner.job.set_rank_node(rank, target);
+    inner.job.cr(rank).restore_meta(meta);
+    inner.job.purge_stale_rts_from(rank);
+    rt.spawn_app(rank);
+    rt.spawn_cr_thread(rank, Some(cycle.clone()));
+}
+
+// ---------------------------------------------------------------------------
+// C/R thread
+// ---------------------------------------------------------------------------
+
+fn cr_thread(ctx: &Ctx, rt: JobRuntime, rank: u32, resume: Option<Arc<MigCycle>>) {
+    let inner = &rt.inner;
+    let cr = inner.job.cr(rank);
+    let node = inner.job.rank_node(rank);
+    let ftb = FtbClient::connect(inner.cluster.ftb(), node, &format!("cr-r{rank}"));
+    let sub = ftb.subscribe(&ctx.handle(), EventFilter::space(MPI_SPACE));
+    if let Some(cycle) = resume {
+        phase4(ctx, &rt, &cr, &cycle);
+    }
+    loop {
+        let ev = sub.pop(ctx);
+        match ev.name.as_str() {
+            FTB_MIGRATE => {
+                let Some(m) = ev.payload_as::<MigrateMsg>() else {
+                    continue;
+                };
+                let m = *m;
+                let cycle = rt.mig_cycle(m.cycle);
+                cr.suspend_and_drain(ctx);
+                ftb.publish(
+                    ctx,
+                    FtbEvent::with_payload(
+                        MPI_SPACE,
+                        FTB_SUSPEND_ACK,
+                        Severity::Info,
+                        inner.job.rank_node(rank),
+                        SuspendAckMsg {
+                            cycle: m.cycle,
+                            rank,
+                        },
+                    ),
+                );
+                cycle.stall_done.arrive();
+                if inner.job.rank_node(rank) == m.source {
+                    // Phase 2: wait for the consistent global state, then
+                    // stream my image through the buffer pool.
+                    cycle.stall_done.wait(ctx);
+                    let pool = cycle.wait_source_pool(ctx);
+                    let meta = cr.capture_meta();
+                    let image = build_image(rank, &meta);
+                    rt.kill_app(rank);
+                    let mut sink = pool.sink(ctx, rank, image.checksum());
+                    let blcr = &inner.cluster.node(m.source).blcr;
+                    blcr.checkpoint(ctx, &image, &mut sink);
+                    // This process incarnation migrates away; its C/R
+                    // thread ends with it.
+                    return;
+                } else {
+                    cycle.restart_done.wait(ctx);
+                    phase4(ctx, &rt, &cr, &cycle);
+                }
+            }
+            FTB_CHECKPOINT => {
+                let Some(c) = ev.payload_as::<CheckpointMsg>() else {
+                    continue;
+                };
+                let c = *c;
+                let cycle = rt.ckpt_cycle(c.cycle);
+                cr.suspend_and_drain(ctx);
+                ftb.publish(
+                    ctx,
+                    FtbEvent::with_payload(
+                        MPI_SPACE,
+                        FTB_SUSPEND_ACK,
+                        Severity::Info,
+                        inner.job.rank_node(rank),
+                        SuspendAckMsg {
+                            cycle: c.cycle,
+                            rank,
+                        },
+                    ),
+                );
+                cycle.stall_done.arrive_and_wait(ctx);
+                // Dump my image to the configured store.
+                let mynode = inner.job.rank_node(rank);
+                let store = rt.store_for(c.store, mynode);
+                let meta = cr.capture_meta();
+                let image = build_image(rank, &meta);
+                cycle
+                    .checksums
+                    .lock()
+                    .insert(rank, image.checksum());
+                let mut sink = blcrsim::StoreSink::new(
+                    store,
+                    format!("ckpt.{}.{}", c.cycle, rank),
+                    true,
+                );
+                let blcr = &inner.cluster.node(mynode).blcr;
+                let written = blcr.checkpoint(ctx, &image, &mut sink);
+                cycle.bytes.fetch_add(written, Ordering::Relaxed);
+                cycle.ckpt_done.arrive_and_wait(ctx);
+                // Resume.
+                cr.rebuild_endpoints(ctx, true);
+                ctx.sleep(rt.resume_overhead());
+                cr.reopen();
+                cycle.resumed.arrive();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Phase 4: the migration barrier, endpoint rebuild, and resume.
+fn phase4(ctx: &Ctx, rt: &JobRuntime, cr: &mpisim::RankCr, cycle: &Arc<MigCycle>) {
+    cycle.barrier.arrive_and_wait(ctx);
+    cr.rebuild_endpoints(ctx, true);
+    ctx.sleep(rt.resume_overhead());
+    cr.reopen();
+    cycle.resumed.arrive();
+}

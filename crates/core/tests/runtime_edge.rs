@@ -1,0 +1,157 @@
+//! Runtime edge cases: migrations colliding with communication-heavy
+//! application phases, queued triggers, spawn-tree maintenance, and
+//! post-completion triggers.
+
+use bytes::Bytes;
+use jobmig_core::prelude::*;
+use jobmig_core::runtime::JobSpec;
+use mpisim::MpiRank;
+use npbsim::{NpbApp, NpbClass, Workload};
+use simkit::dur::*;
+use simkit::{Ctx, SimTime, Simulation};
+
+#[test]
+fn migration_during_rendezvous_heavy_phase() {
+    // An app that exchanges large (rendezvous) messages continuously: the
+    // migration must land mid-handshake for some pair and still preserve
+    // exactly-once delivery.
+    let mut sim = Simulation::new(51);
+    let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
+    let app = |ctx: &Ctx, rank: &mut MpiRank| {
+        let np = rank.size();
+        let r = rank.rank();
+        let peer = r ^ 1; // pairs (0,1), (2,3)
+        let _ = np;
+        if rank.app_state().is_empty() {
+            rank.set_segments(vec![blcrsim::Segment {
+                kind: blcrsim::SegmentKind::Heap,
+                data: ibfabric::DataSlice::pattern(r as u64 + 1, 0, 4 << 20),
+            }]);
+        }
+        let start = if rank.app_state().len() >= 4 {
+            u32::from_le_bytes(rank.app_state()[..4].try_into().unwrap())
+        } else {
+            0
+        };
+        for it in start..200 {
+            // 1 MiB exchange every iteration: always rendezvous
+            rank.exchange(ctx, peer, it as u64, 1 << 20);
+            rank.compute(ctx, ms(40));
+            rank.op_boundary(Bytes::copy_from_slice(&(it + 1).to_le_bytes()));
+        }
+    };
+    let rt = JobRuntime::launch(&cluster, JobSpec::custom(4, 2, app));
+    rt.trigger_migration_after(secs(3));
+    sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
+    assert!(rt.is_complete());
+    assert_eq!(rt.migration_reports().len(), 1);
+    // exactly 200 exchanges per pair direction → 800 messages total
+    assert_eq!(rt.job().stats().messages, 800);
+}
+
+#[test]
+fn queued_triggers_are_serialized() {
+    // Two triggers pushed back-to-back: the JM must run them as two
+    // complete, non-overlapping cycles.
+    let mut sim = Simulation::new(52);
+    let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 2));
+    let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);
+    let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2));
+    let rt2 = rt.clone();
+    let (n1, n2) = (
+        cluster.compute_nodes()[0],
+        cluster.compute_nodes()[1],
+    );
+    sim.handle().spawn_daemon("both", move |ctx| {
+        ctx.sleep(secs(20));
+        rt2.trigger_migration(Some(n1));
+        rt2.trigger_migration(Some(n2)); // queued immediately behind
+    });
+    sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
+    let reports = rt.migration_reports();
+    assert_eq!(reports.len(), 2);
+    // second cycle started only after the first completed
+    let first_span = reports[0].total();
+    assert!(first_span > std::time::Duration::ZERO);
+    assert_eq!(reports[0].source, n1);
+    assert_eq!(reports[1].source, n2);
+    assert_ne!(reports[0].target, reports[1].target);
+}
+
+#[test]
+fn spawn_tree_tracks_migrations() {
+    let mut sim = Simulation::new(53);
+    let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
+    let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);
+    let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2));
+    let (root0, nodes0) = rt.spawn_tree();
+    assert_eq!(root0, cluster.login());
+    assert_eq!(nodes0, cluster.compute_nodes());
+    rt.trigger_migration_after(secs(20));
+    sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
+    let (_, nodes1) = rt.spawn_tree();
+    let spare = cluster.spare_nodes()[0];
+    assert!(nodes1.contains(&spare), "tree now includes the spare");
+    assert!(
+        !nodes1.contains(&cluster.compute_nodes()[0]),
+        "tree no longer includes the migration source"
+    );
+}
+
+#[test]
+fn trigger_after_completion_is_harmless() {
+    let mut sim = Simulation::new(54);
+    let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
+    let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);
+    let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2));
+    sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
+    let t_done = sim.now();
+    // migrate a finished job: processes restart, find themselves done,
+    // and exit immediately; the framework completes the cycle cleanly
+    rt.trigger_migration(None);
+    sim.run_for(secs(120)).unwrap();
+    assert_eq!(rt.migration_reports().len(), 1);
+    assert!(rt.is_complete());
+    assert!(sim.now() > t_done);
+}
+
+#[test]
+fn migration_source_explicitly_unknown_node_is_ignored() {
+    let mut sim = Simulation::new(55);
+    let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
+    let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);
+    let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2));
+    let rt2 = rt.clone();
+    sim.handle().spawn_daemon("bogus", move |ctx| {
+        ctx.sleep(secs(10));
+        rt2.trigger_migration(Some(ibfabric::NodeId(999)));
+    });
+    sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
+    assert!(rt.migration_reports().is_empty());
+    assert_eq!(rt.spares_left(), 1, "spare not consumed by bogus trigger");
+}
+
+#[test]
+fn migrating_the_spare_back_works() {
+    // Migrate node1 → spare, then migrate the spare → second spare:
+    // ranks hop twice and the job still completes.
+    let mut sim = Simulation::new(56);
+    let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 2));
+    let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);
+    let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2));
+    let first_spare = cluster.spare_nodes()[0];
+    let rt2 = rt.clone();
+    sim.handle().spawn_daemon("double-hop", move |ctx| {
+        ctx.sleep(secs(20));
+        rt2.trigger_migration(None); // node1 → spare0
+        ctx.sleep(secs(120));
+        rt2.trigger_migration(Some(first_spare)); // spare0 → spare1
+    });
+    sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
+    let reports = rt.migration_reports();
+    assert_eq!(reports.len(), 2);
+    assert_eq!(reports[1].source, first_spare);
+    assert_eq!(reports[1].target, cluster.spare_nodes()[1]);
+    // ranks 0,1 ended on the second spare
+    assert_eq!(rt.job().rank_node(0), cluster.spare_nodes()[1]);
+}

@@ -1,0 +1,293 @@
+//! FTB agents: one daemon per node, connected in a self-healing tree.
+
+use crate::event::{EventFilter, FtbEvent};
+use crate::FTB_AGENT_PORT;
+use ibfabric::{Net, NetError, NodeId};
+use parking_lot::Mutex;
+use simkit::{Ctx, ProcHandle, Queue, SimHandle};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Direction an event arrived from (suppresses echo on forwarding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Via {
+    LocalClient,
+    Parent,
+    Child(NodeId),
+}
+
+/// Wire messages between agents (and from local clients to their agent).
+pub(crate) enum AgentMsg {
+    Publish { event: FtbEvent, via: Via },
+    Attach { child: NodeId },
+    AttachAck { grandparent: Option<NodeId> },
+    Ping { from: NodeId },
+}
+
+pub(crate) struct AgentState {
+    pub node: NodeId,
+    pub parent: Mutex<Option<NodeId>>,
+    pub grandparent: Mutex<Option<NodeId>>,
+    pub children: Mutex<HashSet<NodeId>>,
+    pub subs: Mutex<Vec<(EventFilter, Queue<FtbEvent>)>>,
+    /// Events delivered to local subscribers (diagnostics).
+    pub delivered: Mutex<u64>,
+}
+
+/// Backplane tunables.
+#[derive(Debug, Clone)]
+pub struct FtbConfig {
+    /// Parent heartbeat period (drives failure detection latency).
+    pub heartbeat: Duration,
+}
+
+impl Default for FtbConfig {
+    fn default() -> Self {
+        FtbConfig {
+            heartbeat: Duration::from_millis(500),
+        }
+    }
+}
+
+struct AgentHandles {
+    state: Arc<AgentState>,
+    procs: Vec<ProcHandle>,
+}
+
+/// The deployed backplane: spawns agents and hands out client handles.
+#[derive(Clone)]
+pub struct FtbBackplane {
+    handle: SimHandle,
+    net: Net,
+    cfg: Arc<FtbConfig>,
+    agents: Arc<Mutex<HashMap<NodeId, AgentHandles>>>,
+}
+
+impl FtbBackplane {
+    /// Create a backplane over `net` (normally the GigE maintenance
+    /// network).
+    pub fn new(handle: &SimHandle, net: Net, cfg: FtbConfig) -> Self {
+        FtbBackplane {
+            handle: handle.clone(),
+            net,
+            cfg: Arc::new(cfg),
+            agents: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The transport network.
+    pub fn net(&self) -> &Net {
+        &self.net
+    }
+
+    /// Deploy an agent on `node`, attached under `parent` (None = tree
+    /// root). Idempotent per node.
+    pub fn add_agent(&self, node: NodeId, parent: Option<NodeId>) {
+        let mut agents = self.agents.lock();
+        if agents.contains_key(&node) {
+            return;
+        }
+        self.net.add_node(node);
+        // Static deployment: the parent learns of this child immediately,
+        // so events published before the first Attach round-trip are not
+        // lost downward. The Attach exchange still runs (and is what
+        // re-parenting relies on after failures).
+        if let Some(p) = parent {
+            if let Some(pa) = agents.get(&p) {
+                pa.state.children.lock().insert(node);
+            }
+        }
+        let state = Arc::new(AgentState {
+            node,
+            parent: Mutex::new(parent),
+            grandparent: Mutex::new(None),
+            children: Mutex::new(HashSet::new()),
+            subs: Mutex::new(Vec::new()),
+            delivered: Mutex::new(0),
+        });
+        let inbox = self.net.bind(node, FTB_AGENT_PORT);
+        let loop_state = state.clone();
+        let loop_net = self.net.clone();
+        let main = self
+            .handle
+            .spawn_daemon(&format!("ftb-agent@{node}"), move |ctx| {
+                agent_main(ctx, loop_state, loop_net, inbox)
+            });
+        let hb_state = state.clone();
+        let hb_net = self.net.clone();
+        let hb = self.cfg.heartbeat;
+        let beat = self
+            .handle
+            .spawn_daemon(&format!("ftb-heartbeat@{node}"), move |ctx| {
+                heartbeat_main(ctx, hb_state, hb_net, hb)
+            });
+        agents.insert(
+            node,
+            AgentHandles {
+                state,
+                procs: vec![main, beat],
+            },
+        );
+    }
+
+    /// Simulate the death of the agent on `node` (node crash): kills its
+    /// processes and closes its port so peers see connection failures.
+    pub fn kill_agent(&self, node: NodeId) {
+        let mut agents = self.agents.lock();
+        if let Some(a) = agents.remove(&node) {
+            for p in &a.procs {
+                p.kill();
+            }
+            self.net.unbind(node, FTB_AGENT_PORT);
+        }
+    }
+
+    /// The agent's current parent (tests of self-healing).
+    pub fn parent_of(&self, node: NodeId) -> Option<NodeId> {
+        let agents = self.agents.lock();
+        agents.get(&node).and_then(|a| *a.state.parent.lock())
+    }
+
+    /// Count of events delivered to local subscribers on `node`.
+    pub fn delivered_on(&self, node: NodeId) -> u64 {
+        let agents = self.agents.lock();
+        agents
+            .get(&node)
+            .map(|a| *a.state.delivered.lock())
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn agent_state(&self, node: NodeId) -> Option<Arc<AgentState>> {
+        self.agents.lock().get(&node).map(|a| a.state.clone())
+    }
+}
+
+fn send_agent(
+    net: &Net,
+    ctx: &Ctx,
+    from: NodeId,
+    to: NodeId,
+    msg: AgentMsg,
+    wire: u64,
+) -> Result<(), NetError> {
+    net.send_to(
+        ctx,
+        (from, FTB_AGENT_PORT),
+        (to, FTB_AGENT_PORT),
+        Box::new(msg),
+        wire,
+    )
+}
+
+/// Re-attach to the grandparent after the parent died. Returns the new
+/// parent, if any.
+fn reattach(ctx: &Ctx, state: &Arc<AgentState>, net: &Net) -> Option<NodeId> {
+    let new_parent = state.grandparent.lock().take();
+    *state.parent.lock() = new_parent;
+    if let Some(gp) = new_parent {
+        let _ = send_agent(net, ctx, state.node, gp, AgentMsg::Attach { child: state.node }, 96);
+    }
+    new_parent
+}
+
+fn deliver_local(state: &Arc<AgentState>, event: &FtbEvent) {
+    let subs = state.subs.lock();
+    let mut n = 0u64;
+    for (filter, q) in subs.iter() {
+        if filter.matches(event) {
+            q.push(event.clone());
+            n += 1;
+        }
+    }
+    drop(subs);
+    *state.delivered.lock() += n.min(1); // count events, not fan-out
+}
+
+fn agent_main(ctx: &Ctx, state: Arc<AgentState>, net: Net, inbox: Queue<ibfabric::Datagram>) {
+    // Announce ourselves to the configured parent.
+    let parent0 = *state.parent.lock();
+    if let Some(p) = parent0 {
+        let _ = send_agent(&net, ctx, state.node, p, AgentMsg::Attach { child: state.node }, 96);
+    }
+    loop {
+        let dg = inbox.pop(ctx);
+        let Ok(msg) = dg.payload.downcast::<AgentMsg>() else {
+            continue; // foreign traffic on our port: ignore
+        };
+        match *msg {
+            AgentMsg::Publish { event, via } => {
+                deliver_local(&state, &event);
+                // forward up
+                if via != Via::Parent {
+                    let parent = *state.parent.lock();
+                    if let Some(p) = parent {
+                        let fwd = AgentMsg::Publish {
+                            event: event.clone(),
+                            via: Via::Child(state.node),
+                        };
+                        if send_agent(&net, ctx, state.node, p, fwd, event.wire_bytes()).is_err() {
+                            if let Some(np) = reattach(ctx, &state, &net) {
+                                let retry = AgentMsg::Publish {
+                                    event: event.clone(),
+                                    via: Via::Child(state.node),
+                                };
+                                let _ =
+                                    send_agent(&net, ctx, state.node, np, retry, event.wire_bytes());
+                            }
+                        }
+                    }
+                }
+                // forward down (sorted: deterministic delivery order)
+                let mut children: Vec<NodeId> = state.children.lock().iter().copied().collect();
+                children.sort();
+                for c in children {
+                    if via == Via::Child(c) {
+                        continue;
+                    }
+                    let fwd = AgentMsg::Publish {
+                        event: event.clone(),
+                        via: Via::Parent,
+                    };
+                    if send_agent(&net, ctx, state.node, c, fwd, event.wire_bytes()).is_err() {
+                        state.children.lock().remove(&c);
+                    }
+                }
+            }
+            AgentMsg::Attach { child } => {
+                state.children.lock().insert(child);
+                let gp = *state.parent.lock();
+                let _ = send_agent(
+                    &net,
+                    ctx,
+                    state.node,
+                    child,
+                    AgentMsg::AttachAck { grandparent: gp },
+                    96,
+                );
+            }
+            AgentMsg::AttachAck { grandparent } => {
+                *state.grandparent.lock() = grandparent;
+            }
+            AgentMsg::Ping { from } => {
+                // liveness is implied by successful delivery; remember the
+                // child in case we restarted and lost membership
+                state.children.lock().insert(from);
+            }
+        }
+    }
+}
+
+fn heartbeat_main(ctx: &Ctx, state: Arc<AgentState>, net: Net, period: Duration) {
+    loop {
+        ctx.sleep(period);
+        let parent = *state.parent.lock();
+        if let Some(p) = parent {
+            if send_agent(&net, ctx, state.node, p, AgentMsg::Ping { from: state.node }, 64)
+                .is_err()
+            {
+                reattach(ctx, &state, &net);
+            }
+        }
+    }
+}

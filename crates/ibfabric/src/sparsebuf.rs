@@ -1,0 +1,246 @@
+//! Sparse byte buffers backing simulated memory regions.
+//!
+//! A [`SparseBuf`] is a fixed-length, byte-addressed buffer whose contents
+//! are stored as non-overlapping [`DataSlice`] extents. Writes split or
+//! replace overlapping extents; reads return slice descriptors (never
+//! materialising pattern data). Unwritten ranges read as zeroes, like
+//! freshly registered memory.
+
+use crate::payload::DataSlice;
+use std::collections::BTreeMap;
+
+/// A sparse, fixed-size byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct SparseBuf {
+    len: u64,
+    /// Extent start offset → slice. Invariant: extents are non-empty,
+    /// non-overlapping, within `0..len`.
+    extents: BTreeMap<u64, DataSlice>,
+}
+
+impl SparseBuf {
+    /// An all-zero buffer of `len` bytes.
+    pub fn new(len: u64) -> Self {
+        SparseBuf {
+            len,
+            extents: BTreeMap::new(),
+        }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the buffer has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored extents (diagnostics).
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Write `slice` at `offset`, replacing any overlapped content.
+    ///
+    /// # Panics
+    /// Panics if the write exceeds the buffer bounds.
+    pub fn write(&mut self, offset: u64, slice: DataSlice) {
+        let wlen = slice.len;
+        if wlen == 0 {
+            return;
+        }
+        let end = offset
+            .checked_add(wlen)
+            .filter(|e| *e <= self.len)
+            .unwrap_or_else(|| {
+                panic!(
+                    "write [{offset}, {offset}+{wlen}) out of bounds (len {})",
+                    self.len
+                )
+            });
+
+        // Find extents overlapping [offset, end): start from the last
+        // extent beginning at or before `offset`.
+        let mut to_remove = Vec::new();
+        let mut head: Option<(u64, DataSlice)> = None; // surviving prefix
+        let mut tail: Option<(u64, DataSlice)> = None; // surviving suffix
+        let search_start = self
+            .extents
+            .range(..=offset)
+            .next_back()
+            .map(|(k, _)| *k)
+            .unwrap_or(0);
+        for (&start, ext) in self.extents.range(search_start..end) {
+            let ext_end = start + ext.len;
+            if ext_end <= offset {
+                continue; // entirely before
+            }
+            to_remove.push(start);
+            if start < offset {
+                head = Some((start, ext.slice(0, offset - start)));
+            }
+            if ext_end > end {
+                tail = Some((end, ext.slice(end - start, ext_end - end)));
+            }
+        }
+        for k in to_remove {
+            self.extents.remove(&k);
+        }
+        if let Some((k, s)) = head {
+            self.extents.insert(k, s);
+        }
+        if let Some((k, s)) = tail {
+            self.extents.insert(k, s);
+        }
+        self.extents.insert(offset, slice);
+    }
+
+    /// Read `[offset, offset+len)` as a run of slices; unwritten gaps come
+    /// back as [`DataSlice::zero`] runs.
+    ///
+    /// # Panics
+    /// Panics if the read exceeds the buffer bounds.
+    pub fn read(&self, offset: u64, len: u64) -> Vec<DataSlice> {
+        let end = offset
+            .checked_add(len)
+            .filter(|e| *e <= self.len)
+            .unwrap_or_else(|| {
+                panic!(
+                    "read [{offset}, {offset}+{len}) out of bounds (len {})",
+                    self.len
+                )
+            });
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let mut cursor = offset;
+        let search_start = self
+            .extents
+            .range(..=offset)
+            .next_back()
+            .map(|(k, _)| *k)
+            .unwrap_or(0);
+        for (&start, ext) in self.extents.range(search_start..end) {
+            let ext_end = start + ext.len;
+            if ext_end <= cursor {
+                continue;
+            }
+            let clip_start = cursor.max(start);
+            if clip_start > cursor {
+                out.push(DataSlice::zero(clip_start - cursor));
+            }
+            let clip_end = end.min(ext_end);
+            out.push(ext.slice(clip_start - start, clip_end - clip_start));
+            cursor = clip_end;
+            if cursor == end {
+                break;
+            }
+        }
+        if cursor < end {
+            out.push(DataSlice::zero(end - cursor));
+        }
+        debug_assert_eq!(crate::payload::total_len(&out), len);
+        out
+    }
+
+    /// The byte at `offset` (for tests and sampled verification).
+    pub fn byte_at(&self, offset: u64) -> u8 {
+        assert!(offset < self.len, "byte_at out of bounds");
+        if let Some((&start, ext)) = self.extents.range(..=offset).next_back() {
+            if offset < start + ext.len {
+                return ext.byte_at(offset - start);
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::{pattern_byte, DataSrc};
+
+    #[test]
+    fn fresh_buffer_reads_zero() {
+        let b = SparseBuf::new(100);
+        let r = b.read(10, 20);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], DataSlice::zero(20));
+        assert_eq!(b.byte_at(99), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut b = SparseBuf::new(100);
+        b.write(10, DataSlice::bytes(&b"hello"[..]));
+        let r = b.read(10, 5);
+        assert_eq!(r[0].to_bytes().as_ref(), b"hello");
+        // straddling read: zero prefix + data + zero suffix
+        let r = b.read(8, 10);
+        assert_eq!(r[0], DataSlice::zero(2));
+        assert_eq!(r[1].to_bytes().as_ref(), b"hello");
+        assert_eq!(r[2], DataSlice::zero(3));
+    }
+
+    #[test]
+    fn overlapping_write_splits_extents() {
+        let mut b = SparseBuf::new(100);
+        b.write(0, DataSlice::pattern(1, 0, 50));
+        b.write(20, DataSlice::bytes(vec![0xAA; 10]));
+        assert_eq!(b.byte_at(19), pattern_byte(1, 19));
+        assert_eq!(b.byte_at(20), 0xAA);
+        assert_eq!(b.byte_at(29), 0xAA);
+        assert_eq!(b.byte_at(30), pattern_byte(1, 30));
+        assert_eq!(b.byte_at(49), pattern_byte(1, 49));
+    }
+
+    #[test]
+    fn write_covering_multiple_extents() {
+        let mut b = SparseBuf::new(64);
+        b.write(0, DataSlice::bytes(vec![1; 8]));
+        b.write(16, DataSlice::bytes(vec![2; 8]));
+        b.write(32, DataSlice::bytes(vec![3; 8]));
+        b.write(4, DataSlice::bytes(vec![9; 32])); // covers tail of 1st, all 2nd, head of 3rd
+        assert_eq!(b.byte_at(3), 1);
+        assert_eq!(b.byte_at(4), 9);
+        assert_eq!(b.byte_at(35), 9);
+        assert_eq!(b.byte_at(36), 3);
+    }
+
+    #[test]
+    fn exact_replacement() {
+        let mut b = SparseBuf::new(10);
+        b.write(2, DataSlice::bytes(vec![1; 4]));
+        b.write(2, DataSlice::bytes(vec![2; 4]));
+        assert_eq!(b.extent_count(), 1);
+        assert_eq!(b.byte_at(2), 2);
+        assert_eq!(b.byte_at(5), 2);
+    }
+
+    #[test]
+    fn pattern_read_stays_symbolic() {
+        let mut b = SparseBuf::new(1 << 30);
+        b.write(0, DataSlice::pattern(7, 0, 1 << 30));
+        let r = b.read(1 << 20, 1 << 20);
+        assert_eq!(r.len(), 1);
+        match &r[0].src {
+            DataSrc::Pattern { seed: 7, offset } => assert_eq!(*offset, 1 << 20),
+            other => panic!("expected pattern, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_past_end_panics() {
+        SparseBuf::new(10).write(8, DataSlice::zero(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_past_end_panics() {
+        SparseBuf::new(10).read(8, 4);
+    }
+}

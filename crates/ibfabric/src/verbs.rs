@@ -1,0 +1,546 @@
+//! Simulated InfiniBand verbs: HCAs, memory regions, reliable-connected
+//! queue pairs, two-sided send/recv and one-sided RDMA Read/Write.
+//!
+//! The API is deliberately *blocking*: an operation returns when the
+//! corresponding completion would have been polled from a CQ. Overlap is
+//! expressed with simulated processes (as MVAPICH2 does with its progress
+//! and C/R threads), which keeps protocol code linear while preserving the
+//! timing structure.
+//!
+//! The InfiniBand characteristics the paper's Phase 1 discussion hinges on
+//! are modelled faithfully:
+//!
+//! * **OS-bypass**: nothing here passes through a node "kernel" object; a
+//!   connection is only drainable by its owner cooperating.
+//! * **Connection context in the adapter**: QP state lives in the [`Hca`];
+//!   destroying a QP invalidates the peer's cached address immediately
+//!   (sends fail with [`VerbsError::PeerGone`]).
+//! * **Remote keys cached remotely**: an [`RemoteMr`] captured before a
+//!   deregistration keeps "working" as a value but any RDMA access through
+//!   it fails with [`VerbsError::RemoteAccess`] — the staleness hazard that
+//!   forces MVAPICH2 to release rkeys before checkpointing.
+
+use crate::net::{Net, NetConfig, NetError};
+use crate::payload::DataSlice;
+use crate::sparsebuf::SparseBuf;
+use crate::NodeId;
+use parking_lot::Mutex;
+use simkit::{Ctx, Queue, SimHandle};
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wire-header overhead charged per message.
+const MSG_HEADER_BYTES: u64 = 64;
+
+/// Fabric-wide tunables.
+#[derive(Debug, Clone)]
+pub struct IbConfig {
+    /// Transport parameters (latency, port bandwidth).
+    pub net: NetConfig,
+    /// Cost of establishing one RC connection (address handshake + QP
+    /// state transitions through the connection manager).
+    pub cm_handshake: Duration,
+    /// Fixed cost of registering a memory region.
+    pub reg_base: Duration,
+    /// Page-pinning throughput for memory registration, bytes/second.
+    pub reg_bandwidth: f64,
+}
+
+impl Default for IbConfig {
+    fn default() -> Self {
+        IbConfig {
+            net: NetConfig::ib_ddr(),
+            cm_handshake: Duration::from_micros(60),
+            reg_base: Duration::from_micros(30),
+            reg_bandwidth: 1.5e9,
+        }
+    }
+}
+
+/// Errors surfaced by verbs operations.
+#[derive(Debug)]
+pub enum VerbsError {
+    /// Operation on a QP that is not connected.
+    NotConnected,
+    /// This QP (or its peer) was destroyed.
+    Destroyed,
+    /// The peer QP no longer exists or is destroyed.
+    PeerGone,
+    /// RDMA access through an invalid/revoked rkey, or out of MR bounds.
+    RemoteAccess {
+        /// Node whose HCA rejected the access.
+        node: NodeId,
+        /// The offending rkey.
+        rkey: u32,
+    },
+    /// Underlying network failure.
+    Net(NetError),
+}
+
+impl fmt::Display for VerbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbsError::NotConnected => write!(f, "queue pair not connected"),
+            VerbsError::Destroyed => write!(f, "queue pair destroyed"),
+            VerbsError::PeerGone => write!(f, "peer queue pair gone"),
+            VerbsError::RemoteAccess { node, rkey } => {
+                write!(f, "remote access error at {node:?} rkey {rkey}")
+            }
+            VerbsError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerbsError {}
+
+impl From<NetError> for VerbsError {
+    fn from(e: NetError) -> Self {
+        VerbsError::Net(e)
+    }
+}
+
+/// Advertised handle to a registered memory region on some node — what a
+/// peer needs to perform RDMA against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteMr {
+    /// Node owning the memory.
+    pub node: NodeId,
+    /// Remote key.
+    pub rkey: u32,
+    /// Region length in bytes.
+    pub len: u64,
+}
+
+/// Address of a queue pair for connection establishment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QpAddr {
+    /// Node the QP lives on.
+    pub node: NodeId,
+    /// QP number, unique per node.
+    pub qpn: u32,
+}
+
+/// A message as delivered by [`Qp::recv`].
+pub struct IbMessage {
+    /// Application tag (protocol discriminator).
+    pub tag: u64,
+    /// Typed body; receivers downcast.
+    pub body: Box<dyn Any + Send>,
+    /// Payload bytes charged on the wire (excluding header).
+    pub wire_bytes: u64,
+}
+
+impl fmt::Debug for IbMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IbMessage(tag={}, {} bytes)", self.tag, self.wire_bytes)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QpState {
+    Init,
+    Connected,
+    Destroyed,
+}
+
+struct QpShared {
+    addr: QpAddr,
+    state: Mutex<QpState>,
+    peer: Mutex<Option<QpAddr>>,
+    recv_q: Queue<Result<IbMessage, VerbsError>>,
+}
+
+struct MrEntry {
+    buf: Arc<Mutex<SparseBuf>>,
+    valid: bool,
+}
+
+struct HcaShared {
+    node: NodeId,
+    mrs: Mutex<HashMap<u32, MrEntry>>,
+    qps: Mutex<HashMap<u32, Arc<QpShared>>>,
+    next_rkey: Mutex<u32>,
+    next_qpn: Mutex<u32>,
+}
+
+struct FabricInner {
+    cfg: IbConfig,
+    net: Net,
+    hcas: Mutex<HashMap<NodeId, Arc<HcaShared>>>,
+}
+
+/// The simulated InfiniBand fabric. Cloning shares the fabric.
+#[derive(Clone)]
+pub struct IbFabric {
+    handle: SimHandle,
+    inner: Arc<FabricInner>,
+}
+
+impl IbFabric {
+    /// Create a fabric with the given configuration.
+    pub fn new(handle: &SimHandle, cfg: IbConfig) -> Self {
+        let net = Net::new(handle, cfg.net.clone());
+        IbFabric {
+            handle: handle.clone(),
+            inner: Arc::new(FabricInner {
+                cfg,
+                net,
+                hcas: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Fabric configuration.
+    pub fn config(&self) -> &IbConfig {
+        &self.inner.cfg
+    }
+
+    /// The underlying transport network (for byte accounting in tests).
+    pub fn net(&self) -> &Net {
+        &self.inner.net
+    }
+
+    /// Attach an HCA to `node` (idempotent: returns the existing HCA).
+    pub fn attach(&self, node: NodeId) -> Hca {
+        self.inner.net.add_node(node);
+        let mut hcas = self.inner.hcas.lock();
+        let shared = hcas
+            .entry(node)
+            .or_insert_with(|| {
+                Arc::new(HcaShared {
+                    node,
+                    mrs: Mutex::new(HashMap::new()),
+                    qps: Mutex::new(HashMap::new()),
+                    next_rkey: Mutex::new(1),
+                    next_qpn: Mutex::new(1),
+                })
+            })
+            .clone();
+        Hca {
+            fabric: self.clone(),
+            shared,
+        }
+    }
+
+    fn hca_shared(&self, node: NodeId) -> Option<Arc<HcaShared>> {
+        self.inner.hcas.lock().get(&node).cloned()
+    }
+
+    fn lookup_qp(&self, addr: QpAddr) -> Option<Arc<QpShared>> {
+        self.hca_shared(addr.node)?.qps.lock().get(&addr.qpn).cloned()
+    }
+
+    /// Validate rkey and bounds on `node`, returning the backing buffer.
+    fn checked_mr(
+        &self,
+        node: NodeId,
+        rkey: u32,
+        offset: u64,
+        len: u64,
+    ) -> Result<Arc<Mutex<SparseBuf>>, VerbsError> {
+        let denied = VerbsError::RemoteAccess { node, rkey };
+        let hca = self.hca_shared(node).ok_or(VerbsError::RemoteAccess { node, rkey })?;
+        let mrs = hca.mrs.lock();
+        let entry = mrs.get(&rkey).ok_or(denied)?;
+        if !entry.valid {
+            return Err(VerbsError::RemoteAccess { node, rkey });
+        }
+        let buf = entry.buf.clone();
+        let end = offset.checked_add(len);
+        if end.is_none() || end.unwrap() > buf.lock().len() {
+            return Err(VerbsError::RemoteAccess { node, rkey });
+        }
+        Ok(buf)
+    }
+}
+
+/// A node's host channel adapter: creates memory regions and queue pairs.
+#[derive(Clone)]
+pub struct Hca {
+    fabric: IbFabric,
+    shared: Arc<HcaShared>,
+}
+
+impl Hca {
+    /// The node this HCA is attached to.
+    pub fn node(&self) -> NodeId {
+        self.shared.node
+    }
+
+    /// Register `len` bytes of memory, paying the pinning cost
+    /// (`reg_base + len / reg_bandwidth`).
+    pub fn register_mr(&self, ctx: &Ctx, len: u64) -> Mr {
+        let cfg = &self.fabric.inner.cfg;
+        let cost = cfg.reg_base + Duration::from_secs_f64(len as f64 / cfg.reg_bandwidth);
+        ctx.sleep(cost);
+        self.register_mr_instant(len)
+    }
+
+    /// Register memory without charging time (simulation setup).
+    pub fn register_mr_instant(&self, len: u64) -> Mr {
+        let buf = Arc::new(Mutex::new(SparseBuf::new(len)));
+        let rkey = {
+            let mut k = self.shared.next_rkey.lock();
+            let r = *k;
+            *k += 1;
+            r
+        };
+        self.shared.mrs.lock().insert(
+            rkey,
+            MrEntry {
+                buf: buf.clone(),
+                valid: true,
+            },
+        );
+        Mr {
+            hca: self.shared.clone(),
+            rkey,
+            len,
+            buf,
+        }
+    }
+
+    /// Create a queue pair in the `Init` state.
+    pub fn create_qp(&self) -> Qp {
+        let qpn = {
+            let mut k = self.shared.next_qpn.lock();
+            let q = *k;
+            *k += 1;
+            q
+        };
+        let shared = Arc::new(QpShared {
+            addr: QpAddr {
+                node: self.shared.node,
+                qpn,
+            },
+            state: Mutex::new(QpState::Init),
+            peer: Mutex::new(None),
+            recv_q: Queue::new(&self.fabric.handle),
+        });
+        self.shared.qps.lock().insert(qpn, shared.clone());
+        Qp {
+            fabric: self.fabric.clone(),
+            shared,
+        }
+    }
+}
+
+/// A registered memory region (owner handle). Dropping does **not**
+/// deregister — call [`Mr::deregister`] explicitly, as MVAPICH2 must before
+/// a checkpoint.
+pub struct Mr {
+    hca: Arc<HcaShared>,
+    rkey: u32,
+    len: u64,
+    buf: Arc<Mutex<SparseBuf>>,
+}
+
+impl Mr {
+    /// Handle to advertise to peers for RDMA access.
+    pub fn remote(&self) -> RemoteMr {
+        RemoteMr {
+            node: self.hca.node,
+            rkey: self.rkey,
+            len: self.len,
+        }
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the region has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Local write (no simulated cost; charge a memory-bus link at the
+    /// call site when the copy itself matters).
+    pub fn write_local(&self, offset: u64, data: DataSlice) {
+        self.buf.lock().write(offset, data);
+    }
+
+    /// Local read.
+    pub fn read_local(&self, offset: u64, len: u64) -> Vec<DataSlice> {
+        self.buf.lock().read(offset, len)
+    }
+
+    /// Invalidate the region: any [`RemoteMr`] captured earlier becomes a
+    /// stale rkey and RDMA through it fails.
+    pub fn deregister(&self) {
+        if let Some(e) = self.hca.mrs.lock().get_mut(&self.rkey) {
+            e.valid = false;
+        }
+    }
+
+    /// Whether the region is still registered.
+    pub fn is_valid(&self) -> bool {
+        self.hca
+            .mrs
+            .lock()
+            .get(&self.rkey)
+            .map(|e| e.valid)
+            .unwrap_or(false)
+    }
+}
+
+/// A reliable-connected queue pair.
+#[derive(Clone)]
+pub struct Qp {
+    fabric: IbFabric,
+    shared: Arc<QpShared>,
+}
+
+impl Qp {
+    /// This QP's address (exchange out-of-band, e.g. over the launcher).
+    pub fn addr(&self) -> QpAddr {
+        self.shared.addr
+    }
+
+    /// Transition to `Connected` against `peer`, paying the connection
+    /// manager handshake. Each side calls this with the other's address.
+    pub fn connect(&self, ctx: &Ctx, peer: QpAddr) -> Result<(), VerbsError> {
+        {
+            let st = self.shared.state.lock();
+            if *st == QpState::Destroyed {
+                return Err(VerbsError::Destroyed);
+            }
+        }
+        ctx.sleep(self.fabric.inner.cfg.cm_handshake);
+        let mut st = self.shared.state.lock();
+        if *st == QpState::Destroyed {
+            return Err(VerbsError::Destroyed);
+        }
+        *self.shared.peer.lock() = Some(peer);
+        *st = QpState::Connected;
+        Ok(())
+    }
+
+    fn connected_peer(&self) -> Result<QpAddr, VerbsError> {
+        match *self.shared.state.lock() {
+            QpState::Init => Err(VerbsError::NotConnected),
+            QpState::Destroyed => Err(VerbsError::Destroyed),
+            QpState::Connected => self.shared.peer.lock().ok_or(VerbsError::NotConnected),
+        }
+    }
+
+    /// Two-sided send: blocks for the wire time, then lands in the peer's
+    /// receive queue.
+    pub fn send(
+        &self,
+        ctx: &Ctx,
+        tag: u64,
+        body: Box<dyn Any + Send>,
+        wire_bytes: u64,
+    ) -> Result<(), VerbsError> {
+        let peer = self.connected_peer()?;
+        let my = self.shared.addr;
+        self.fabric
+            .inner
+            .net
+            .wire_delay(ctx, my.node, peer.node, wire_bytes + MSG_HEADER_BYTES)?;
+        let peer_qp = self.fabric.lookup_qp(peer).ok_or(VerbsError::PeerGone)?;
+        if *peer_qp.state.lock() == QpState::Destroyed {
+            return Err(VerbsError::PeerGone);
+        }
+        peer_qp.recv_q.push(Ok(IbMessage {
+            tag,
+            body,
+            wire_bytes,
+        }));
+        Ok(())
+    }
+
+    /// Receive the next message on this QP (blocking).
+    pub fn recv(&self, ctx: &Ctx) -> Result<IbMessage, VerbsError> {
+        if *self.shared.state.lock() == QpState::Destroyed {
+            return Err(VerbsError::Destroyed);
+        }
+        self.shared.recv_q.pop(ctx)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Result<IbMessage, VerbsError>> {
+        self.shared.recv_q.try_pop()
+    }
+
+    /// Number of undelivered messages queued on this QP.
+    pub fn pending(&self) -> usize {
+        self.shared.recv_q.len()
+    }
+
+    /// One-sided RDMA Read: pull `[offset, offset+len)` from `remote`.
+    /// Validates the rkey both before and after the bulk transfer — a key
+    /// revoked mid-transfer poisons the read, modelling the staleness
+    /// hazard the paper's Phase 1 eliminates by releasing keys first.
+    pub fn rdma_read(
+        &self,
+        ctx: &Ctx,
+        remote: &RemoteMr,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<DataSlice>, VerbsError> {
+        let _peer = self.connected_peer()?;
+        let my_node = self.shared.addr.node;
+        // request packet
+        ctx.sleep(self.fabric.inner.cfg.net.latency);
+        self.fabric.checked_mr(remote.node, remote.rkey, offset, len)?;
+        // bulk flows from the remote node to us
+        self.fabric
+            .inner
+            .net
+            .wire_delay(ctx, remote.node, my_node, len + MSG_HEADER_BYTES)?;
+        let buf = self.fabric.checked_mr(remote.node, remote.rkey, offset, len)?;
+        let slices = buf.lock().read(offset, len);
+        Ok(slices)
+    }
+
+    /// One-sided RDMA Write: push `data` into `[offset, ...)` at `remote`.
+    pub fn rdma_write(
+        &self,
+        ctx: &Ctx,
+        remote: &RemoteMr,
+        offset: u64,
+        data: Vec<DataSlice>,
+    ) -> Result<(), VerbsError> {
+        let _peer = self.connected_peer()?;
+        let my_node = self.shared.addr.node;
+        let len = crate::payload::total_len(&data);
+        self.fabric.checked_mr(remote.node, remote.rkey, offset, len)?;
+        self.fabric
+            .inner
+            .net
+            .wire_delay(ctx, my_node, remote.node, len + MSG_HEADER_BYTES)?;
+        let buf = self.fabric.checked_mr(remote.node, remote.rkey, offset, len)?;
+        let mut buf = buf.lock();
+        let mut cursor = offset;
+        for s in data {
+            let l = s.len;
+            buf.write(cursor, s);
+            cursor += l;
+        }
+        Ok(())
+    }
+
+    /// Destroy the QP: peers' sends fail, local blocked receivers wake
+    /// with [`VerbsError::Destroyed`].
+    pub fn destroy(&self) {
+        let mut st = self.shared.state.lock();
+        if *st == QpState::Destroyed {
+            return;
+        }
+        *st = QpState::Destroyed;
+        drop(st);
+        // Wake any receiver parked on the queue.
+        self.shared.recv_q.push(Err(VerbsError::Destroyed));
+    }
+
+    /// Whether the QP has been destroyed.
+    pub fn is_destroyed(&self) -> bool {
+        *self.shared.state.lock() == QpState::Destroyed
+    }
+}

@@ -1,0 +1,200 @@
+//! Datagram network behaviour + property tests for the sparse buffer
+//! against a naive byte-vector reference model.
+
+use ibfabric::{DataSlice, Net, NetConfig, NetError, NodeId, SparseBuf};
+use proptest::prelude::*;
+use simkit::dur::*;
+use simkit::Simulation;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn datagram_delivery_and_latency() {
+    let mut sim = Simulation::new(0);
+    let net = Net::new(&sim.handle(), NetConfig::gige());
+    net.add_node(NodeId(0));
+    net.add_node(NodeId(1));
+    let inbox = net.bind(NodeId(1), 7000);
+    let got = Arc::new(AtomicU64::new(0));
+    let g2 = got.clone();
+    sim.spawn("rx", move |ctx| {
+        let dg = inbox.pop(ctx);
+        assert_eq!(dg.from, (NodeId(0), 9));
+        g2.store(ctx.now().as_micros(), Ordering::SeqCst);
+    });
+    let n2 = net.clone();
+    sim.spawn("tx", move |ctx| {
+        n2.send_to(ctx, (NodeId(0), 9), (NodeId(1), 7000), Box::new("hi"), 200)
+            .unwrap();
+    });
+    sim.run().unwrap();
+    // 60 µs latency + 200 B / 110 MB/s ≈ 62 µs
+    let t = got.load(Ordering::SeqCst);
+    assert!((60..70).contains(&t), "delivered at {t} us");
+}
+
+#[test]
+fn send_to_unbound_port_errors_after_wire_time() {
+    let mut sim = Simulation::new(0);
+    let net = Net::new(&sim.handle(), NetConfig::gige());
+    net.add_node(NodeId(0));
+    net.add_node(NodeId(1));
+    sim.spawn("tx", move |ctx| {
+        match net.send_to(ctx, (NodeId(0), 1), (NodeId(1), 5), Box::new(()), 10) {
+            Err(NetError::PortClosed(n, p)) => {
+                assert_eq!((n, p), (NodeId(1), 5));
+            }
+            other => panic!("expected PortClosed, got {other:?}"),
+        }
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn send_to_unknown_node_errors() {
+    let mut sim = Simulation::new(0);
+    let net = Net::new(&sim.handle(), NetConfig::gige());
+    net.add_node(NodeId(0));
+    sim.spawn("tx", move |ctx| {
+        assert!(matches!(
+            net.send_to(ctx, (NodeId(0), 1), (NodeId(9), 5), Box::new(()), 10),
+            Err(NetError::NoSuchNode(NodeId(9)))
+        ));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn loopback_skips_links() {
+    let mut sim = Simulation::new(0);
+    let net = Net::new(&sim.handle(), NetConfig::gige());
+    net.add_node(NodeId(0));
+    let inbox = net.bind(NodeId(0), 80);
+    let n2 = net.clone();
+    sim.spawn("self", move |ctx| {
+        n2.send_to(ctx, (NodeId(0), 1), (NodeId(0), 80), Box::new(1u8), 1 << 20)
+            .unwrap();
+        // loopback latency only (15 µs), not 1 MB / 110 MB/s ≈ 9.5 ms
+        assert!(ctx.now().as_micros() < 100);
+        assert!(inbox.try_pop().is_some());
+    });
+    sim.run().unwrap();
+    assert_eq!(net.tx_bytes(NodeId(0)), 0);
+}
+
+#[test]
+fn byte_accounting_on_ports() {
+    let mut sim = Simulation::new(0);
+    let net = Net::new(&sim.handle(), NetConfig::gige());
+    net.add_node(NodeId(0));
+    net.add_node(NodeId(1));
+    net.bind(NodeId(1), 1);
+    let n2 = net.clone();
+    sim.spawn("tx", move |ctx| {
+        n2.send_to(ctx, (NodeId(0), 0), (NodeId(1), 1), Box::new(()), 5000)
+            .unwrap();
+    });
+    sim.run().unwrap();
+    assert_eq!(net.tx_bytes(NodeId(0)), 5000);
+    assert_eq!(net.rx_bytes(NodeId(1)), 5000);
+}
+
+// ---------------------------------------------------------------------------
+// SparseBuf property tests vs a Vec<u8> reference model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    WriteBytes { offset: u64, data: Vec<u8> },
+    WritePattern { offset: u64, seed: u64, poff: u64, len: u64 },
+    Read { offset: u64, len: u64 },
+}
+
+const BUF_LEN: u64 = 256;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..BUF_LEN, proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(o, d)| {
+            let o = o.min(BUF_LEN.saturating_sub(d.len() as u64));
+            Op::WriteBytes { offset: o, data: d }
+        }),
+        (0..BUF_LEN, any::<u64>(), 0..1000u64, 0..64u64).prop_map(|(o, s, p, l)| {
+            let l = l.min(BUF_LEN - o);
+            Op::WritePattern {
+                offset: o,
+                seed: s,
+                poff: p,
+                len: l,
+            }
+        }),
+        (0..BUF_LEN, 0..BUF_LEN).prop_map(|(o, l)| {
+            let l = l.min(BUF_LEN - o);
+            Op::Read { offset: o, len: l }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sparsebuf_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut buf = SparseBuf::new(BUF_LEN);
+        let mut model = vec![0u8; BUF_LEN as usize];
+        for op in ops {
+            match op {
+                Op::WriteBytes { offset, data } => {
+                    model[offset as usize..offset as usize + data.len()]
+                        .copy_from_slice(&data);
+                    buf.write(offset, DataSlice::bytes(data));
+                }
+                Op::WritePattern { offset, seed, poff, len } => {
+                    for i in 0..len {
+                        model[(offset + i) as usize] = ibfabric::pattern_byte(seed, poff + i);
+                    }
+                    buf.write(offset, DataSlice::pattern(seed, poff, len));
+                }
+                Op::Read { offset, len } => {
+                    let slices = buf.read(offset, len);
+                    prop_assert_eq!(ibfabric::total_len(&slices), len);
+                    let mut flat = Vec::new();
+                    for s in &slices {
+                        flat.extend_from_slice(&s.to_bytes());
+                    }
+                    prop_assert_eq!(&flat[..], &model[offset as usize..(offset + len) as usize]);
+                }
+            }
+        }
+        // final full-buffer audit byte by byte
+        for i in 0..BUF_LEN {
+            prop_assert_eq!(buf.byte_at(i), model[i as usize]);
+        }
+    }
+
+    #[test]
+    fn dataslice_slice_consistency(start in 0u64..100, len in 0u64..100, seed in any::<u64>()) {
+        let base = DataSlice::pattern(seed, 37, 200);
+        let len = len.min(200 - start);
+        let sub = base.slice(start, len);
+        for i in 0..len {
+            prop_assert_eq!(sub.byte_at(i), base.byte_at(start + i));
+        }
+    }
+}
+
+#[test]
+fn wire_delay_blocks_for_expected_duration() {
+    let mut sim = Simulation::new(0);
+    let net = Net::new(&sim.handle(), NetConfig::ib_ddr());
+    net.add_node(NodeId(0));
+    net.add_node(NodeId(1));
+    sim.spawn("t", move |ctx| {
+        let t0 = ctx.now();
+        net.wire_delay(ctx, NodeId(0), NodeId(1), 14_000_000).unwrap();
+        let dt = (ctx.now() - t0).as_secs_f64();
+        // 14 MB / 1.4 GB/s = 10 ms + 2 µs latency
+        assert!((dt - 0.010002).abs() < 1e-5, "took {dt}");
+    });
+    sim.run().unwrap();
+    sim.spawn("sleep-tail", |ctx| ctx.sleep(ms(1)));
+}

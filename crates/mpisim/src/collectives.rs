@@ -1,0 +1,96 @@
+//! Collective operations over point-to-point messaging.
+//!
+//! Built with binomial trees on system tags. Every collective takes an
+//! `epoch` (typically the application's iteration number) that namespaces
+//! its internal tags so consecutive collectives cannot cross-match.
+//! Internal sends/receives are ordinary replay-safe ops, so a collective
+//! interrupted by a migration resumes exactly where it stopped.
+
+use crate::rank::MpiRank;
+use simkit::Ctx;
+
+/// Top bit marks system (collective-internal) tags.
+const SYS: u64 = 1 << 63;
+
+fn sys_tag(epoch: u64, op: u64, stage: u64) -> u64 {
+    SYS | (op << 56) | ((epoch & 0xFFFF_FFFF) << 16) | (stage & 0xFFFF)
+}
+
+const OP_BARRIER: u64 = 1;
+const OP_REDUCE: u64 = 2;
+const OP_BCAST: u64 = 3;
+
+impl MpiRank {
+    /// Synchronise all ranks (binomial gather to rank 0, then broadcast).
+    pub fn barrier(&mut self, ctx: &Ctx, epoch: u64) {
+        self.reduce_to_root(ctx, epoch, OP_BARRIER, 8);
+        self.bcast_from_root(ctx, epoch, OP_BARRIER, 8);
+    }
+
+    /// Allreduce of a `bytes`-sized contribution (reduce to rank 0 +
+    /// broadcast of the result).
+    pub fn allreduce(&mut self, ctx: &Ctx, epoch: u64, bytes: u64) {
+        self.reduce_to_root(ctx, epoch, OP_REDUCE, bytes);
+        self.bcast_from_root(ctx, epoch, OP_REDUCE, bytes);
+    }
+
+    /// Broadcast `bytes` from rank 0 to everyone.
+    pub fn bcast(&mut self, ctx: &Ctx, epoch: u64, bytes: u64) {
+        self.bcast_from_root(ctx, epoch, OP_BCAST, bytes);
+    }
+
+    /// Binomial-tree reduction toward rank 0. At each doubling stage a
+    /// rank either receives from its partner or sends and drops out.
+    fn reduce_to_root(&mut self, ctx: &Ctx, epoch: u64, op: u64, bytes: u64) {
+        let size = self.size() as u64;
+        let rank = self.rank() as u64;
+        let mut mask = 1u64;
+        let mut stage = 0u64;
+        while mask < size {
+            if rank & (mask - 1) == 0 {
+                let partner = rank ^ mask;
+                if partner < size {
+                    if rank & mask == 0 {
+                        self.recv(ctx, partner as u32, sys_tag(epoch, op, stage));
+                    } else {
+                        self.send(ctx, partner as u32, sys_tag(epoch, op, stage), bytes);
+                        break;
+                    }
+                }
+            }
+            mask <<= 1;
+            stage += 1;
+        }
+    }
+
+    /// Binomial-tree broadcast from rank 0 (mirror of the reduction).
+    fn bcast_from_root(&mut self, ctx: &Ctx, epoch: u64, op: u64, bytes: u64) {
+        let size = self.size() as u64;
+        let rank = self.rank() as u64;
+        // Highest power of two < 2*size: walk masks downward.
+        let mut mask = 1u64;
+        while mask < size {
+            mask <<= 1;
+        }
+        mask >>= 1;
+        let mut stage = 100u64; // disjoint stage space from the reduce
+        let mut received = rank == 0;
+        while mask > 0 {
+            if rank & (mask - 1) == 0 {
+                let partner = rank ^ mask;
+                if partner < size {
+                    if rank & mask == 0 {
+                        if received {
+                            self.send(ctx, partner as u32, sys_tag(epoch, op, stage), bytes);
+                        }
+                    } else if !received {
+                        self.recv(ctx, partner as u32, sys_tag(epoch, op, stage), );
+                        received = true;
+                    }
+                }
+            }
+            mask >>= 1;
+            stage += 1;
+        }
+    }
+}

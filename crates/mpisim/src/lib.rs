@@ -1,0 +1,36 @@
+//! # mpisim — a mini-MPI runtime over the simulated InfiniBand fabric
+//!
+//! Models the slice of MVAPICH2 the paper's migration framework lives in:
+//!
+//! * **Point-to-point** messaging with MVAPICH2's two protocols: *eager*
+//!   (small messages buffered at the receiver) and *rendezvous* (RTS/CTS
+//!   handshake, then a bulk RDMA transfer) — selected by an eager
+//!   threshold.
+//! * **Collectives** (barrier, broadcast, allreduce, neighbour exchange)
+//!   built over point-to-point with system tags.
+//! * The **checkpoint/restart protocol hooks** of MVAPICH2's C/R
+//!   framework, which the paper's Phase 1 and Phase 4 execute:
+//!   [`RankCr::suspend_and_drain`] closes the communication gate, drains
+//!   in-flight wire traffic, and tears down endpoints (destroying QPs and
+//!   deregistering MRs so no stale rkey survives);
+//!   [`RankCr::rebuild_endpoints`] re-registers memory and reconnects QPs
+//!   after the migration barrier.
+//!
+//! ## Replay-safe operations
+//!
+//! A migrated process restarts from its BLCR image, which in this
+//! simulation restores *logical* application state (iteration counters
+//! etc.) rather than a thread snapshot. To make re-execution of the
+//! interrupted iteration exact, every MPI/compute operation carries an
+//! intra-iteration sequence number; the count of completed operations is
+//! part of the checkpointed state, and a restarted rank *skips* operations
+//! it already completed (their effects — delivered messages, computed
+//! memory — are in the image). The application marks iteration boundaries
+//! with [`MpiRank::op_boundary`]. See `DESIGN.md` §2.
+
+mod collectives;
+mod job;
+mod rank;
+
+pub use job::{JobStats, MpiConfig, MpiJob};
+pub use rank::{CrMeta, MpiRank, RankCr, RankId, TeardownReport};

@@ -1,0 +1,480 @@
+//! Per-rank state and operations: point-to-point protocols, the
+//! suspend/drain/teardown/rebuild cycle, and checkpoint metadata.
+
+use crate::job::MpiJob;
+use blcrsim::Segment;
+use bytes::Bytes;
+use ibfabric::{Mr, NodeId, Qp, QpAddr};
+use parking_lot::Mutex;
+use simkit::{Ctx, Event, Gate, Queue, SimHandle};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// An MPI rank number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RankId(pub u32);
+
+const WIRE_HDR: u64 = 64;
+
+/// A message token in a rank's matching layer.
+pub(crate) enum Arrival {
+    /// Eager-protocol message, fully buffered at the receiver.
+    Eager {
+        bytes: u64,
+        /// Delivery instant — rollback recovery discards tokens delivered
+        /// after the checkpoint's consistent cut.
+        delivered_at: simkit::SimTime,
+    },
+    /// Rendezvous request-to-send awaiting a matching receive.
+    Rts {
+        src: u32,
+        bytes: u64,
+        /// Set by the receiver once its clear-to-send is on the wire.
+        cts: Event,
+        /// Set by the sender once the bulk transfer has landed.
+        bulk_done: Event,
+    },
+}
+
+pub(crate) struct Endpoints {
+    mr: Mr,
+    qps: Vec<Qp>,
+}
+
+/// Rank state that **survives migration**: the matching layer, logical
+/// application state, and replay counters. Endpoint state (QPs, MRs) is
+/// per-node-incarnation and lives in `endpoints`.
+pub(crate) struct RankShared {
+    pub rank: u32,
+    pub node: Mutex<NodeId>,
+    queues: Mutex<HashMap<(u32, u64), Queue<Arrival>>>,
+    /// Open while communication is allowed; closed during a
+    /// checkpoint/migration cycle.
+    pub gate: Gate,
+    endpoints: Mutex<Option<Endpoints>>,
+    /// Ops to skip on replay after a restart.
+    pub skip: Mutex<u64>,
+    /// Ops completed since the last `op_boundary`.
+    pub completed_in_iter: Mutex<u64>,
+    /// Serialized application state as of the last `op_boundary`.
+    pub app_state: Mutex<Bytes>,
+    /// The application's memory footprint (checkpointed bulk data).
+    pub segments: Mutex<Vec<Segment>>,
+}
+
+impl RankShared {
+    pub(crate) fn new(handle: &SimHandle, rank: u32, node: NodeId, app_state: Bytes) -> Self {
+        RankShared {
+            rank,
+            node: Mutex::new(node),
+            queues: Mutex::new(HashMap::new()),
+            gate: Gate::new(handle, false), // closed until endpoints built
+            endpoints: Mutex::new(None),
+            skip: Mutex::new(0),
+            completed_in_iter: Mutex::new(0),
+            app_state: Mutex::new(app_state),
+            segments: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn queue(&self, handle: &SimHandle, src: u32, tag: u64) -> Queue<Arrival> {
+        self.queues
+            .lock()
+            .entry((src, tag))
+            .or_insert_with(|| Queue::new(handle))
+            .clone()
+    }
+
+    pub(crate) fn enqueue(&self, handle: &SimHandle, src: u32, tag: u64, arrival: Arrival) {
+        self.queue(handle, src, tag).push(arrival);
+    }
+
+    pub(crate) fn purge_rts_from(&self, sender: u32) {
+        let queues = self.queues.lock();
+        for ((src, _), q) in queues.iter() {
+            if *src == sender {
+                q.retain(|a| !matches!(a, Arrival::Rts { .. }));
+            }
+        }
+    }
+
+    /// Rollback recovery: drop every unmatched rendezvous token (both
+    /// sides re-execute the handshake) and every eager token delivered
+    /// after the consistent cut (the sender re-sends it).
+    pub(crate) fn purge_rollback(&self, cut: simkit::SimTime) {
+        let queues = self.queues.lock();
+        for q in queues.values() {
+            q.retain(|a| match a {
+                Arrival::Rts { .. } => false,
+                Arrival::Eager { delivered_at, .. } => *delivered_at <= cut,
+            });
+        }
+    }
+}
+
+/// What a teardown released (Phase 1 accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeardownReport {
+    /// Queue pairs destroyed.
+    pub qps_destroyed: usize,
+    /// Memory regions deregistered (rkeys invalidated).
+    pub mrs_deregistered: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Application-thread handle
+// ---------------------------------------------------------------------------
+
+/// The handle an application thread uses for MPI operations.
+///
+/// Operations are *replay-safe*: each carries an intra-iteration sequence
+/// number, and after a restart the first `skip` operations of the
+/// interrupted iteration are no-ops (their effects are in the restored
+/// image). Call [`MpiRank::op_boundary`] at each application safe point.
+pub struct MpiRank {
+    job: MpiJob,
+    shared: Arc<RankShared>,
+    ops_this_iter: u64,
+}
+
+impl MpiRank {
+    pub(crate) fn new(job: MpiJob, shared: Arc<RankShared>) -> Self {
+        MpiRank {
+            job,
+            shared,
+            ops_this_iter: 0,
+        }
+    }
+
+    /// This rank's number.
+    pub fn rank(&self) -> u32 {
+        self.shared.rank
+    }
+
+    /// Job size (number of ranks).
+    pub fn size(&self) -> u32 {
+        self.job.size()
+    }
+
+    /// The node this rank currently runs on.
+    pub fn node(&self) -> NodeId {
+        *self.shared.node.lock()
+    }
+
+    /// The job handle.
+    pub fn job(&self) -> &MpiJob {
+        &self.job
+    }
+
+    /// Current serialized application state.
+    pub fn app_state(&self) -> Bytes {
+        self.shared.app_state.lock().clone()
+    }
+
+    /// Replace the application's registered memory segments (the bulk
+    /// data a checkpoint captures).
+    pub fn set_segments(&self, segments: Vec<Segment>) {
+        *self.shared.segments.lock() = segments;
+    }
+
+    /// Returns true when the op with the sequence number being issued must
+    /// actually execute (false = already completed before the restart).
+    fn begin_op(&mut self) -> bool {
+        let seq = self.ops_this_iter;
+        self.ops_this_iter += 1;
+        seq >= *self.shared.skip.lock()
+    }
+
+    fn end_op(&self) {
+        *self.shared.completed_in_iter.lock() += 1;
+    }
+
+    /// Mark an application safe point: persist `state` as the new logical
+    /// application state and reset replay counters.
+    pub fn op_boundary(&mut self, state: Bytes) {
+        *self.shared.app_state.lock() = state;
+        *self.shared.skip.lock() = 0;
+        *self.shared.completed_in_iter.lock() = 0;
+        self.ops_this_iter = 0;
+    }
+
+    /// A compute phase of `d` (interruptible; re-executed if a migration
+    /// interrupts it).
+    pub fn compute(&mut self, ctx: &Ctx, d: Duration) {
+        if !self.begin_op() {
+            return;
+        }
+        ctx.sleep(d);
+        self.end_op();
+    }
+
+    /// Blocking send of `bytes` to `to` with `tag`. Eager below the
+    /// threshold, RTS/CTS rendezvous above it.
+    pub fn send(&mut self, ctx: &Ctx, to: u32, tag: u64, bytes: u64) {
+        assert_ne!(to, self.shared.rank, "send to self");
+        if !self.begin_op() {
+            return;
+        }
+        self.shared.gate.wait(ctx);
+        let eager = bytes <= self.job.config().eager_threshold;
+        let drain = &self.job.inner.drain;
+        if eager {
+            drain.inc();
+            let from = *self.shared.node.lock();
+            let to_node = self.job.rank_node(to);
+            self.wire(ctx, from, to_node, bytes + WIRE_HDR);
+            self.job.deliver(
+                to,
+                self.shared.rank,
+                tag,
+                Arrival::Eager {
+                    bytes,
+                    delivered_at: ctx.now(),
+                },
+            );
+            self.job.record_message(bytes, false);
+            self.end_op();
+            drain.dec();
+        } else {
+            let h = &self.job.inner.handle;
+            let cts = Event::new(h, "cts");
+            let bulk_done = Event::new(h, "bulk");
+            // RTS control message (in-flight while on the wire).
+            drain.inc();
+            let from = *self.shared.node.lock();
+            let to_node = self.job.rank_node(to);
+            self.wire(ctx, from, to_node, WIRE_HDR);
+            self.job.deliver(
+                to,
+                self.shared.rank,
+                tag,
+                Arrival::Rts {
+                    src: self.shared.rank,
+                    bytes,
+                    cts: cts.clone(),
+                    bulk_done: bulk_done.clone(),
+                },
+            );
+            drain.dec();
+            // Park (not in-flight) until the receiver matches.
+            cts.wait(ctx);
+            // Bulk RDMA transfer, with node placement looked up afresh —
+            // the receiver may have migrated while we were parked.
+            drain.inc();
+            let from = *self.shared.node.lock();
+            let to_node = self.job.rank_node(to);
+            self.wire(ctx, from, to_node, bytes + WIRE_HDR);
+            self.job.record_message(bytes, true);
+            self.end_op();
+            bulk_done.set();
+            drain.dec();
+        }
+    }
+
+    /// Blocking receive from `from` with `tag`; returns the payload size.
+    /// A replay-skipped receive returns 0 (its data is already in the
+    /// restored image).
+    pub fn recv(&mut self, ctx: &Ctx, from: u32, tag: u64) -> u64 {
+        assert_ne!(from, self.shared.rank, "recv from self");
+        if !self.begin_op() {
+            return 0;
+        }
+        self.shared.gate.wait(ctx);
+        let q = self
+            .shared
+            .queue(&self.job.inner.handle, from, tag);
+        match q.pop(ctx) {
+            Arrival::Eager { bytes, .. } => {
+                self.end_op();
+                bytes
+            }
+            Arrival::Rts {
+                bytes,
+                cts,
+                bulk_done,
+                src,
+            } => {
+                // Matched rendezvous: completes even during a drain — this
+                // IS the draining of an in-flight message.
+                let drain = &self.job.inner.drain;
+                drain.inc();
+                let my = *self.shared.node.lock();
+                let sender_node = self.job.rank_node(src);
+                self.wire(ctx, my, sender_node, WIRE_HDR); // CTS
+                cts.set();
+                bulk_done.wait(ctx);
+                self.end_op();
+                drain.dec();
+                bytes
+            }
+        }
+    }
+
+    /// Deadlock-free paired exchange with `peer`: the lower rank sends
+    /// first. Returns the received byte count.
+    pub fn exchange(&mut self, ctx: &Ctx, peer: u32, tag: u64, bytes: u64) -> u64 {
+        if self.shared.rank < peer {
+            self.send(ctx, peer, tag, bytes);
+            self.recv(ctx, peer, tag)
+        } else {
+            let got = self.recv(ctx, peer, tag);
+            self.send(ctx, peer, tag, bytes);
+            got
+        }
+    }
+
+    fn wire(&self, ctx: &Ctx, from: NodeId, to: NodeId, bytes: u64) {
+        self.job
+            .fabric()
+            .net()
+            .wire_delay(ctx, from, to, bytes)
+            .expect("fabric wire failure");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// C/R-thread handle
+// ---------------------------------------------------------------------------
+
+/// Checkpoint metadata captured from (or restored into) a rank.
+#[derive(Debug, Clone)]
+pub struct CrMeta {
+    /// Serialized application state at the last safe point.
+    pub app_state: Bytes,
+    /// Ops completed past that safe point (replay skip count).
+    pub completed_ops: u64,
+    /// The rank's memory segments.
+    pub segments: Vec<Segment>,
+}
+
+/// The per-rank handle used by the C/R thread (and the migration
+/// framework) — MVAPICH2's checkpoint hooks.
+pub struct RankCr {
+    job: MpiJob,
+    shared: Arc<RankShared>,
+}
+
+impl RankCr {
+    pub(crate) fn new(job: MpiJob, shared: Arc<RankShared>) -> Self {
+        RankCr { job, shared }
+    }
+
+    /// The rank number.
+    pub fn rank(&self) -> u32 {
+        self.shared.rank
+    }
+
+    /// Phase-1 per-rank work: close the communication gate, run the
+    /// pairwise channel flush, wait for the job-wide drain, then tear down
+    /// endpoints (destroying QPs and invalidating rkeys).
+    pub fn suspend_and_drain(&self, ctx: &Ctx) -> TeardownReport {
+        self.shared.gate.close();
+        // pairwise flush exchange with every peer
+        let peers = self.job.size().saturating_sub(1);
+        ctx.sleep(self.job.config().drain_per_peer * peers);
+        // Job-wide drain with a settle re-check: a matched rendezvous may
+        // chain CTS/bulk transfers through a momentary zero.
+        loop {
+            self.job.drain_wait(ctx);
+            ctx.sleep(Duration::from_micros(10));
+            if self.job.inflight() == 0 {
+                break;
+            }
+        }
+        self.teardown(ctx)
+    }
+
+    /// Destroy this rank's endpoints without draining (used on the
+    /// failure path, where the node is simply gone).
+    pub fn teardown(&self, ctx: &Ctx) -> TeardownReport {
+        let eps = self.shared.endpoints.lock().take();
+        match eps {
+            Some(eps) => {
+                for qp in &eps.qps {
+                    ctx.sleep(self.job.config().qp_destroy);
+                    qp.destroy();
+                }
+                eps.mr.deregister();
+                TeardownReport {
+                    qps_destroyed: eps.qps.len(),
+                    mrs_deregistered: 1,
+                }
+            }
+            None => TeardownReport {
+                qps_destroyed: 0,
+                mrs_deregistered: 0,
+            },
+        }
+    }
+
+    /// Phase-4 per-rank work: re-register the communication buffer MR and
+    /// re-establish one QP per peer. `timed` charges the real costs
+    /// (startup uses `false`, resume uses `true`).
+    pub fn rebuild_endpoints(&self, ctx: &Ctx, timed: bool) {
+        let node = *self.shared.node.lock();
+        let hca = self.job.fabric().attach(node);
+        let mr = if timed {
+            hca.register_mr(ctx, self.job.config().comm_buf_bytes)
+        } else {
+            hca.register_mr_instant(self.job.config().comm_buf_bytes)
+        };
+        let mut qps = Vec::with_capacity(self.job.size() as usize - 1);
+        for peer in 0..self.job.size() {
+            if peer == self.shared.rank {
+                continue;
+            }
+            let qp = hca.create_qp();
+            if timed {
+                // Address info is exchanged out of band by the launcher;
+                // the CM handshake cost is what matters here.
+                let peer_addr = QpAddr {
+                    node: self.job.rank_node(peer),
+                    qpn: u32::MAX, // OOB-exchanged peer QPN (opaque here)
+                };
+                qp.connect(ctx, peer_addr).expect("qp connect");
+            }
+            qps.push(qp);
+        }
+        *self.shared.endpoints.lock() = Some(Endpoints { mr, qps });
+    }
+
+    /// Whether endpoints currently exist.
+    pub fn has_endpoints(&self) -> bool {
+        self.shared.endpoints.lock().is_some()
+    }
+
+    /// Reopen the communication gate (end of Phase 4).
+    pub fn reopen(&self) {
+        self.shared.gate.open();
+    }
+
+    /// Force the communication gate closed without draining (failure
+    /// path: the processes are gone, nothing to drain).
+    pub fn close_gate(&self) {
+        self.shared.gate.close();
+    }
+
+    /// Whether the gate is open.
+    pub fn is_open(&self) -> bool {
+        self.shared.gate.is_open()
+    }
+
+    /// Capture checkpoint metadata (Phase 2, on the migration source).
+    pub fn capture_meta(&self) -> CrMeta {
+        CrMeta {
+            app_state: self.shared.app_state.lock().clone(),
+            completed_ops: *self.shared.completed_in_iter.lock(),
+            segments: self.shared.segments.lock().clone(),
+        }
+    }
+
+    /// Restore checkpoint metadata into the rank before its new
+    /// application thread starts (Phase 3, on the migration target).
+    pub fn restore_meta(&self, meta: CrMeta) {
+        *self.shared.app_state.lock() = meta.app_state;
+        *self.shared.skip.lock() = meta.completed_ops;
+        *self.shared.completed_in_iter.lock() = meta.completed_ops;
+        *self.shared.segments.lock() = meta.segments;
+    }
+}

@@ -1,0 +1,600 @@
+//! The event-heap scheduler and the cooperative-thread machinery.
+//!
+//! # Scheduling model
+//!
+//! Every blocked process has at most one *canonical wake*: an entry in the
+//! global timer heap identified by a sequence number stored in the process
+//! slot (`pending_seq`). Waking, retiming and killing all go through the
+//! same mechanism — push a fresh timer and overwrite `pending_seq` — so
+//! stale heap entries are recognised and skipped when popped. This gives a
+//! single, easily-audited source of truth for "who runs next" and makes the
+//! simulation deterministic: ties at equal virtual time are broken by
+//! insertion sequence.
+//!
+//! # Thread handoff
+//!
+//! Each simulated process is an OS thread parked on a private rendezvous
+//! channel. The scheduler resumes exactly one process and then blocks until
+//! that process yields (by blocking in a primitive or finishing), so at most
+//! one simulated process executes at any wall-clock instant.
+
+use crate::error::{Killed, SimError};
+use crate::process::{Ctx, ProcHandle};
+use crate::time::SimTime;
+use crate::trace::Tracer;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread;
+
+/// Identifier of a simulated process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+impl std::fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Timer {
+    time: SimTime,
+    seq: u64,
+    pid: u32,
+}
+
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// How a process finished, reported through the yield channel.
+pub(crate) enum Fin {
+    Ok,
+    Killed,
+    Panic(String),
+}
+
+pub(crate) struct YieldMsg {
+    pub pid: u32,
+    pub finished: Option<Fin>,
+}
+
+struct Slot {
+    name: String,
+    resume_tx: SyncSender<()>,
+    join: Option<thread::JoinHandle<()>>,
+    dead: bool,
+    killed: bool,
+    daemon: bool,
+    /// Sequence number of the canonical pending wake timer, if any.
+    pending_seq: Option<u64>,
+    /// Processes blocked in `join()` on this process.
+    join_waiters: Vec<u32>,
+}
+
+pub(crate) struct KState {
+    now: SimTime,
+    next_seq: u64,
+    next_pid: u32,
+    heap: BinaryHeap<Reverse<Timer>>,
+    procs: HashMap<u32, Slot>,
+    rng: StdRng,
+}
+
+/// Shared kernel: the scheduler state plus the yield channel sender handed
+/// to every process thread.
+pub(crate) struct Kernel {
+    pub(crate) st: Mutex<KState>,
+    pub(crate) yield_tx: Sender<YieldMsg>,
+    pub(crate) tracer: Tracer,
+}
+
+impl Kernel {
+    pub(crate) fn now(&self) -> SimTime {
+        self.st.lock().now
+    }
+
+    /// Push a fresh canonical wake for `pid` at `time` (replacing any
+    /// pending one). No-op on dead processes. Returns whether a wake was
+    /// actually scheduled.
+    pub(crate) fn schedule_wake(&self, pid: ProcId, time: SimTime) -> bool {
+        let mut st = self.st.lock();
+        let time = time.max(st.now);
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let Some(slot) = st.procs.get_mut(&pid.0) else {
+            return false;
+        };
+        if slot.dead {
+            return false;
+        }
+        slot.pending_seq = Some(seq);
+        st.heap.push(Reverse(Timer { time, seq, pid: pid.0 }));
+        true
+    }
+
+    /// Wake `pid` at the current instant. Returns false if it is dead.
+    pub(crate) fn wake_now(&self, pid: ProcId) -> bool {
+        let now = self.now();
+        self.schedule_wake(pid, now)
+    }
+
+    /// Mark `pid` killed and schedule an immediate wake so it unwinds.
+    pub(crate) fn kill(&self, pid: ProcId) {
+        {
+            let mut st = self.st.lock();
+            match st.procs.get_mut(&pid.0) {
+                Some(s) if !s.dead => s.killed = true,
+                _ => return,
+            }
+        }
+        self.wake_now(pid);
+        self.tracer.rec(self.now(), Some(pid), "killed");
+    }
+
+    pub(crate) fn is_killed(&self, pid: ProcId) -> bool {
+        self.st
+            .lock()
+            .procs
+            .get(&pid.0)
+            .map(|s| s.killed)
+            .unwrap_or(true)
+    }
+
+    pub(crate) fn is_dead(&self, pid: ProcId) -> bool {
+        self.st
+            .lock()
+            .procs
+            .get(&pid.0)
+            .map(|s| s.dead)
+            .unwrap_or(true)
+    }
+
+    /// Register `waiter` to be woken when `target` dies. Returns `false`
+    /// (and does not register) if the target is already dead.
+    pub(crate) fn add_join_waiter(&self, target: ProcId, waiter: ProcId) -> bool {
+        let mut st = self.st.lock();
+        match st.procs.get_mut(&target.0) {
+            Some(s) if !s.dead => {
+                s.join_waiters.push(waiter.0);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    pub(crate) fn with_rng<R>(&self, f: impl FnOnce(&mut StdRng) -> R) -> R {
+        f(&mut self.st.lock().rng)
+    }
+
+    pub(crate) fn proc_name(&self, pid: ProcId) -> String {
+        self.st
+            .lock()
+            .procs
+            .get(&pid.0)
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| "<gone>".into())
+    }
+
+    /// Spawn a new simulated process; it will first run at the current
+    /// virtual instant, after already-scheduled same-time timers.
+    pub(crate) fn spawn_inner(
+        self: &Arc<Self>,
+        name: &str,
+        daemon: bool,
+        f: impl FnOnce(&Ctx) + Send + 'static,
+    ) -> ProcHandle {
+        let (resume_tx, resume_rx) = sync_channel::<()>(1);
+        let pid = {
+            let mut st = self.st.lock();
+            let pid = st.next_pid;
+            st.next_pid += 1;
+            st.procs.insert(
+                pid,
+                Slot {
+                    name: name.to_string(),
+                    resume_tx,
+                    join: None,
+                    dead: false,
+                    killed: false,
+                    daemon,
+                    pending_seq: None,
+                    join_waiters: Vec::new(),
+                },
+            );
+            pid
+        };
+        let pid = ProcId(pid);
+        let kernel = Arc::clone(self);
+        let yield_tx = self.yield_tx.clone();
+        let tname = format!("sim:{name}");
+        let jh = thread::Builder::new()
+            .name(tname)
+            .stack_size(512 * 1024)
+            .spawn(move || {
+                // Wait for the first baton handoff.
+                if resume_rx.recv().is_err() {
+                    return; // simulation torn down before we ever ran
+                }
+                let ctx = Ctx::new(Arc::clone(&kernel), pid, resume_rx);
+                let fin = if kernel.is_killed(pid) {
+                    Fin::Killed
+                } else {
+                    match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                        Ok(()) => Fin::Ok,
+                        Err(p) if p.is::<Killed>() => Fin::Killed,
+                        Err(p) => Fin::Panic(panic_message(&*p)),
+                    }
+                };
+                let _ = yield_tx.send(YieldMsg {
+                    pid: pid.0,
+                    finished: Some(fin),
+                });
+            })
+            .expect("failed to spawn simulation process thread");
+        {
+            let mut st = self.st.lock();
+            st.procs.get_mut(&pid.0).unwrap().join = Some(jh);
+        }
+        self.schedule_wake(pid, self.now());
+        self.tracer.rec(self.now(), Some(pid), &format!("spawned '{name}'"));
+        ProcHandle::new(pid, Arc::clone(self))
+    }
+
+    /// Mark a process dead and wake anyone joined on it. Returns its name.
+    fn finish_proc(&self, pid: u32) -> (String, Vec<u32>) {
+        let mut st = self.st.lock();
+        let slot = st.procs.get_mut(&pid).expect("finish of unknown proc");
+        slot.dead = true;
+        slot.pending_seq = None;
+        let name = slot.name.clone();
+        let waiters = std::mem::take(&mut slot.join_waiters);
+        (name, waiters)
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A cloneable handle onto a running (or not-yet-run) simulation.
+///
+/// `SimHandle` is how code *outside* a process context (test setup, the main
+/// thread between [`Simulation::run_until`] calls) and primitives interact
+/// with the kernel: reading the clock, spawning processes, killing them,
+/// tracing.
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) kernel: Arc<Kernel>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Spawn a process that participates in deadlock detection.
+    pub fn spawn(&self, name: &str, f: impl FnOnce(&Ctx) + Send + 'static) -> ProcHandle {
+        self.kernel.spawn_inner(name, false, f)
+    }
+
+    /// Spawn a *daemon* process: a service that legitimately blocks forever
+    /// (e.g. an FTB agent waiting for events) and is ignored by deadlock
+    /// detection and by [`Simulation::run`] completion.
+    pub fn spawn_daemon(&self, name: &str, f: impl FnOnce(&Ctx) + Send + 'static) -> ProcHandle {
+        self.kernel.spawn_inner(name, true, f)
+    }
+
+    /// Kill a process: it unwinds at its next (or current) blocking call.
+    pub fn kill(&self, pid: ProcId) {
+        self.kernel.kill(pid)
+    }
+
+    /// Whether the process has terminated (finished, killed, or panicked).
+    pub fn is_dead(&self, pid: ProcId) -> bool {
+        self.kernel.is_dead(pid)
+    }
+
+    /// Draw from the simulation-global deterministic RNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut StdRng) -> R) -> R {
+        self.kernel.with_rng(f)
+    }
+
+    /// Append a trace record (no-op unless tracing is enabled).
+    pub fn trace(&self, msg: &str) {
+        self.kernel.tracer.rec(self.now(), None, msg);
+    }
+
+    /// Access the tracer (enable, drain records).
+    pub fn tracer(&self) -> &Tracer {
+        &self.kernel.tracer
+    }
+}
+
+enum StepResult {
+    Ran,
+    Quiescent,
+    LimitReached,
+}
+
+/// Outcome of [`Simulation::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The heap drained: nothing left to do before (or after) the limit.
+    Quiescent,
+    /// The time limit was reached with future work still pending.
+    LimitReached,
+}
+
+/// A discrete-event simulation: owns the scheduler loop.
+///
+/// Construct with [`Simulation::new`], spawn processes, then drive with
+/// [`Simulation::run`] (to quiescence) or [`Simulation::run_until`].
+pub struct Simulation {
+    kernel: Arc<Kernel>,
+    yield_rx: Receiver<YieldMsg>,
+    /// Set once a process panic has aborted the run; further use is a bug.
+    poisoned: bool,
+}
+
+impl Simulation {
+    /// Create a simulation whose RNG is seeded with `seed`. Identical seeds
+    /// and identical process logic produce identical event sequences.
+    pub fn new(seed: u64) -> Self {
+        // Kill-unwinds are routine control flow here; stop the default
+        // panic hook from spamming stderr with them (installed once).
+        static HOOK: std::sync::Once = std::sync::Once::new();
+        HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().is::<Killed>() {
+                    return;
+                }
+                prev(info);
+            }));
+        });
+        let (yield_tx, yield_rx) = channel();
+        let kernel = Arc::new(Kernel {
+            st: Mutex::new(KState {
+                now: SimTime::ZERO,
+                next_seq: 0,
+                next_pid: 0,
+                heap: BinaryHeap::new(),
+                procs: HashMap::new(),
+                rng: StdRng::seed_from_u64(seed),
+            }),
+            yield_tx,
+            tracer: Tracer::new(),
+        });
+        Simulation {
+            kernel,
+            yield_rx,
+            poisoned: false,
+        }
+    }
+
+    /// A cloneable handle for spawning/killing/tracing.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            kernel: Arc::clone(&self.kernel),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Spawn a process (see [`SimHandle::spawn`]).
+    pub fn spawn(&self, name: &str, f: impl FnOnce(&Ctx) + Send + 'static) -> ProcHandle {
+        self.handle().spawn(name, f)
+    }
+
+    /// Spawn a daemon process (see [`SimHandle::spawn_daemon`]).
+    pub fn spawn_daemon(&self, name: &str, f: impl FnOnce(&Ctx) + Send + 'static) -> ProcHandle {
+        self.handle().spawn_daemon(name, f)
+    }
+
+    /// Run until `event` fires. Use this to drive simulations containing
+    /// perpetual daemons (heartbeats, monitors) that would otherwise keep
+    /// the heap non-empty forever. Errors if the heap drains or the clock
+    /// passes `limit` without the event firing.
+    pub fn run_until_set(
+        &mut self,
+        event: &crate::sync::Event,
+        limit: SimTime,
+    ) -> Result<(), SimError> {
+        loop {
+            if event.is_set() {
+                return Ok(());
+            }
+            match self.step_one(limit)? {
+                StepResult::Ran => continue,
+                StepResult::Quiescent | StepResult::LimitReached => {
+                    if event.is_set() {
+                        return Ok(());
+                    }
+                    let st = self.kernel.st.lock();
+                    let blocked: Vec<(ProcId, String)> = st
+                        .procs
+                        .iter()
+                        .filter(|(_, s)| !s.dead && !s.daemon)
+                        .map(|(pid, s)| (ProcId(*pid), s.name.clone()))
+                        .collect();
+                    return Err(SimError::Deadlock {
+                        at: st.now,
+                        blocked,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Run until the event heap drains. Returns an error on protocol
+    /// deadlock (non-daemon processes blocked forever) or a process panic.
+    pub fn run(&mut self) -> Result<(), SimError> {
+        self.drive(SimTime::MAX)?;
+        // Heap drained: any live, blocked, non-daemon process is deadlocked.
+        let st = self.kernel.st.lock();
+        let blocked: Vec<(ProcId, String)> = st
+            .procs
+            .iter()
+            .filter(|(_, s)| !s.dead && !s.daemon)
+            .map(|(pid, s)| (ProcId(*pid), s.name.clone()))
+            .collect();
+        if blocked.is_empty() {
+            Ok(())
+        } else {
+            let mut blocked = blocked;
+            blocked.sort_by_key(|(p, _)| *p);
+            Err(SimError::Deadlock {
+                at: st.now,
+                blocked,
+            })
+        }
+    }
+
+    /// Run until virtual time `limit` (inclusive of events at `limit`).
+    /// On success the clock reads exactly `limit` unless the heap drained
+    /// earlier (then it reads the last event time).
+    pub fn run_until(&mut self, limit: SimTime) -> Result<RunOutcome, SimError> {
+        let outcome = self.drive(limit)?;
+        if outcome == RunOutcome::LimitReached {
+            let mut st = self.kernel.st.lock();
+            st.now = limit;
+        }
+        Ok(outcome)
+    }
+
+    /// Run for `d` more virtual time from the current instant.
+    pub fn run_for(&mut self, d: std::time::Duration) -> Result<RunOutcome, SimError> {
+        let limit = self.now() + d;
+        self.run_until(limit)
+    }
+
+    fn drive(&mut self, limit: SimTime) -> Result<RunOutcome, SimError> {
+        loop {
+            match self.step_one(limit)? {
+                StepResult::Ran => {}
+                StepResult::Quiescent => return Ok(RunOutcome::Quiescent),
+                StepResult::LimitReached => return Ok(RunOutcome::LimitReached),
+            }
+        }
+    }
+
+    /// Process a single scheduler event (one baton handoff).
+    fn step_one(&mut self, limit: SimTime) -> Result<StepResult, SimError> {
+        assert!(!self.poisoned, "simulation used after a process panic");
+        // Pop the next valid timer (skipping stale entries).
+        let (pid, resume_tx) = {
+            let mut st = self.kernel.st.lock();
+            loop {
+                match st.heap.peek() {
+                    None => return Ok(StepResult::Quiescent),
+                    Some(Reverse(t)) if t.time > limit => {
+                        return Ok(StepResult::LimitReached)
+                    }
+                    Some(_) => {}
+                }
+                let Reverse(t) = st.heap.pop().unwrap();
+                let valid = st
+                    .procs
+                    .get(&t.pid)
+                    .map(|s| !s.dead && s.pending_seq == Some(t.seq))
+                    .unwrap_or(false);
+                if valid {
+                    st.now = t.time;
+                    let slot = st.procs.get_mut(&t.pid).unwrap();
+                    slot.pending_seq = None;
+                    break (ProcId(t.pid), slot.resume_tx.clone());
+                }
+            }
+        };
+        // Hand the baton to the process and wait for it to yield.
+        resume_tx
+            .send(())
+            .expect("process thread vanished while scheduled");
+        let msg = self
+            .yield_rx
+            .recv()
+            .expect("yield channel closed unexpectedly");
+        debug_assert_eq!(msg.pid, pid.0, "yield from unexpected process");
+        if let Some(fin) = msg.finished {
+            let (name, waiters) = self.kernel.finish_proc(msg.pid);
+            for w in waiters {
+                self.kernel.wake_now(ProcId(w));
+            }
+            match fin {
+                Fin::Ok => self.kernel.tracer.rec(self.now(), Some(pid), "finished"),
+                Fin::Killed => self
+                    .kernel
+                    .tracer
+                    .rec(self.now(), Some(pid), "died (killed)"),
+                Fin::Panic(message) => {
+                    self.poisoned = true;
+                    return Err(SimError::ProcPanic { pid, name, message });
+                }
+            }
+            // Reap the thread: it has sent its final yield and is exiting.
+            let jh = {
+                let mut st = self.kernel.st.lock();
+                st.procs.get_mut(&msg.pid).and_then(|s| s.join.take())
+            };
+            if let Some(jh) = jh {
+                let _ = jh.join();
+            }
+        }
+        Ok(StepResult::Ran)
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Kill every live process, release each thread so it unwinds, then
+        // join them all. Threads may briefly run concurrently during this
+        // teardown; no simulation state advances.
+        let victims: Vec<(u32, SyncSender<()>, Option<thread::JoinHandle<()>>)> = {
+            let mut st = self.kernel.st.lock();
+            st.procs
+                .iter_mut()
+                .filter(|(_, s)| !s.dead)
+                .map(|(pid, s)| {
+                    s.killed = true;
+                    (*pid, s.resume_tx.clone(), s.join.take())
+                })
+                .collect()
+        };
+        for (_, tx, _) in &victims {
+            let _ = tx.send(());
+        }
+        // Drain final yields so senders don't block, then join.
+        for _ in 0..victims.len() {
+            let _ = self.yield_rx.recv();
+        }
+        for (_, _, jh) in victims {
+            if let Some(jh) = jh {
+                let _ = jh.join();
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-process execution context.
+
+use crate::error::Killed;
+use crate::kernel::{Kernel, ProcId, SimHandle, YieldMsg};
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The execution context handed to every simulated process body.
+///
+/// A `Ctx` is unique to its process thread; blocking calls
+/// ([`Ctx::sleep`], [`Event::wait`](crate::Event::wait), [`Queue::pop`](crate::Queue::pop),
+/// [`Link::transfer`](crate::Link::transfer), ...)
+/// may only be made through it. All blocking calls are kill points: if the
+/// process has been killed they unwind with a [`Killed`] payload.
+pub struct Ctx {
+    kernel: Arc<Kernel>,
+    pid: ProcId,
+    resume_rx: Receiver<()>,
+}
+
+impl Ctx {
+    pub(crate) fn new(kernel: Arc<Kernel>, pid: ProcId, resume_rx: Receiver<()>) -> Self {
+        Ctx {
+            kernel,
+            pid,
+            resume_rx,
+        }
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// This process's name.
+    pub fn name(&self) -> String {
+        self.kernel.proc_name(self.pid)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// A cloneable kernel handle (for spawning, killing, constructing
+    /// primitives).
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            kernel: Arc::clone(&self.kernel),
+        }
+    }
+
+    /// Spawn a child process (not a daemon).
+    pub fn spawn(&self, name: &str, f: impl FnOnce(&Ctx) + Send + 'static) -> ProcHandle {
+        self.handle().spawn(name, f)
+    }
+
+    /// Spawn a daemon process (exempt from deadlock detection).
+    pub fn spawn_daemon(&self, name: &str, f: impl FnOnce(&Ctx) + Send + 'static) -> ProcHandle {
+        self.handle().spawn_daemon(name, f)
+    }
+
+    /// Advance virtual time by `d`. A zero-duration sleep still yields,
+    /// letting other processes scheduled at the same instant run first.
+    pub fn sleep(&self, d: Duration) {
+        self.check_killed();
+        let when = self.kernel.now() + d;
+        self.kernel.schedule_wake(self.pid, when);
+        self.block();
+    }
+
+    /// Block until `target` has terminated. Returns immediately if it is
+    /// already dead.
+    pub fn join(&self, target: &ProcHandle) {
+        self.check_killed();
+        loop {
+            if !self.kernel.add_join_waiter(target.pid(), self.pid) {
+                return; // already dead
+            }
+            self.block();
+            if self.kernel.is_dead(target.pid()) {
+                return;
+            }
+        }
+    }
+
+    /// Draw from the simulation-global deterministic RNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut StdRng) -> R) -> R {
+        self.kernel.with_rng(f)
+    }
+
+    /// Append a trace record attributed to this process.
+    pub fn trace(&self, msg: &str) {
+        self.kernel.tracer.rec(self.now(), Some(self.pid), msg);
+    }
+
+    /// Terminate this process immediately (clean voluntary exit via the
+    /// kill-unwind path).
+    pub fn exit(&self) -> ! {
+        std::panic::panic_any(Killed { pid: self.pid });
+    }
+
+    /// Unwind with [`Killed`] if this process has been killed. All blocking
+    /// primitives call this; long compute-only loops may call it to poll.
+    pub fn check_killed(&self) {
+        if self.kernel.is_killed(self.pid) {
+            std::panic::panic_any(Killed { pid: self.pid });
+        }
+    }
+
+    /// Yield the baton and park until the canonical wake fires.
+    ///
+    /// The caller must have *already registered* its wake condition (a
+    /// timer via `schedule_wake`, or membership in a primitive's waiter
+    /// list). Checks the kill flag on resume.
+    pub(crate) fn block(&self) {
+        self.kernel
+            .yield_tx
+            .send(YieldMsg {
+                pid: self.pid.0,
+                finished: None,
+            })
+            .expect("scheduler gone while process running");
+        self.resume_rx
+            .recv()
+            .expect("scheduler dropped resume channel");
+        self.check_killed();
+    }
+
+}
+
+/// Handle to a spawned process: query liveness, kill it, or `join` it from
+/// another process via [`Ctx::join`].
+#[derive(Clone)]
+pub struct ProcHandle {
+    pid: ProcId,
+    kernel: Arc<Kernel>,
+}
+
+impl ProcHandle {
+    pub(crate) fn new(pid: ProcId, kernel: Arc<Kernel>) -> Self {
+        ProcHandle { pid, kernel }
+    }
+
+    /// The process id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// Whether the process has terminated.
+    pub fn is_dead(&self) -> bool {
+        self.kernel.is_dead(self.pid)
+    }
+
+    /// Kill the process (it unwinds at its next blocking call).
+    pub fn kill(&self) {
+        self.kernel.kill(self.pid)
+    }
+}
+
+impl std::fmt::Debug for ProcHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProcHandle({:?})", self.pid)
+    }
+}

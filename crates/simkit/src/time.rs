@@ -1,0 +1,166 @@
+//! Virtual-time instants.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant on the simulation clock, measured in nanoseconds since the
+/// start of the simulation.
+///
+/// `SimTime` is an absolute instant; spans of virtual time are expressed as
+/// ordinary [`std::time::Duration`] values. The nanosecond `u64` range
+/// covers ~584 years of virtual time, far beyond any experiment here.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// An instant `n` nanoseconds after the epoch.
+    pub const fn from_nanos(n: u64) -> Self {
+        SimTime(n)
+    }
+
+    /// An instant `s` (fractional) seconds after the epoch.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "invalid SimTime seconds: {s}");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the epoch (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since the epoch (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since the epoch as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self` (clock cannot run backwards).
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: `earlier` is in the future"),
+        )
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: Duration) -> SimTime {
+        let dn: u64 = d
+            .as_nanos()
+            .try_into()
+            .expect("duration too large for SimTime");
+        SimTime(self.0.checked_add(dn).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == u64::MAX {
+            write!(f, "never")
+        } else if ns >= 1_000_000_000 {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_since_roundtrip() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + Duration::from_micros(1500);
+        assert_eq!(t1.as_nanos(), 1_500_000);
+        assert_eq!(t1.since(t0), Duration::from_micros(1500));
+        assert_eq!(t1 - t0, Duration::from_micros(1500));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(SimTime::from_secs_f64(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn since_panics_on_backwards() {
+        SimTime::ZERO.since(SimTime::from_nanos(1));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimTime::from_nanos(5)), "5ns");
+        assert_eq!(format!("{}", SimTime::from_nanos(5_000)), "5.000us");
+        assert_eq!(format!("{}", SimTime::from_nanos(5_000_000)), "5.000ms");
+        assert_eq!(
+            format!("{}", SimTime::from_nanos(5_000_000_000)),
+            "5.000000s"
+        );
+        assert_eq!(format!("{}", SimTime::MAX), "never");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimTime::MAX > SimTime::from_secs_f64(1e9));
+    }
+
+    #[test]
+    fn saturating_add_caps() {
+        let t = SimTime::MAX.saturating_add(Duration::from_secs(1));
+        assert_eq!(t, SimTime::MAX);
+    }
+}

@@ -1,0 +1,114 @@
+//! Lightweight execution tracing for debugging protocol interactions.
+
+use crate::kernel::ProcId;
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A single trace record.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Virtual time of the record.
+    pub time: SimTime,
+    /// Process the record is attributed to, if any.
+    pub pid: Option<ProcId>,
+    /// Free-form message.
+    pub msg: String,
+}
+
+/// Collects [`TraceRecord`]s when enabled; optionally echoes them to stderr
+/// as they are produced (useful when a test deadlocks before it can drain).
+///
+/// Disabled by default; recording is a single relaxed atomic load when off.
+pub struct Tracer {
+    enabled: AtomicBool,
+    echo: AtomicBool,
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl Tracer {
+    pub(crate) fn new() -> Self {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            echo: AtomicBool::new(false),
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Turn record collection on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Also print each record to stderr as it is recorded.
+    pub fn set_echo(&self, on: bool) {
+        self.echo.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether collection is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn rec(&self, time: SimTime, pid: Option<ProcId>, msg: &str) {
+        let enabled = self.enabled.load(Ordering::Relaxed);
+        let echo = self.echo.load(Ordering::Relaxed);
+        if !enabled && !echo {
+            return;
+        }
+        if echo {
+            match pid {
+                Some(p) => eprintln!("[{time}] {p:?}: {msg}"),
+                None => eprintln!("[{time}] {msg}"),
+            }
+        }
+        if enabled {
+            self.records.lock().push(TraceRecord {
+                time,
+                pid,
+                msg: msg.to_string(),
+            });
+        }
+    }
+
+    /// Remove and return all collected records.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut *self.records.lock())
+    }
+
+    /// Number of collected records.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether no records have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        t.rec(SimTime::ZERO, None, "hello");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_collects_and_drains() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.rec(SimTime::from_nanos(5), Some(ProcId(3)), "a");
+        t.rec(SimTime::from_nanos(9), None, "b");
+        assert_eq!(t.len(), 2);
+        let recs = t.drain();
+        assert_eq!(recs[0].msg, "a");
+        assert_eq!(recs[0].pid, Some(ProcId(3)));
+        assert_eq!(recs[1].time.as_nanos(), 9);
+        assert!(t.is_empty());
+    }
+}

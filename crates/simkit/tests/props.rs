@@ -1,0 +1,144 @@
+//! Property tests of kernel invariants: work conservation of processor
+//! sharing, semaphore accounting, countdown latches, determinism under
+//! random schedules.
+
+use proptest::prelude::*;
+use simkit::dur::*;
+use simkit::{Countdown, Link, Semaphore, Sharing, SimTime, Simulation};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Processor sharing is work-conserving: when all flows arrive at
+    /// t=0 on a Fair link, the last completion is exactly
+    /// total_bytes / capacity.
+    #[test]
+    fn fair_link_is_work_conserving(
+        sizes in proptest::collection::vec(1_000u64..10_000_000, 1..10),
+        cap_mb in 1u64..2000,
+    ) {
+        let cap = cap_mb as f64 * 1e6;
+        let mut sim = Simulation::new(0);
+        let link = Link::new(&sim.handle(), "l", cap, Sharing::Fair);
+        let last = Arc::new(AtomicU64::new(0));
+        for (i, bytes) in sizes.iter().copied().enumerate() {
+            let l = link.clone();
+            let last = last.clone();
+            sim.spawn(&format!("f{i}"), move |ctx| {
+                l.transfer(ctx, bytes);
+                last.fetch_max(ctx.now().as_nanos(), Ordering::SeqCst);
+            });
+        }
+        sim.run().unwrap();
+        let total: u64 = sizes.iter().sum();
+        let expect = total as f64 / cap;
+        let got = last.load(Ordering::SeqCst) as f64 / 1e9;
+        prop_assert!((got - expect).abs() < expect * 1e-6 + 1e-6,
+            "last completion {got} vs work-conservation bound {expect}");
+    }
+
+    /// With staggered arrivals, every flow finishes no earlier than its
+    /// solo time and no earlier than the work-conservation bound of the
+    /// flows that arrived before or with it.
+    #[test]
+    fn fair_link_respects_solo_lower_bound(
+        flows in proptest::collection::vec((0u64..1000u64, 1_000u64..5_000_000), 1..8),
+    ) {
+        let cap = 100e6;
+        let mut sim = Simulation::new(0);
+        let link = Link::new(&sim.handle(), "l", cap, Sharing::Fair);
+        let viol = Arc::new(AtomicU64::new(0));
+        for (i, (start_ms, bytes)) in flows.iter().copied().enumerate() {
+            let l = link.clone();
+            let viol = viol.clone();
+            sim.spawn(&format!("f{i}"), move |ctx| {
+                ctx.sleep(ms(start_ms));
+                let t0 = ctx.now();
+                l.transfer(ctx, bytes);
+                let took = (ctx.now() - t0).as_secs_f64();
+                let solo = bytes as f64 / cap;
+                if took + 1e-9 < solo {
+                    viol.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+        sim.run().unwrap();
+        prop_assert_eq!(viol.load(Ordering::SeqCst), 0, "flow beat its solo time");
+    }
+
+    /// Semaphore: after any acquire/release workload completes, the
+    /// permit count is restored and no waiter is stranded.
+    #[test]
+    fn semaphore_conserves_permits(
+        ops in proptest::collection::vec((1u64..4, 0u64..300), 1..20),
+        permits in 1u64..6,
+    ) {
+        let mut sim = Simulation::new(0);
+        let sem = Semaphore::new(&sim.handle(), permits);
+        for (i, (n, hold_us)) in ops.iter().copied().enumerate() {
+            let n = n.min(permits); // never request more than exist
+            let s = sem.clone();
+            sim.spawn(&format!("u{i}"), move |ctx| {
+                s.acquire(ctx, n);
+                ctx.sleep(us(hold_us));
+                s.release(n);
+            });
+        }
+        sim.run().unwrap();
+        prop_assert_eq!(sem.available(), permits);
+        prop_assert_eq!(sem.waiting(), 0);
+    }
+
+    /// Countdown latches release everyone exactly when the last arrival
+    /// happens, regardless of arrival order.
+    #[test]
+    fn countdown_releases_at_last_arrival(
+        delays in proptest::collection::vec(0u64..1000, 2..10),
+    ) {
+        let mut sim = Simulation::new(0);
+        let n = delays.len() as u64;
+        let cd = Countdown::new(&sim.handle(), "cd", n);
+        let max_delay = *delays.iter().max().unwrap();
+        let released_at = Arc::new(AtomicU64::new(u64::MAX));
+        for (i, d) in delays.iter().copied().enumerate() {
+            let cd = cd.clone();
+            let rel = released_at.clone();
+            sim.spawn(&format!("p{i}"), move |ctx| {
+                ctx.sleep(us(d));
+                cd.arrive_and_wait(ctx);
+                rel.fetch_min(ctx.now().as_micros(), Ordering::SeqCst);
+            });
+        }
+        sim.run().unwrap();
+        prop_assert!(cd.is_done());
+        prop_assert_eq!(released_at.load(Ordering::SeqCst), max_delay);
+    }
+
+    /// Full determinism under arbitrary random workloads: two runs with
+    /// the same seed produce the same final clock.
+    #[test]
+    fn random_workload_is_deterministic(seed in any::<u64>()) {
+        fn run(seed: u64) -> SimTime {
+            let mut sim = Simulation::new(seed);
+            let link = Link::new(&sim.handle(), "l", 50e6, Sharing::Degraded { alpha: 0.2 });
+            for i in 0..6 {
+                let l = link.clone();
+                sim.spawn(&format!("w{i}"), move |ctx| {
+                    for _ in 0..4 {
+                        let (d, b) = ctx.with_rng(|r| {
+                            (rand::Rng::gen_range(r, 0..5000u64),
+                             rand::Rng::gen_range(r, 1000..2_000_000u64))
+                        });
+                        ctx.sleep(us(d));
+                        l.transfer(ctx, b);
+                    }
+                });
+            }
+            sim.run().unwrap();
+            sim.now()
+        }
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

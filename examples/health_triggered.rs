@@ -1,0 +1,74 @@
+//! Proactive fault tolerance end to end: an IPMI-style health monitor on
+//! one compute node watches a deteriorating temperature sensor, the trend
+//! predictor publishes `HEALTH_PREDICT` on the FTB backplane, and the Job
+//! Manager migrates the node's eight MPI processes to the hot spare —
+//! before the node ever reaches its critical threshold.
+//!
+//! Run with: `cargo run --release --example health_triggered`
+
+use ftb::FtbClient;
+use healthmon::{MonitorConfig, SensorKind, SensorProfile};
+use jobmig_core::prelude::*;
+use jobmig_core::runtime::JobSpec;
+use npbsim::{NpbApp, NpbClass, Workload};
+use simkit::{SimTime, Simulation};
+use std::time::Duration;
+
+fn main() {
+    let mut sim = Simulation::new(99);
+    let cluster = Cluster::build(&sim.handle(), ClusterSpec::paper_testbed());
+    let workload = Workload::new(NpbApp::Bt, NpbClass::C, 64);
+    let mut spec = JobSpec::npb(workload.clone(), 8);
+    spec.auto_migrate_on_health = true;
+    let rt = JobRuntime::launch(&cluster, spec);
+
+    // Deploy health monitors on every compute node. Node 3's CPU fan is
+    // failing: its temperature starts climbing 40 s into the run.
+    let sick = cluster.compute_nodes()[2];
+    for node in cluster.compute_nodes() {
+        let client = FtbClient::connect(cluster.ftb(), *node, "ipmi-monitor");
+        let profiles = if *node == sick {
+            vec![
+                SensorProfile::deteriorating(
+                    SensorKind::TemperatureC,
+                    60.0,
+                    0.5,
+                    Duration::from_secs(40),
+                    0.4, // +0.4 °C/s → critical (90 °C) at t ≈ 115 s
+                ),
+                SensorProfile::deteriorating(
+                    SensorKind::FanRpm,
+                    8000.0,
+                    120.0,
+                    Duration::from_secs(40),
+                    -35.0,
+                ),
+            ]
+        } else {
+            vec![
+                SensorProfile::healthy(SensorKind::TemperatureC, 55.0, 1.5),
+                SensorProfile::healthy(SensorKind::FanRpm, 8000.0, 120.0),
+            ]
+        };
+        healthmon::spawn_monitor(&sim.handle(), *node, profiles, client, MonitorConfig::default());
+    }
+
+    println!(
+        "running {} with a failing fan on {sick}; prediction horizon {}s",
+        workload.name(),
+        MonitorConfig::default().horizon.as_secs()
+    );
+    sim.run_until_set(rt.completion(), SimTime::MAX).expect("simulation");
+
+    println!("application completed at t = {}", sim.now());
+    let reports = rt.migration_reports();
+    assert_eq!(reports.len(), 1, "the predictor should fire exactly once");
+    for r in &reports {
+        println!("{r}");
+    }
+    println!(
+        "node {sick} is now {}, spare count {}",
+        rt.nla_state(sick).unwrap(),
+        rt.spares_left()
+    );
+}

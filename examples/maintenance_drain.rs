@@ -1,0 +1,51 @@
+//! Operator-driven migration: the paper's design "also enables direct
+//! user intervention to trigger a migration, such as for load-balancing
+//! or system maintenance purposes". Here an administrator drains two
+//! compute nodes one after the other (e.g. for a firmware update) while a
+//! 64-rank SP.C job keeps running.
+//!
+//! Run with: `cargo run --release --example maintenance_drain`
+
+use jobmig_core::prelude::*;
+use jobmig_core::runtime::JobSpec;
+use npbsim::{NpbApp, NpbClass, Workload};
+use simkit::{dur, SimTime, Simulation};
+
+fn main() {
+    let mut sim = Simulation::new(7);
+    // Two spares so both nodes can be drained.
+    let mut cspec = ClusterSpec::paper_testbed();
+    cspec.spare_nodes = 2;
+    let cluster = Cluster::build(&sim.handle(), cspec);
+    let workload = Workload::new(NpbApp::Sp, NpbClass::C, 64);
+    let rt = JobRuntime::launch(&cluster, JobSpec::npb(workload.clone(), 8));
+
+    let first = cluster.compute_nodes()[4];
+    let second = cluster.compute_nodes()[5];
+    println!(
+        "running {}; maintenance drain of {first} at t=25s and {second} at t=80s",
+        workload.name()
+    );
+
+    let rt2 = rt.clone();
+    sim.handle().spawn_daemon("operator", move |ctx| {
+        ctx.sleep(dur::secs(25));
+        println!("[t={}] operator: draining {first}", ctx.now());
+        rt2.trigger_migration(Some(first));
+        ctx.sleep(dur::secs(55));
+        println!("[t={}] operator: draining {second}", ctx.now());
+        rt2.trigger_migration(Some(second));
+    });
+
+    sim.run_until_set(rt.completion(), SimTime::MAX).expect("simulation");
+
+    println!("application completed at t = {}", sim.now());
+    for r in rt.migration_reports() {
+        println!("{r}");
+    }
+    for node in [first, second] {
+        println!("{node}: {}", rt.nla_state(node).unwrap());
+    }
+    assert_eq!(rt.migration_reports().len(), 2);
+    assert_eq!(rt.spares_left(), 0);
+}

@@ -1,0 +1,17 @@
+//! # rdma-jobmig — facade crate
+//!
+//! Re-exports the whole workspace: the simulation kernel, the InfiniBand
+//! fabric, storage and BLCR models, the FTB backplane, the mini-MPI
+//! runtime, NPB workloads, health monitoring, and the job migration
+//! framework itself. See `README.md` for the tour and `DESIGN.md` for the
+//! architecture.
+
+pub use blcrsim;
+pub use ftb;
+pub use healthmon;
+pub use ibfabric;
+pub use jobmig_core as core;
+pub use mpisim;
+pub use npbsim;
+pub use simkit;
+pub use storesim;

@@ -1,0 +1,104 @@
+//! Cross-crate health pipeline: sensors → predictor → FTB → Job Manager
+//! → migration, plus reactive behaviour on an unpredicted critical event.
+
+use rdma_jobmig::core::prelude::*;
+use rdma_jobmig::core::runtime::JobSpec;
+use rdma_jobmig::ftb::FtbClient;
+use rdma_jobmig::healthmon::{MonitorConfig, SensorKind, SensorProfile};
+use rdma_jobmig::npbsim::{NpbApp, NpbClass, Workload};
+use rdma_jobmig::simkit::{SimTime, Simulation};
+use std::time::Duration;
+
+fn launch(sim: &Simulation) -> (Cluster, JobRuntime) {
+    let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
+    let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);
+    let mut spec = JobSpec::npb(wl, 2);
+    spec.auto_migrate_on_health = true;
+    let rt = JobRuntime::launch(&cluster, spec);
+    (cluster, rt)
+}
+
+#[test]
+fn slow_ecc_degradation_is_predicted_and_migrated() {
+    let mut sim = Simulation::new(31);
+    let (cluster, rt) = launch(&sim);
+    let sick = cluster.compute_nodes()[1];
+    let client = FtbClient::connect(cluster.ftb(), sick, "ipmi");
+    rdma_jobmig::healthmon::spawn_monitor(
+        &sim.handle(),
+        sick,
+        vec![SensorProfile::deteriorating(
+            SensorKind::EccPerWindow,
+            0.5,
+            0.3,
+            Duration::from_secs(30),
+            0.8, // +0.8 errors/s → critical (40) at ~t+50 s
+        )],
+        client,
+        MonitorConfig::default(),
+    );
+    sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
+    let reports = rt.migration_reports();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].source, sick);
+}
+
+#[test]
+fn sudden_critical_event_still_triggers() {
+    // A fan that collapses too fast for much of a trend still produces a
+    // HEALTH_CRITICAL event, which the bridge also migrates on.
+    let mut sim = Simulation::new(32);
+    let (cluster, rt) = launch(&sim);
+    let sick = cluster.compute_nodes()[0];
+    let client = FtbClient::connect(cluster.ftb(), sick, "ipmi");
+    rdma_jobmig::healthmon::spawn_monitor(
+        &sim.handle(),
+        sick,
+        vec![SensorProfile::deteriorating(
+            SensorKind::FanRpm,
+            8000.0,
+            50.0,
+            Duration::from_secs(40),
+            -2000.0, // full collapse within ~3 s
+        )],
+        client,
+        MonitorConfig {
+            // long horizon disabled: force the reactive (critical) path
+            horizon: Duration::from_millis(1),
+            ..MonitorConfig::default()
+        },
+    );
+    sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
+    let reports = rt.migration_reports();
+    assert_eq!(reports.len(), 1, "critical event must trigger migration");
+    assert_eq!(reports[0].source, sick);
+}
+
+#[test]
+fn two_sick_nodes_one_spare_degrades_gracefully() {
+    let mut sim = Simulation::new(33);
+    let (cluster, rt) = launch(&sim); // 1 spare only
+    for node in cluster.compute_nodes() {
+        let client = FtbClient::connect(cluster.ftb(), *node, "ipmi");
+        rdma_jobmig::healthmon::spawn_monitor(
+            &sim.handle(),
+            *node,
+            vec![SensorProfile::deteriorating(
+                SensorKind::TemperatureC,
+                60.0,
+                0.5,
+                Duration::from_secs(20 + node.0 as u64 * 10),
+                0.6,
+            )],
+            client,
+            MonitorConfig::default(),
+        );
+    }
+    sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
+    assert!(rt.is_complete());
+    // one migration succeeded; the other node's alerts (prediction, then
+    // the critical crossing) found no spare left
+    assert_eq!(rt.migration_reports().len(), 1);
+    assert!(rt.failed_triggers() >= 1);
+    assert_eq!(rt.spares_left(), 0);
+}
