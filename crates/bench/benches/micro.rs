@@ -50,7 +50,10 @@ fn bench_sparsebuf(c: &mut Criterion) {
         b.iter(|| {
             let mut buf = SparseBuf::new(1 << 30);
             for i in 0..1000u64 {
-                buf.write((i * 37) % ((1 << 30) - 4096), DataSlice::pattern(i, 0, 4096));
+                buf.write(
+                    (i * 37) % ((1 << 30) - 4096),
+                    DataSlice::pattern(i, 0, 4096),
+                );
             }
             black_box(buf.extent_count())
         })
@@ -58,8 +61,10 @@ fn bench_sparsebuf(c: &mut Criterion) {
 }
 
 fn bench_ckpt_stream(c: &mut Criterion) {
-    let img = blcrsim::ProcessImage::new(1, &b"state"[..])
-        .with_segment(blcrsim::SegmentKind::Heap, DataSlice::pattern(7, 0, 1 << 30));
+    let img = blcrsim::ProcessImage::new(1, &b"state"[..]).with_segment(
+        blcrsim::SegmentKind::Heap,
+        DataSlice::pattern(7, 0, 1 << 30),
+    );
     c.bench_function("blcrsim/serialize_parse_1GB_image", |b| {
         b.iter(|| {
             let stream = blcrsim::serialize_image(&img);
@@ -113,7 +118,12 @@ fn bench_ftb(c: &mut Criterion) {
                 for k in 0..100 {
                     client.publish(
                         ctx,
-                        ftb::FtbEvent::simple("S", &format!("E{k}"), ftb::Severity::Info, NodeId(5)),
+                        ftb::FtbEvent::simple(
+                            "S",
+                            &format!("E{k}"),
+                            ftb::Severity::Info,
+                            NodeId(5),
+                        ),
                     );
                 }
             });
@@ -131,7 +141,8 @@ fn bench_migration_cycle(c: &mut Criterion) {
             let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
             let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);
             let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2));
-            rt.trigger_migration_after(dur::secs(10));
+            rt.control()
+                .migrate_after(dur::secs(10), MigrationRequest::new());
             let rt2 = rt.clone();
             while rt2.migration_reports().is_empty() {
                 sim.run_for(dur::secs(5)).unwrap();

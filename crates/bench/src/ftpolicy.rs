@@ -77,7 +77,8 @@ pub fn run_scenario(scenario: &Scenario) -> Outcome {
                 return;
             }
             if !down_p.load(std::sync::atomic::Ordering::Relaxed) {
-                rt2.trigger_checkpoint(CrStoreKind::LocalExt3);
+                rt2.control()
+                    .checkpoint(CheckpointRequest::to(CrStoreKind::LocalExt3));
             }
             ctx.sleep(interval);
         }
@@ -101,7 +102,7 @@ pub fn run_scenario(scenario: &Scenario) -> Outcome {
             if f.predicted && scn.migrate_on_prediction && rt3.spares_left() > 0 {
                 // Proactive path: the prediction arrives in time; the job
                 // keeps running while the node is drained.
-                rt3.trigger_migration(None);
+                rt3.control().migrate(MigrationRequest::new());
                 m2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             } else {
                 // Crash path: the job dies *now*, waits in the
@@ -115,7 +116,7 @@ pub fn run_scenario(scenario: &Scenario) -> Outcome {
                     .map(|r| r.cycle)
                     .expect("a checkpoint must exist before the first crash");
                 ctx.sleep(scn.queue_delay);
-                rt3.trigger_restart_from(last_ckpt);
+                rt3.control().restart_from_checkpoint(last_ckpt);
                 // wait until the restart has actually completed
                 loop {
                     ctx.sleep(dur::secs(1));

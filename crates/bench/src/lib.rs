@@ -30,7 +30,10 @@ fn paper_cluster(sim: &Simulation) -> Cluster {
 pub fn run_until_pred(sim: &mut Simulation, mut pred: impl FnMut() -> bool, max_secs: u64) {
     let mut elapsed = 0;
     while !pred() {
-        assert!(elapsed < max_secs, "experiment did not converge in {max_secs}s");
+        assert!(
+            elapsed < max_secs,
+            "experiment did not converge in {max_secs}s"
+        );
         sim.run_for(dur::secs(5)).expect("simulation");
         elapsed += 5;
     }
@@ -60,7 +63,8 @@ pub fn fig_migration_with(
     let mut spec = JobSpec::npb(wl, ppn);
     spec.pool = pool;
     let rt = JobRuntime::launch(&cluster, spec);
-    rt.trigger_migration_after(dur::secs(30));
+    rt.control()
+        .migrate_after(dur::secs(30), MigrationRequest::new());
     let rt2 = rt.clone();
     run_until_pred(&mut sim, move || !rt2.migration_reports().is_empty(), 600);
     rt.migration_reports()[0].clone()
@@ -84,8 +88,7 @@ pub struct Fig5Row {
 impl Fig5Row {
     /// Relative overhead of the migration.
     pub fn overhead(&self) -> f64 {
-        (self.with_migration.as_secs_f64() - self.base.as_secs_f64())
-            / self.base.as_secs_f64()
+        (self.with_migration.as_secs_f64() - self.base.as_secs_f64()) / self.base.as_secs_f64()
     }
 }
 
@@ -107,7 +110,8 @@ fn full_run(app: NpbApp, migrate: bool) -> Duration {
     let wl = Workload::new(app, NpbClass::C, 64);
     let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 8));
     if migrate {
-        rt.trigger_migration_after(dur::secs(30));
+        rt.control()
+            .migrate_after(dur::secs(30), MigrationRequest::new());
     }
     sim.run_until_set(rt.completion(), SimTime::MAX)
         .expect("simulation");
@@ -164,7 +168,7 @@ pub fn cr_cycle(app: NpbApp, store: CrStoreKind) -> jobmig_core::report::CrRepor
     let rt2 = rt.clone();
     sim.handle().spawn_daemon("cr-script", move |ctx| {
         ctx.sleep(dur::secs(30));
-        rt2.trigger_checkpoint(store);
+        rt2.control().checkpoint(CheckpointRequest::to(store));
         // wait until the checkpoint cycle has been reported, then fail
         loop {
             ctx.sleep(dur::secs(1));
@@ -172,7 +176,7 @@ pub fn cr_cycle(app: NpbApp, store: CrStoreKind) -> jobmig_core::report::CrRepor
                 break;
             }
         }
-        rt2.trigger_restart_from(1);
+        rt2.control().restart_from_checkpoint(1);
     });
     let rt3 = rt.clone();
     run_until_pred(
@@ -215,7 +219,8 @@ pub fn table1_row(app: NpbApp) -> Table1Row {
     let rt2 = rt.clone();
     sim.handle().spawn_daemon("t", move |ctx| {
         ctx.sleep(dur::secs(30));
-        rt2.trigger_checkpoint(CrStoreKind::LocalExt3);
+        rt2.control()
+            .checkpoint(CheckpointRequest::to(CrStoreKind::LocalExt3));
     });
     let rt3 = rt.clone();
     run_until_pred(&mut sim, move || !rt3.cr_reports().is_empty(), 600);
@@ -232,7 +237,10 @@ pub fn table1_row(app: NpbApp) -> Table1Row {
 
 /// Restart-mode ablation: file-based (the paper) vs memory-based (its
 /// stated future work), LU.C.64.
-pub fn ablation_restart_mode() -> (jobmig_core::report::MigrationReport, jobmig_core::report::MigrationReport) {
+pub fn ablation_restart_mode() -> (
+    jobmig_core::report::MigrationReport,
+    jobmig_core::report::MigrationReport,
+) {
     let file = fig4_migration(NpbApp::Lu);
     let mem = fig_migration_with(
         NpbApp::Lu,
@@ -247,7 +255,10 @@ pub fn ablation_restart_mode() -> (jobmig_core::report::MigrationReport, jobmig_
 }
 
 /// Transport ablation: RDMA Read vs IPoIB staged copy, LU.C.64.
-pub fn ablation_transport() -> (jobmig_core::report::MigrationReport, jobmig_core::report::MigrationReport) {
+pub fn ablation_transport() -> (
+    jobmig_core::report::MigrationReport,
+    jobmig_core::report::MigrationReport,
+) {
     let rdma = fig4_migration(NpbApp::Lu);
     let ipoib = fig_migration_with(
         NpbApp::Lu,

@@ -72,7 +72,18 @@ impl Blcr {
 
     /// Dump `image` through `sink`, interleaving memory-walk and sink cost
     /// at chunk granularity. Returns the total stream bytes written.
-    pub fn checkpoint(&self, ctx: &Ctx, image: &ProcessImage, sink: &mut dyn CheckpointSink) -> u64 {
+    pub fn checkpoint(
+        &self,
+        ctx: &Ctx,
+        image: &ProcessImage,
+        sink: &mut dyn CheckpointSink,
+    ) -> u64 {
+        let span = ctx.span_with("ckpt", "dump", || {
+            vec![
+                ("pid", image.pid.into()),
+                ("memory_bytes", image.memory_bytes().into()),
+            ]
+        });
         ctx.sleep(self.cfg.checkpoint_base);
         let stream = serialize_image(image);
         let mut total = 0u64;
@@ -85,9 +96,11 @@ impl Blcr {
                 sink.write(ctx, piece);
                 offset += n;
                 total += n;
+                ctx.counter("ckpt", "dump_bytes", total as f64);
             }
         }
         sink.close(ctx);
+        span.end_with(vec![("stream_bytes", total.into())]);
         total
     }
 
@@ -99,11 +112,18 @@ impl Blcr {
         source: &mut dyn CheckpointSource,
         costs: &RestartCosts,
     ) -> Result<ProcessImage, StreamError> {
+        let span = ctx.span("ckpt", "restart");
         let slices = source.read_all(ctx);
         let image = parse_stream(slices)?;
         ctx.sleep(costs.base);
         let bytes = image.memory_bytes();
-        ctx.sleep(Duration::from_secs_f64(bytes as f64 / costs.populate_bandwidth));
+        ctx.sleep(Duration::from_secs_f64(
+            bytes as f64 / costs.populate_bandwidth,
+        ));
+        span.end_with(vec![
+            ("pid", image.pid.into()),
+            ("memory_bytes", bytes.into()),
+        ]);
         Ok(image)
     }
 }
@@ -223,7 +243,9 @@ mod tests {
             // 20 MiB at min(500 MB/s walk, 50 MB/s disk) → ≈ disk-bound
             assert!((0.40..0.55).contains(&t_ck), "checkpoint took {t_ck}");
             let mut src = StoreSource::new(fs.clone(), "ckpt.9");
-            let back = blcr.restart(ctx, &mut src, &RestartCosts::default()).unwrap();
+            let back = blcr
+                .restart(ctx, &mut src, &RestartCosts::default())
+                .unwrap();
             assert_eq!(back, img);
         });
         sim.run().unwrap();
@@ -304,7 +326,10 @@ mod tests {
         }
         let mut sim = Simulation::new(0);
         let h = sim.handle();
-        let blcr = Blcr::new(Link::new(&h, "mem", 1e9, Sharing::Fair), BlcrConfig::default());
+        let blcr = Blcr::new(
+            Link::new(&h, "mem", 1e9, Sharing::Fair),
+            BlcrConfig::default(),
+        );
         sim.spawn("r", move |ctx| {
             let r = blcr.restart(ctx, &mut JunkSource, &RestartCosts::default());
             assert!(matches!(r, Err(StreamError::BadMagic(_))));

@@ -112,7 +112,10 @@ fn coalesce(parts: Vec<DataSlice>) -> DataSlice {
             let mut ok = true;
             for p in iter {
                 match p.src {
-                    DataSrc::Pattern { seed: s2, offset: o2 } if s2 == seed && o2 == expect => {
+                    DataSrc::Pattern {
+                        seed: s2,
+                        offset: o2,
+                    } if s2 == seed && o2 == expect => {
                         expect += p.len;
                     }
                     _ => {

@@ -16,10 +16,10 @@ use blcrsim::CheckpointSink;
 use ibfabric::{DataSlice, Hca, Qp, QpAddr, RemoteMr};
 use parking_lot::Mutex;
 use simkit::{Ctx, Event, Semaphore, SimHandle};
-use std::time::Duration;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use storesim::CkptStore;
 
 /// How chunk data crosses the wire.
@@ -210,8 +210,15 @@ impl SourcePool {
                     let ack = msg.body.downcast::<AckMsg>().expect("ack");
                     self.st.free_slots.lock().push(ack.slot);
                     self.st.slot_sem.release(1);
-                    let mut o = self.st.outstanding.lock();
-                    *o -= 1;
+                    let outstanding = {
+                        let mut o = self.st.outstanding.lock();
+                        *o -= 1;
+                        *o
+                    };
+                    if ctx.telemetry_on() {
+                        ctx.instant_with("pool", "chunk_ack", || vec![("slot", ack.slot.into())]);
+                        ctx.counter("pool", "outstanding", outstanding as f64);
+                    }
                 }
                 TAG_DONE_ACK => {
                     self.st.finished.set();
@@ -249,7 +256,21 @@ impl SourcePool {
 
     fn submit_chunk(&self, ctx: &Ctx, rank: u32, slot: u32, len: u64) {
         ctx.sleep(calib::CHUNK_PROTOCOL_OVERHEAD);
-        *self.st.outstanding.lock() += 1;
+        let outstanding = {
+            let mut o = self.st.outstanding.lock();
+            *o += 1;
+            *o
+        };
+        if ctx.telemetry_on() {
+            ctx.instant_with("pool", "chunk_submit", || {
+                vec![
+                    ("rank", rank.into()),
+                    ("slot", slot.into()),
+                    ("bytes", len.into()),
+                ]
+            });
+            ctx.counter("pool", "outstanding", outstanding as f64);
+        }
         self.st.bytes_streamed.fetch_add(len, Ordering::Relaxed);
         self.qp
             .send(
@@ -267,6 +288,9 @@ impl SourcePool {
     }
 
     fn rank_eof(&self, ctx: &Ctx, rank: u32, total: u64, checksum: u64) {
+        ctx.instant_with("pool", "rank_eof", || {
+            vec![("rank", rank.into()), ("stream_bytes", total.into())]
+        });
         self.qp
             .send(
                 ctx,
@@ -435,6 +459,13 @@ pub fn run_target_pool(
                     }
                 };
                 bytes_pulled += req.len;
+                ctx.instant_with("pool", "chunk_pull", || {
+                    vec![
+                        ("rank", req.rank.into()),
+                        ("slot", req.slot.into()),
+                        ("bytes", req.len.into()),
+                    ]
+                });
                 match cfg.restart_mode {
                     RestartMode::FileBased => {
                         let path = created.entry(req.rank).or_insert_with(|| {

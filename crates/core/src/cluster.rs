@@ -134,8 +134,9 @@ impl Cluster {
 
         let pvfs = if spec.with_pvfs {
             let cfg = calib::pvfs_config();
-            let server_nodes: Vec<NodeId> =
-                (0..cfg.servers as u32).map(|k| NodeId(total + 1 + k)).collect();
+            let server_nodes: Vec<NodeId> = (0..cfg.servers as u32)
+                .map(|k| NodeId(total + 1 + k))
+                .collect();
             Some(Pvfs::with_network(
                 handle,
                 cfg,

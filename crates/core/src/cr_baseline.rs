@@ -52,7 +52,9 @@ pub(crate) fn run_checkpoint(
     });
     inner.ckpt_cycles.lock().insert(id, cycle.clone());
 
+    let phase_args = move || -> simkit::Args { vec![("cycle", id.into())] };
     let t0 = ctx.now();
+    let ph = ctx.span_with("phase", "cr_stall", phase_args);
     ftb.publish(
         ctx,
         FtbEvent::with_payload(
@@ -66,13 +68,18 @@ pub(crate) fn run_checkpoint(
     // Phase: Job Stall.
     super_wait_acks(ctx, sub, id, inner.spec.nranks);
     cycle.stall_done.wait(ctx);
+    ph.end();
     let t1 = ctx.now();
     *cycle.cut.lock() = Some(t1);
     // Phase: Checkpoint.
+    let ph = ctx.span_with("phase", "cr_checkpoint", phase_args);
     cycle.ckpt_done.wait(ctx);
+    ph.end();
     let t2 = ctx.now();
     // Phase: Resume.
+    let ph = ctx.span_with("phase", "cr_resume", phase_args);
     cycle.resumed.wait(ctx);
+    ph.end();
     let t3 = ctx.now();
 
     inner.cr_reports.lock().push(CrReport {
@@ -123,6 +130,9 @@ pub(crate) fn run_restart(ctx: &Ctx, rt: &JobRuntime, cycle_id: u64) {
     inner.job.purge_rollback_all(cut);
 
     let t0 = ctx.now();
+    let ph = ctx.span_with("phase", "cr_restart", move || {
+        vec![("cycle", cycle_id.into())]
+    });
     let done = Countdown::new(&ctx.handle(), "cr-restart-workers", nranks as u64);
     for rank in 0..nranks {
         let rt2 = rt.clone();
@@ -152,6 +162,7 @@ pub(crate) fn run_restart(ctx: &Ctx, rt: &JobRuntime, cycle_id: u64) {
         });
     }
     done.wait(ctx);
+    ph.end();
     let restart = ctx.now() - t0;
 
     // Bring communication back (endpoint rebuild is accounted in the

@@ -30,7 +30,7 @@
 //! let cluster = Cluster::build(&sim.handle(), ClusterSpec::small_test());
 //! let wl = npbsim::Workload::new(npbsim::NpbApp::Lu, npbsim::NpbClass::A, 4);
 //! let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2 /*ppn*/));
-//! rt.trigger_migration_after(simkit::dur::secs(2));
+//! rt.control().migrate_after(simkit::dur::secs(2), MigrationRequest::new());
 //! // drive until the application completes (the cluster hosts perpetual
 //! // daemons — FTB heartbeats — so run to an event, not to quiescence)
 //! sim.run_until_set(rt.completion(), simkit::SimTime::MAX).unwrap();
@@ -48,8 +48,11 @@ pub mod runtime;
 
 /// Common imports for examples and tests.
 pub mod prelude {
+    pub use crate::bufpool::{PoolConfig, RestartMode, Transport};
     pub use crate::cluster::{Cluster, ClusterSpec};
-    pub use crate::cr_baseline::{CrStore, CrRunner};
-    pub use crate::report::{CrReport, MigrationReport};
-    pub use crate::runtime::{AppBody, JobRuntime, JobSpec};
+    pub use crate::cr_baseline::{CrRunner, CrStore};
+    pub use crate::report::{CrReport, CrStoreKind, MigrationReport};
+    pub use crate::runtime::{
+        AppBody, CheckpointRequest, Control, JobRuntime, JobSpec, MigrationRequest,
+    };
 }

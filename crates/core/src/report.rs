@@ -150,10 +150,7 @@ mod tests {
             bytes_written: 1_363_200_000,
         };
         assert_eq!(c.checkpoint_cycle(), Duration::from_millis(7530));
-        assert_eq!(
-            c.total_with_restart(),
-            Some(Duration::from_millis(12830))
-        );
+        assert_eq!(c.total_with_restart(), Some(Duration::from_millis(12830)));
         // Display renders without panicking
         let _ = format!("{m}\n{c}");
     }

@@ -18,7 +18,9 @@
 //!   (CR baseline), and executes Phase 4 (migration barrier, endpoint
 //!   rebuild, resume).
 
-use crate::bufpool::{AssembledImage, PoolConfig, PoolRendezvous, SourcePool};
+use crate::bufpool::{
+    AssembledImage, PoolConfig, PoolRendezvous, RestartMode, SourcePool, Transport,
+};
 use crate::calib;
 use crate::cluster::Cluster;
 use crate::cr_baseline;
@@ -106,9 +108,150 @@ impl JobSpec {
     }
 }
 
+/// A typed migration request — the paper's user-level Migration Trigger
+/// with per-request knobs.
+///
+/// Defaults mirror the launched [`JobSpec`]: source auto-selected (first
+/// migration-ready node hosting ranks), transport/restart-mode/pool
+/// geometry taken from [`JobSpec::pool`]. Builder methods override any of
+/// them for this one cycle without touching the job-wide configuration.
+///
+/// ```ignore
+/// rt.control().migrate(
+///     MigrationRequest::new()
+///         .from_node(NodeId(3))
+///         .transport(Transport::RdmaRead)
+///         .restart_mode(RestartMode::MemoryBased),
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MigrationRequest {
+    pub(crate) source: Option<NodeId>,
+    pub(crate) transport: Option<Transport>,
+    pub(crate) restart_mode: Option<RestartMode>,
+    pub(crate) pool: Option<PoolConfig>,
+    pub(crate) label: Option<String>,
+}
+
+impl MigrationRequest {
+    /// A request with every knob at its job default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Migrate the ranks of this specific node (default: first
+    /// migration-ready node hosting ranks, in node-id order).
+    pub fn from_node(mut self, node: NodeId) -> Self {
+        self.source = Some(node);
+        self
+    }
+
+    /// Override the chunk wire transport for this cycle.
+    pub fn transport(mut self, t: Transport) -> Self {
+        self.transport = Some(t);
+        self
+    }
+
+    /// Override the Phase 3 restart strategy for this cycle.
+    pub fn restart_mode(mut self, m: RestartMode) -> Self {
+        self.restart_mode = Some(m);
+        self
+    }
+
+    /// Override the whole buffer-pool geometry for this cycle.
+    pub fn pool(mut self, p: PoolConfig) -> Self {
+        self.pool = Some(p);
+        self
+    }
+
+    /// Attach a diagnostic label; it rides the cycle's `"phase"` telemetry
+    /// spans as a `label` argument.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The pool configuration this request resolves to on top of `base`.
+    pub(crate) fn effective_pool(&self, base: PoolConfig) -> PoolConfig {
+        let mut p = self.pool.unwrap_or(base);
+        if let Some(t) = self.transport {
+            p.transport = t;
+        }
+        if let Some(m) = self.restart_mode {
+            p.restart_mode = m;
+        }
+        p
+    }
+}
+
+/// A typed coordinated-checkpoint request.
+#[derive(Debug, Clone)]
+pub struct CheckpointRequest {
+    pub(crate) store: CrStoreKind,
+}
+
+impl CheckpointRequest {
+    /// Checkpoint to `store`.
+    pub fn to(store: CrStoreKind) -> Self {
+        CheckpointRequest { store }
+    }
+
+    /// Checkpoint to each node's local ext3 filesystem.
+    pub fn local() -> Self {
+        Self::to(CrStoreKind::LocalExt3)
+    }
+
+    /// Checkpoint to the shared PVFS deployment.
+    pub fn pvfs() -> Self {
+        Self::to(CrStoreKind::Pvfs)
+    }
+}
+
+/// The typed control plane of a running job: submits migration,
+/// checkpoint, and restart requests to the Job Manager's trigger queue.
+/// Obtained from [`JobRuntime::control`]; cloning shares the runtime.
+#[derive(Clone)]
+pub struct Control {
+    rt: JobRuntime,
+}
+
+impl Control {
+    /// Request a migration.
+    pub fn migrate(&self, req: MigrationRequest) {
+        self.rt.inner.triggers.push(Trigger::Migrate { req });
+    }
+
+    /// Fire a migration request after `d` of virtual time.
+    pub fn migrate_after(&self, d: Duration, req: MigrationRequest) {
+        let ctl = self.clone();
+        self.rt
+            .inner
+            .cluster
+            .handle()
+            .spawn_daemon("migration-trigger", move |ctx| {
+                ctx.sleep(d);
+                ctl.migrate(req);
+            });
+    }
+
+    /// Request a coordinated checkpoint of the whole job.
+    pub fn checkpoint(&self, req: CheckpointRequest) {
+        self.rt.inner.triggers.push(Trigger::Checkpoint { req });
+    }
+
+    /// Request a restart-from-checkpoint of cycle `cycle` (simulates the
+    /// failure/recovery path whose cost Figure 7 reports as "Restart").
+    pub fn restart_from_checkpoint(&self, cycle: u64) {
+        self.rt
+            .inner
+            .triggers
+            .push(Trigger::RestartFromCkpt { cycle });
+    }
+}
+
 pub(crate) enum Trigger {
-    Migrate { source: Option<NodeId> },
-    Checkpoint { store: CrStoreKind },
+    Migrate { req: MigrationRequest },
+    Checkpoint { req: CheckpointRequest },
     RestartFromCkpt { cycle: u64 },
 }
 
@@ -118,6 +261,9 @@ pub(crate) struct MigCycle {
     pub source: NodeId,
     pub target: NodeId,
     pub ranks: Vec<u32>,
+    /// Pool configuration in effect for this cycle (job default plus
+    /// per-request overrides).
+    pub pool: PoolConfig,
     pub stall_done: Countdown,
     pub rendezvous: PoolRendezvous,
     source_pool: Mutex<Option<Arc<SourcePool>>>,
@@ -316,33 +462,51 @@ impl JobRuntime {
         &self.inner.spec
     }
 
+    /// The typed control plane: migration/checkpoint/restart requests.
+    pub fn control(&self) -> Control {
+        Control { rt: self.clone() }
+    }
+
     /// Request a migration (source `None` = first ready node hosting
     /// ranks). This is the paper's user-level Migration Trigger.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `control().migrate(MigrationRequest::new())`"
+    )]
     pub fn trigger_migration(&self, source: Option<NodeId>) {
-        self.inner.triggers.push(Trigger::Migrate { source });
+        let req = match source {
+            Some(n) => MigrationRequest::new().from_node(n),
+            None => MigrationRequest::new(),
+        };
+        self.control().migrate(req);
     }
 
     /// Fire a migration trigger after `d` of virtual time.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `control().migrate_after(d, MigrationRequest::new())`"
+    )]
     pub fn trigger_migration_after(&self, d: Duration) {
-        let rt = self.clone();
-        self.inner
-            .cluster
-            .handle()
-            .spawn_daemon("migration-trigger", move |ctx| {
-                ctx.sleep(d);
-                rt.trigger_migration(None);
-            });
+        self.control().migrate_after(d, MigrationRequest::new());
     }
 
     /// Request a coordinated checkpoint of the whole job.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `control().checkpoint(CheckpointRequest::to(store))`"
+    )]
     pub fn trigger_checkpoint(&self, store: CrStoreKind) {
-        self.inner.triggers.push(Trigger::Checkpoint { store });
+        self.control().checkpoint(CheckpointRequest::to(store));
     }
 
     /// Request a restart-from-checkpoint of cycle `cycle` (simulates the
     /// failure/recovery path whose cost Figure 7 reports as "Restart").
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `control().restart_from_checkpoint(cycle)`"
+    )]
     pub fn trigger_restart_from(&self, cycle: u64) {
-        self.inner.triggers.push(Trigger::RestartFromCkpt { cycle });
+        self.control().restart_from_checkpoint(cycle);
     }
 
     /// Completed migration reports, in order.
@@ -454,7 +618,11 @@ impl JobRuntime {
     }
 
     /// The checkpoint store for `kind` as seen from `node`.
-    pub(crate) fn store_for(&self, kind: CrStoreKind, node: NodeId) -> Arc<dyn storesim::CkptStore> {
+    pub(crate) fn store_for(
+        &self,
+        kind: CrStoreKind,
+        node: NodeId,
+    ) -> Arc<dyn storesim::CkptStore> {
         match kind {
             CrStoreKind::LocalExt3 => Arc::new(self.inner.cluster.node(node).fs.clone()),
             CrStoreKind::Pvfs => Arc::new(
@@ -513,9 +681,9 @@ fn jm_proc(ctx: &Ctx, rt: JobRuntime) {
     let sub = ftb.subscribe(&ctx.handle(), EventFilter::space(MPI_SPACE));
     loop {
         match rt.inner.triggers.pop(ctx) {
-            Trigger::Migrate { source } => run_migration(ctx, &rt, &ftb, &sub, source),
-            Trigger::Checkpoint { store } => {
-                cr_baseline::run_checkpoint(ctx, &rt, &ftb, &sub, store)
+            Trigger::Migrate { req } => run_migration(ctx, &rt, &ftb, &sub, req),
+            Trigger::Checkpoint { req } => {
+                cr_baseline::run_checkpoint(ctx, &rt, &ftb, &sub, req.store)
             }
             Trigger::RestartFromCkpt { cycle } => cr_baseline::run_restart(ctx, &rt, cycle),
         }
@@ -562,11 +730,11 @@ fn run_migration(
     rt: &JobRuntime,
     ftb: &FtbClient,
     sub: &Queue<FtbEvent>,
-    source: Option<NodeId>,
+    req: MigrationRequest,
 ) {
     let inner = &rt.inner;
     // Resolve the source node.
-    let source = match source {
+    let source = match req.source {
         Some(s) => s,
         None => {
             let nlas = inner.nlas.lock();
@@ -616,6 +784,7 @@ fn run_migration(
         source,
         target,
         ranks: ranks.clone(),
+        pool: req.effective_pool(inner.spec.pool),
         stall_done: Countdown::new(handle, "mig-stall", n),
         rendezvous: PoolRendezvous::new(handle),
         source_pool: Mutex::new(None),
@@ -630,7 +799,26 @@ fn run_migration(
     });
     inner.mig_cycles.lock().insert(id, cycle.clone());
 
+    // Each protocol phase is wrapped in a `"phase"` span carrying the
+    // cycle id, so the Figure 4 decomposition can be rebuilt from the
+    // trace alone (`telemetry::Timeline`).
+    let phase_args = |req: &MigrationRequest| {
+        let label = req.label.clone();
+        move || {
+            let mut a: simkit::Args = vec![
+                ("cycle", id.into()),
+                ("source", source.0.into()),
+                ("target", target.0.into()),
+            ];
+            if let Some(l) = &label {
+                a.push(("label", l.as_str().into()));
+            }
+            a
+        }
+    };
+
     let t0 = ctx.now();
+    let ph = ctx.span_with("phase", "stall", phase_args(&req));
     ftb.publish(
         ctx,
         FtbEvent::with_payload(
@@ -648,12 +836,16 @@ fn run_migration(
     // Phase 1 complete: every rank suspended and acknowledged.
     wait_suspend_acks(ctx, sub, id, inner.spec.nranks);
     cycle.stall_done.wait(ctx);
+    ph.end();
     let t1 = ctx.now();
     // Phase 2 complete: source NLA published PIIC.
+    let ph = ctx.span_with("phase", "migrate", phase_args(&req));
     wait_named(ctx, sub, FTB_MIGRATE_PIIC, id);
     cycle.piic.wait(ctx);
+    ph.end();
     let t2 = ctx.now();
     // Phase 3: adjust the mpispawn tree and broadcast the restart.
+    let ph = ctx.span_with("phase", "restart", phase_args(&req));
     ctx.sleep(calib::SPAWN_TREE_ADJUST);
     inner.spawn_tree.lock().replace(source, target);
     ftb.publish(
@@ -672,9 +864,12 @@ fn run_migration(
     );
     wait_named(ctx, sub, FTB_RESTART_DONE, id);
     cycle.restart_done.wait(ctx);
+    ph.end();
     let t3 = ctx.now();
     // Phase 4 complete: all ranks out of the barrier and reopened.
+    let ph = ctx.span_with("phase", "resume", phase_args(&req));
     cycle.resumed.wait(ctx);
+    ph.end();
     let t4 = ctx.now();
 
     inner.mig_reports.lock().push(MigrationReport {
@@ -711,13 +906,13 @@ fn health_bridge(ctx: &Ctx, rt: JobRuntime) {
         let hosts_ranks = {
             let nlas = rt.inner.nlas.lock();
             nlas.get(&node)
-                .map(|n| {
-                    *n.state.lock() == NlaState::MigrationReady && !n.ranks.lock().is_empty()
-                })
+                .map(|n| *n.state.lock() == NlaState::MigrationReady && !n.ranks.lock().is_empty())
                 .unwrap_or(false)
         };
         if hosts_ranks && rt.inner.pending_sources.lock().insert(node) {
-            rt.inner.triggers.push(Trigger::Migrate { source: Some(node) });
+            rt.inner.triggers.push(Trigger::Migrate {
+                req: MigrationRequest::new().from_node(node).label("health-auto"),
+            });
         }
     }
 }
@@ -785,7 +980,7 @@ fn source_side_phase2(
     let cycle = rt.mig_cycle(m.cycle);
     let nlocal = nla.ranks.lock().len() as u32;
     let hca = inner.cluster.fabric().attach(m.source);
-    let pool = SourcePool::setup(ctx, &hca, inner.spec.pool, nlocal, &cycle.rendezvous);
+    let pool = SourcePool::setup(ctx, &hca, cycle.pool, nlocal, &cycle.rendezvous);
     cycle.set_source_pool(pool.clone());
     pool.finished().wait(ctx);
     *cycle.piic_bytes.lock() = pool.bytes_streamed();
@@ -818,7 +1013,7 @@ fn target_side_pull(ctx: &Ctx, rt: &JobRuntime, m: MigrateMsg) {
     let result = crate::bufpool::run_target_pool(
         ctx,
         &hca,
-        inner.spec.pool,
+        cycle.pool,
         &cycle.rendezvous,
         store,
         &format!("mig.{}", m.cycle),
@@ -839,9 +1034,7 @@ fn target_side_restart(
     let cycle = rt.mig_cycle(r.cycle);
     cycle.images_ready.wait(ctx);
     let res = inner.cluster.node(r.target);
-    if calib::RESTART_READS_COLD
-        && inner.spec.pool.restart_mode == crate::bufpool::RestartMode::FileBased
-    {
+    if calib::RESTART_READS_COLD && cycle.pool.restart_mode == RestartMode::FileBased {
         use storesim::CkptStore;
         res.fs.drop_caches();
     }
@@ -881,7 +1074,11 @@ fn restart_one_rank(ctx: &Ctx, rt: &JobRuntime, cycle: &Arc<MigCycle>, rank: u32
         // already in the buffer pool; only parse + populate costs remain.
         Some(slices) => res
             .blcr
-            .restart(ctx, &mut blcrsim::MemSource::new(slices), &calib::restart_costs())
+            .restart(
+                ctx,
+                &mut blcrsim::MemSource::new(slices),
+                &calib::restart_costs(),
+            )
             .expect("migrated image parse"),
         None => {
             let store: Arc<dyn storesim::CkptStore> = Arc::new(res.fs.clone());
@@ -986,15 +1183,9 @@ fn cr_thread(ctx: &Ctx, rt: JobRuntime, rank: u32, resume: Option<Arc<MigCycle>>
                 let store = rt.store_for(c.store, mynode);
                 let meta = cr.capture_meta();
                 let image = build_image(rank, &meta);
-                cycle
-                    .checksums
-                    .lock()
-                    .insert(rank, image.checksum());
-                let mut sink = blcrsim::StoreSink::new(
-                    store,
-                    format!("ckpt.{}.{}", c.cycle, rank),
-                    true,
-                );
+                cycle.checksums.lock().insert(rank, image.checksum());
+                let mut sink =
+                    blcrsim::StoreSink::new(store, format!("ckpt.{}.{}", c.cycle, rank), true);
                 let blcr = &inner.cluster.node(mynode).blcr;
                 let written = blcr.checkpoint(ctx, &image, &mut sink);
                 cycle.bytes.fetch_add(written, Ordering::Relaxed);

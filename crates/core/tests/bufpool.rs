@@ -7,7 +7,7 @@ use ibfabric::{DataSlice, IbConfig, IbFabric, NodeId};
 use jobmig_core::bufpool::{
     run_target_pool, PoolConfig, PoolRendezvous, RestartMode, SourcePool, Transport,
 };
-use simkit::{dur, Link, Sharing, Simulation};
+use simkit::{Link, Sharing, Simulation};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use storesim::{CkptStore, Disk, DiskConfig, LocalFs};
@@ -28,8 +28,10 @@ fn test_fs(h: &simkit::SimHandle) -> LocalFs {
 }
 
 fn image(rank: u64, mb: u64) -> ProcessImage {
-    ProcessImage::new(rank, format!("state-{rank}").into_bytes())
-        .with_segment(SegmentKind::Heap, DataSlice::pattern(rank * 7 + 1, 0, mb << 20))
+    ProcessImage::new(rank, format!("state-{rank}").into_bytes()).with_segment(
+        SegmentKind::Heap,
+        DataSlice::pattern(rank * 7 + 1, 0, mb << 20),
+    )
 }
 
 /// Full source→target pull of `n` process streams; returns

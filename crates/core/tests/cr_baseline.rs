@@ -24,7 +24,8 @@ fn checkpoint_to_ext3_and_continue() {
     let rt2 = rt.clone();
     sim.handle().spawn_daemon("ckpt-trigger", move |ctx| {
         ctx.sleep(secs(25));
-        rt2.trigger_checkpoint(CrStoreKind::LocalExt3);
+        rt2.control()
+            .checkpoint(CheckpointRequest::to(CrStoreKind::LocalExt3));
     });
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     assert!(rt.is_complete());
@@ -53,9 +54,10 @@ fn checkpoint_to_pvfs_works_and_restarts() {
     let rt2 = rt.clone();
     sim.handle().spawn_daemon("t", move |ctx| {
         ctx.sleep(secs(25));
-        rt2.trigger_checkpoint(CrStoreKind::Pvfs);
+        rt2.control()
+            .checkpoint(CheckpointRequest::to(CrStoreKind::Pvfs));
         ctx.sleep(secs(60));
-        rt2.trigger_restart_from(1);
+        rt2.control().restart_from_checkpoint(1);
     });
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     assert!(rt.is_complete());
@@ -73,10 +75,11 @@ fn restart_from_checkpoint_rolls_back_and_completes() {
     let rt2 = rt.clone();
     sim.handle().spawn_daemon("script", move |ctx| {
         ctx.sleep(secs(25));
-        rt2.trigger_checkpoint(CrStoreKind::LocalExt3);
+        rt2.control()
+            .checkpoint(CheckpointRequest::to(CrStoreKind::LocalExt3));
         // let the job run on, then "fail" and restart from the checkpoint
         ctx.sleep(secs(120));
-        rt2.trigger_restart_from(1);
+        rt2.control().restart_from_checkpoint(1);
     });
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     assert!(rt.is_complete(), "job completes after rollback restart");
@@ -101,7 +104,8 @@ fn migration_beats_full_cr_cycle() {
     let mig_total = {
         let mut sim = Simulation::new(13);
         let (_c, rt) = job(&sim, false);
-        rt.trigger_migration_after(secs(25));
+        rt.control()
+            .migrate_after(secs(25), MigrationRequest::new());
         sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
         rt.migration_reports()[0].total()
     };
@@ -111,9 +115,10 @@ fn migration_beats_full_cr_cycle() {
         let rt2 = rt.clone();
         sim.handle().spawn_daemon("script", move |ctx| {
             ctx.sleep(secs(25));
-            rt2.trigger_checkpoint(CrStoreKind::LocalExt3);
+            rt2.control()
+                .checkpoint(CheckpointRequest::to(CrStoreKind::LocalExt3));
             ctx.sleep(secs(60));
-            rt2.trigger_restart_from(1);
+            rt2.control().restart_from_checkpoint(1);
         });
         sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
         rt.cr_reports()[0].total_with_restart().unwrap()
@@ -131,9 +136,10 @@ fn checkpoint_then_migration_compose() {
     let rt2 = rt.clone();
     sim.handle().spawn_daemon("script", move |ctx| {
         ctx.sleep(secs(20));
-        rt2.trigger_checkpoint(CrStoreKind::LocalExt3);
+        rt2.control()
+            .checkpoint(CheckpointRequest::to(CrStoreKind::LocalExt3));
         ctx.sleep(secs(60));
-        rt2.trigger_migration(None);
+        rt2.control().migrate(MigrationRequest::new());
     });
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     assert!(rt.is_complete());

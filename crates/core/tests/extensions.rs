@@ -12,9 +12,10 @@ use simkit::dur::*;
 use simkit::{SimTime, Simulation};
 use std::time::Duration;
 
-fn run_with_pool(
-    mut f: impl FnMut(&mut JobSpec),
-) -> jobmig_core::report::MigrationReport {
+// Deliberately drives the migration through the deprecated shim so every
+// run of this suite re-verifies the old `trigger_*` surface still works.
+#[allow(deprecated)]
+fn run_with_pool(mut f: impl FnMut(&mut JobSpec)) -> jobmig_core::report::MigrationReport {
     let mut sim = Simulation::new(21);
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
     let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);

@@ -40,7 +40,8 @@ fn migration_moves_ranks_and_job_still_completes() {
     let (cluster, rt, _wl) = small_job(&sim, 4, 2);
     let source = cluster.compute_nodes()[0];
     let spare = cluster.spare_nodes()[0];
-    rt.trigger_migration_after(secs(30));
+    rt.control()
+        .migrate_after(secs(30), MigrationRequest::new());
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     assert!(rt.is_complete(), "job must finish after migration");
 
@@ -80,7 +81,8 @@ fn migration_is_deterministic() {
     fn run_once() -> (u64, u128) {
         let mut sim = Simulation::new(7);
         let (_c, rt, _wl) = small_job(&sim, 4, 2);
-        rt.trigger_migration_after(secs(10));
+        rt.control()
+            .migrate_after(secs(10), MigrationRequest::new());
         sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
         let r = &rt.migration_reports()[0];
         (r.bytes_moved, r.total().as_nanos())
@@ -94,13 +96,14 @@ fn two_sequential_migrations_with_two_spares() {
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 2));
     let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);
     let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2));
-    rt.trigger_migration_after(secs(20));
+    rt.control()
+        .migrate_after(secs(20), MigrationRequest::new());
     // second migration moves the other original node
     let rt2 = rt.clone();
     let n2 = cluster.compute_nodes()[1];
     sim.handle().spawn_daemon("second-trigger", move |ctx| {
         ctx.sleep(secs(300));
-        rt2.trigger_migration(Some(n2));
+        rt2.control().migrate(MigrationRequest::new().from_node(n2));
     });
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     assert!(rt.is_complete());
@@ -120,7 +123,8 @@ fn migration_without_spare_fails_gracefully() {
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 0));
     let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);
     let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2));
-    rt.trigger_migration_after(secs(10));
+    rt.control()
+        .migrate_after(secs(10), MigrationRequest::new());
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     assert!(rt.is_complete(), "job unaffected by failed trigger");
     assert!(rt.migration_reports().is_empty());
@@ -140,7 +144,8 @@ fn migration_overhead_is_small_fraction_of_runtime() {
     let with_mig = {
         let mut sim = Simulation::new(5);
         let (_c, rt, _w) = small_job(&sim, 4, 2);
-        rt.trigger_migration_after(secs(40));
+        rt.control()
+            .migrate_after(secs(40), MigrationRequest::new());
         sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
         assert_eq!(rt.migration_reports().len(), 1);
         sim.now().as_secs_f64()

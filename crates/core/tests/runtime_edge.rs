@@ -41,7 +41,7 @@ fn migration_during_rendezvous_heavy_phase() {
         }
     };
     let rt = JobRuntime::launch(&cluster, JobSpec::custom(4, 2, app));
-    rt.trigger_migration_after(secs(3));
+    rt.control().migrate_after(secs(3), MigrationRequest::new());
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     assert!(rt.is_complete());
     assert_eq!(rt.migration_reports().len(), 1);
@@ -58,14 +58,11 @@ fn queued_triggers_are_serialized() {
     let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);
     let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2));
     let rt2 = rt.clone();
-    let (n1, n2) = (
-        cluster.compute_nodes()[0],
-        cluster.compute_nodes()[1],
-    );
+    let (n1, n2) = (cluster.compute_nodes()[0], cluster.compute_nodes()[1]);
     sim.handle().spawn_daemon("both", move |ctx| {
         ctx.sleep(secs(20));
-        rt2.trigger_migration(Some(n1));
-        rt2.trigger_migration(Some(n2)); // queued immediately behind
+        rt2.control().migrate(MigrationRequest::new().from_node(n1));
+        rt2.control().migrate(MigrationRequest::new().from_node(n2)); // queued immediately behind
     });
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     let reports = rt.migration_reports();
@@ -87,7 +84,8 @@ fn spawn_tree_tracks_migrations() {
     let (root0, nodes0) = rt.spawn_tree();
     assert_eq!(root0, cluster.login());
     assert_eq!(nodes0, cluster.compute_nodes());
-    rt.trigger_migration_after(secs(20));
+    rt.control()
+        .migrate_after(secs(20), MigrationRequest::new());
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     let (_, nodes1) = rt.spawn_tree();
     let spare = cluster.spare_nodes()[0];
@@ -108,7 +106,7 @@ fn trigger_after_completion_is_harmless() {
     let t_done = sim.now();
     // migrate a finished job: processes restart, find themselves done,
     // and exit immediately; the framework completes the cycle cleanly
-    rt.trigger_migration(None);
+    rt.control().migrate(MigrationRequest::new());
     sim.run_for(secs(120)).unwrap();
     assert_eq!(rt.migration_reports().len(), 1);
     assert!(rt.is_complete());
@@ -124,7 +122,8 @@ fn migration_source_explicitly_unknown_node_is_ignored() {
     let rt2 = rt.clone();
     sim.handle().spawn_daemon("bogus", move |ctx| {
         ctx.sleep(secs(10));
-        rt2.trigger_migration(Some(ibfabric::NodeId(999)));
+        rt2.control()
+            .migrate(MigrationRequest::new().from_node(ibfabric::NodeId(999)));
     });
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     assert!(rt.migration_reports().is_empty());
@@ -143,9 +142,10 @@ fn migrating_the_spare_back_works() {
     let rt2 = rt.clone();
     sim.handle().spawn_daemon("double-hop", move |ctx| {
         ctx.sleep(secs(20));
-        rt2.trigger_migration(None); // node1 → spare0
+        rt2.control().migrate(MigrationRequest::new()); // node1 → spare0
         ctx.sleep(secs(120));
-        rt2.trigger_migration(Some(first_spare)); // spare0 → spare1
+        rt2.control()
+            .migrate(MigrationRequest::new().from_node(first_spare)); // spare0 → spare1
     });
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     let reports = rt.migration_reports();

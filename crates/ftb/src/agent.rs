@@ -186,7 +186,14 @@ fn reattach(ctx: &Ctx, state: &Arc<AgentState>, net: &Net) -> Option<NodeId> {
     let new_parent = state.grandparent.lock().take();
     *state.parent.lock() = new_parent;
     if let Some(gp) = new_parent {
-        let _ = send_agent(net, ctx, state.node, gp, AgentMsg::Attach { child: state.node }, 96);
+        let _ = send_agent(
+            net,
+            ctx,
+            state.node,
+            gp,
+            AgentMsg::Attach { child: state.node },
+            96,
+        );
     }
     new_parent
 }
@@ -208,7 +215,14 @@ fn agent_main(ctx: &Ctx, state: Arc<AgentState>, net: Net, inbox: Queue<ibfabric
     // Announce ourselves to the configured parent.
     let parent0 = *state.parent.lock();
     if let Some(p) = parent0 {
-        let _ = send_agent(&net, ctx, state.node, p, AgentMsg::Attach { child: state.node }, 96);
+        let _ = send_agent(
+            &net,
+            ctx,
+            state.node,
+            p,
+            AgentMsg::Attach { child: state.node },
+            96,
+        );
     }
     loop {
         let dg = inbox.pop(ctx);
@@ -232,8 +246,14 @@ fn agent_main(ctx: &Ctx, state: Arc<AgentState>, net: Net, inbox: Queue<ibfabric
                                     event: event.clone(),
                                     via: Via::Child(state.node),
                                 };
-                                let _ =
-                                    send_agent(&net, ctx, state.node, np, retry, event.wire_bytes());
+                                let _ = send_agent(
+                                    &net,
+                                    ctx,
+                                    state.node,
+                                    np,
+                                    retry,
+                                    event.wire_bytes(),
+                                );
                             }
                         }
                     }
@@ -283,8 +303,15 @@ fn heartbeat_main(ctx: &Ctx, state: Arc<AgentState>, net: Net, period: Duration)
         ctx.sleep(period);
         let parent = *state.parent.lock();
         if let Some(p) = parent {
-            if send_agent(&net, ctx, state.node, p, AgentMsg::Ping { from: state.node }, 64)
-                .is_err()
+            if send_agent(
+                &net,
+                ctx,
+                state.node,
+                p,
+                AgentMsg::Ping { from: state.node },
+                64,
+            )
+            .is_err()
             {
                 reattach(ctx, &state, &net);
             }

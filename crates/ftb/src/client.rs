@@ -60,6 +60,13 @@ impl FtbClient {
     /// Publish an event into the backplane (loopback hop to the local
     /// agent, then tree flooding).
     pub fn publish(&self, ctx: &Ctx, event: FtbEvent) {
+        ctx.instant_with("ftb", event.name.as_str(), || {
+            vec![
+                ("space", event.space.as_str().into()),
+                ("origin", self.node.0.into()),
+                ("client", self.name.as_str().into()),
+            ]
+        });
         let wire = event.wire_bytes();
         let msg = AgentMsg::Publish {
             event,

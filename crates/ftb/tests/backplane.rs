@@ -40,7 +40,10 @@ fn publish_reaches_every_node_once() {
     let publisher = FtbClient::connect(&bp, NodeId(3), "pub");
     sim.spawn("publisher", move |ctx| {
         ctx.sleep(ms(1));
-        publisher.publish(ctx, FtbEvent::simple("FTB.TEST", "GO", Severity::Info, NodeId(3)));
+        publisher.publish(
+            ctx,
+            FtbEvent::simple("FTB.TEST", "GO", Severity::Info, NodeId(3)),
+        );
     });
     sim.run_for(secs(1)).unwrap();
     assert_eq!(hits.load(Ordering::SeqCst), 4, "event must reach all nodes");
@@ -67,7 +70,10 @@ fn delivery_latency_is_milliseconds() {
     sim.run_for(secs(1)).unwrap();
     let us = got.load(Ordering::SeqCst);
     assert!(us > 0, "delivered");
-    assert!(us < 5_000, "FTB control latency should be sub-5ms, was {us}us");
+    assert!(
+        us < 5_000,
+        "FTB control latency should be sub-5ms, was {us}us"
+    );
 }
 
 #[test]
@@ -80,9 +86,18 @@ fn filters_select_events() {
     let q_all = c.subscribe(&h, EventFilter::all());
     let p = FtbClient::connect(&bp, NodeId(0), "pub");
     sim.spawn("pub", move |ctx| {
-        p.publish(ctx, FtbEvent::simple("FTB.MPI", "FTB_RESTART", Severity::Info, NodeId(0)));
-        p.publish(ctx, FtbEvent::simple("FTB.MPI", "FTB_MIGRATE", Severity::Error, NodeId(0)));
-        p.publish(ctx, FtbEvent::simple("FTB.HEALTH", "TEMP", Severity::Warning, NodeId(0)));
+        p.publish(
+            ctx,
+            FtbEvent::simple("FTB.MPI", "FTB_RESTART", Severity::Info, NodeId(0)),
+        );
+        p.publish(
+            ctx,
+            FtbEvent::simple("FTB.MPI", "FTB_MIGRATE", Severity::Error, NodeId(0)),
+        );
+        p.publish(
+            ctx,
+            FtbEvent::simple("FTB.HEALTH", "TEMP", Severity::Warning, NodeId(0)),
+        );
     });
     sim.run_for(secs(1)).unwrap();
     assert_eq!(q_mig.len(), 1);
@@ -150,7 +165,10 @@ fn agent_death_triggers_reattach_to_grandparent() {
     let q = c.subscribe(&h, EventFilter::all());
     let p = FtbClient::connect(&bp, NodeId(3), "pub");
     sim.spawn("pub", move |ctx| {
-        p.publish(ctx, FtbEvent::simple("S", "AFTER", Severity::Info, NodeId(3)));
+        p.publish(
+            ctx,
+            FtbEvent::simple("S", "AFTER", Severity::Info, NodeId(3)),
+        );
     });
     sim.run_for(secs(1)).unwrap();
     assert_eq!(q.len(), 1, "event must route around the dead agent");
@@ -165,7 +183,10 @@ fn publisher_receives_own_event_if_subscribed() {
     let q = c.subscribe(&h, EventFilter::all());
     let c2 = c.clone();
     sim.spawn("pub", move |ctx| {
-        c2.publish(ctx, FtbEvent::simple("S", "SELF", Severity::Info, NodeId(1)));
+        c2.publish(
+            ctx,
+            FtbEvent::simple("S", "SELF", Severity::Info, NodeId(1)),
+        );
     });
     sim.run_for(secs(1)).unwrap();
     assert_eq!(q.len(), 1);

@@ -315,7 +315,11 @@ fn predict_crossing(history: &VecDeque<(f64, f64)>, th: Thresholds) -> Option<Du
     let slope = (n * sxy - sx * sy) / denom;
     let intercept = (sy - slope * sx) / n;
     let (t_last, v_last) = *history.back().unwrap();
-    let heading = if th.inverted { slope < 0.0 } else { slope > 0.0 };
+    let heading = if th.inverted {
+        slope < 0.0
+    } else {
+        slope > 0.0
+    };
     if !heading {
         return None;
     }

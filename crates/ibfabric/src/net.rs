@@ -161,7 +161,13 @@ impl Net {
     /// current network load (latency + shared-bandwidth transfer). This is
     /// the timing core used by both the raw datagram API and the verbs
     /// layer.
-    pub fn wire_delay(&self, ctx: &Ctx, from: NodeId, to: NodeId, wire_bytes: u64) -> Result<(), NetError> {
+    pub fn wire_delay(
+        &self,
+        ctx: &Ctx,
+        from: NodeId,
+        to: NodeId,
+        wire_bytes: u64,
+    ) -> Result<(), NetError> {
         if from == to {
             ctx.sleep(self.cfg.loopback_latency);
             return Ok(());

@@ -138,8 +138,14 @@ impl DataSlice {
         match (&self.src, &other.src) {
             (DataSrc::Bytes(a), DataSrc::Bytes(b)) => a == b,
             (
-                DataSrc::Pattern { seed: s1, offset: o1 },
-                DataSrc::Pattern { seed: s2, offset: o2 },
+                DataSrc::Pattern {
+                    seed: s1,
+                    offset: o1,
+                },
+                DataSrc::Pattern {
+                    seed: s2,
+                    offset: o2,
+                },
             ) => s1 == s2 && o1 == o2,
             (DataSrc::Zero, DataSrc::Zero) => true,
             _ if self.len <= 1 << 16 => self.to_bytes() == other.to_bytes(),
@@ -158,7 +164,11 @@ impl DataSlice {
         let mut b: u64 = self.len;
         let n = samples.max(2).min(self.len);
         for k in 0..n {
-            let i = if n == 1 { 0 } else { (self.len - 1) * k / (n - 1) };
+            let i = if n == 1 {
+                0
+            } else {
+                (self.len - 1) * k / (n - 1)
+            };
             a = a.wrapping_add(self.byte_at(i) as u64 + 1);
             b = b.wrapping_add(a);
         }

@@ -230,7 +230,11 @@ impl IbFabric {
     }
 
     fn lookup_qp(&self, addr: QpAddr) -> Option<Arc<QpShared>> {
-        self.hca_shared(addr.node)?.qps.lock().get(&addr.qpn).cloned()
+        self.hca_shared(addr.node)?
+            .qps
+            .lock()
+            .get(&addr.qpn)
+            .cloned()
     }
 
     /// Validate rkey and bounds on `node`, returning the backing buffer.
@@ -242,7 +246,9 @@ impl IbFabric {
         len: u64,
     ) -> Result<Arc<Mutex<SparseBuf>>, VerbsError> {
         let denied = VerbsError::RemoteAccess { node, rkey };
-        let hca = self.hca_shared(node).ok_or(VerbsError::RemoteAccess { node, rkey })?;
+        let hca = self
+            .hca_shared(node)
+            .ok_or(VerbsError::RemoteAccess { node, rkey })?;
         let mrs = hca.mrs.lock();
         let entry = mrs.get(&rkey).ok_or(denied)?;
         if !entry.valid {
@@ -275,7 +281,11 @@ impl Hca {
     pub fn register_mr(&self, ctx: &Ctx, len: u64) -> Mr {
         let cfg = &self.fabric.inner.cfg;
         let cost = cfg.reg_base + Duration::from_secs_f64(len as f64 / cfg.reg_bandwidth);
+        let span = ctx.span_with("rdma", "mr_register", || {
+            vec![("bytes", len.into()), ("node", self.shared.node.0.into())]
+        });
         ctx.sleep(cost);
+        span.end();
         self.register_mr_instant(len)
     }
 
@@ -417,6 +427,12 @@ impl Qp {
         }
         *self.shared.peer.lock() = Some(peer);
         *st = QpState::Connected;
+        ctx.instant_with("rdma", "qp_connect", || {
+            vec![
+                ("node", self.shared.addr.node.0.into()),
+                ("peer", peer.node.0.into()),
+            ]
+        });
         Ok(())
     }
 
@@ -439,10 +455,19 @@ impl Qp {
     ) -> Result<(), VerbsError> {
         let peer = self.connected_peer()?;
         let my = self.shared.addr;
+        let span = ctx.span_with("rdma", "qp_send", || {
+            vec![
+                ("tag", tag.into()),
+                ("bytes", wire_bytes.into()),
+                ("from", my.node.0.into()),
+                ("to", peer.node.0.into()),
+            ]
+        });
         self.fabric
             .inner
             .net
             .wire_delay(ctx, my.node, peer.node, wire_bytes + MSG_HEADER_BYTES)?;
+        span.end();
         let peer_qp = self.fabric.lookup_qp(peer).ok_or(VerbsError::PeerGone)?;
         if *peer_qp.state.lock() == QpState::Destroyed {
             return Err(VerbsError::PeerGone);
@@ -486,16 +511,28 @@ impl Qp {
     ) -> Result<Vec<DataSlice>, VerbsError> {
         let _peer = self.connected_peer()?;
         let my_node = self.shared.addr.node;
+        let span = ctx.span_with("rdma", "read", || {
+            vec![
+                ("bytes", len.into()),
+                ("offset", offset.into()),
+                ("from", remote.node.0.into()),
+                ("to", my_node.0.into()),
+            ]
+        });
         // request packet
         ctx.sleep(self.fabric.inner.cfg.net.latency);
-        self.fabric.checked_mr(remote.node, remote.rkey, offset, len)?;
+        self.fabric
+            .checked_mr(remote.node, remote.rkey, offset, len)?;
         // bulk flows from the remote node to us
         self.fabric
             .inner
             .net
             .wire_delay(ctx, remote.node, my_node, len + MSG_HEADER_BYTES)?;
-        let buf = self.fabric.checked_mr(remote.node, remote.rkey, offset, len)?;
+        let buf = self
+            .fabric
+            .checked_mr(remote.node, remote.rkey, offset, len)?;
         let slices = buf.lock().read(offset, len);
+        span.end_with(vec![("bytes", len.into())]);
         Ok(slices)
     }
 
@@ -510,12 +547,24 @@ impl Qp {
         let _peer = self.connected_peer()?;
         let my_node = self.shared.addr.node;
         let len = crate::payload::total_len(&data);
-        self.fabric.checked_mr(remote.node, remote.rkey, offset, len)?;
+        let span = ctx.span_with("rdma", "write", || {
+            vec![
+                ("bytes", len.into()),
+                ("offset", offset.into()),
+                ("from", my_node.0.into()),
+                ("to", remote.node.0.into()),
+            ]
+        });
+        self.fabric
+            .checked_mr(remote.node, remote.rkey, offset, len)?;
         self.fabric
             .inner
             .net
             .wire_delay(ctx, my_node, remote.node, len + MSG_HEADER_BYTES)?;
-        let buf = self.fabric.checked_mr(remote.node, remote.rkey, offset, len)?;
+        span.end();
+        let buf = self
+            .fabric
+            .checked_mr(remote.node, remote.rkey, offset, len)?;
         let mut buf = buf.lock();
         let mut cursor = offset;
         for s in data {

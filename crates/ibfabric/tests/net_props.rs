@@ -105,9 +105,20 @@ fn byte_accounting_on_ports() {
 
 #[derive(Debug, Clone)]
 enum Op {
-    WriteBytes { offset: u64, data: Vec<u8> },
-    WritePattern { offset: u64, seed: u64, poff: u64, len: u64 },
-    Read { offset: u64, len: u64 },
+    WriteBytes {
+        offset: u64,
+        data: Vec<u8>,
+    },
+    WritePattern {
+        offset: u64,
+        seed: u64,
+        poff: u64,
+        len: u64,
+    },
+    Read {
+        offset: u64,
+        len: u64,
+    },
 }
 
 const BUF_LEN: u64 = 256;
@@ -190,7 +201,8 @@ fn wire_delay_blocks_for_expected_duration() {
     net.add_node(NodeId(1));
     sim.spawn("t", move |ctx| {
         let t0 = ctx.now();
-        net.wire_delay(ctx, NodeId(0), NodeId(1), 14_000_000).unwrap();
+        net.wire_delay(ctx, NodeId(0), NodeId(1), 14_000_000)
+            .unwrap();
         let dt = (ctx.now() - t0).as_secs_f64();
         // 14 MB / 1.4 GB/s = 10 ms + 2 µs latency
         assert!((dt - 0.010002).abs() < 1e-5, "took {dt}");

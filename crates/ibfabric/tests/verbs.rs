@@ -49,11 +49,9 @@ fn send_on_unconnected_qp_fails() {
     let fab = fabric(&sim);
     let h0 = fab.attach(NodeId(0));
     let q = h0.create_qp();
-    sim.spawn("tx", move |ctx| {
-        match q.send(ctx, 0, Box::new(()), 10) {
-            Err(VerbsError::NotConnected) => {}
-            other => panic!("expected NotConnected, got {other:?}"),
-        }
+    sim.spawn("tx", move |ctx| match q.send(ctx, 0, Box::new(()), 10) {
+        Err(VerbsError::NotConnected) => {}
+        other => panic!("expected NotConnected, got {other:?}"),
     });
     sim.run().unwrap();
 }

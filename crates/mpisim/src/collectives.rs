@@ -84,7 +84,7 @@ impl MpiRank {
                             self.send(ctx, partner as u32, sys_tag(epoch, op, stage), bytes);
                         }
                     } else if !received {
-                        self.recv(ctx, partner as u32, sys_tag(epoch, op, stage), );
+                        self.recv(ctx, partner as u32, sys_tag(epoch, op, stage));
                         received = true;
                     }
                 }

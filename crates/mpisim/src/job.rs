@@ -233,6 +233,7 @@ impl MpiJob {
 
     /// Deliver an arrival token into `rank`'s matching layer.
     pub(crate) fn deliver(&self, rank: u32, src: u32, tag: u64, arrival: Arrival) {
-        self.shared(rank).enqueue(&self.inner.handle, src, tag, arrival);
+        self.shared(rank)
+            .enqueue(&self.inner.handle, src, tag, arrival);
     }
 }

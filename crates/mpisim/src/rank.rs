@@ -281,9 +281,7 @@ impl MpiRank {
             return 0;
         }
         self.shared.gate.wait(ctx);
-        let q = self
-            .shared
-            .queue(&self.job.inner.handle, from, tag);
+        let q = self.shared.queue(&self.job.inner.handle, from, tag);
         match q.pop(ctx) {
             Arrival::Eager { bytes, .. } => {
                 self.end_op();
@@ -369,6 +367,12 @@ impl RankCr {
     /// pairwise channel flush, wait for the job-wide drain, then tear down
     /// endpoints (destroying QPs and invalidating rkeys).
     pub fn suspend_and_drain(&self, ctx: &Ctx) -> TeardownReport {
+        let span = ctx.span_with("mpi", "suspend_and_drain", || {
+            vec![
+                ("rank", self.shared.rank.into()),
+                ("inflight", self.job.inflight().into()),
+            ]
+        });
         self.shared.gate.close();
         // pairwise flush exchange with every peer
         let peers = self.job.size().saturating_sub(1);
@@ -382,7 +386,9 @@ impl RankCr {
                 break;
             }
         }
-        self.teardown(ctx)
+        let report = self.teardown(ctx);
+        span.end_with(vec![("qps_destroyed", report.qps_destroyed.into())]);
+        report
     }
 
     /// Destroy this rank's endpoints without draining (used on the
@@ -412,6 +418,12 @@ impl RankCr {
     /// re-establish one QP per peer. `timed` charges the real costs
     /// (startup uses `false`, resume uses `true`).
     pub fn rebuild_endpoints(&self, ctx: &Ctx, timed: bool) {
+        let span = ctx.span_with("mpi", "rebuild_endpoints", || {
+            vec![
+                ("rank", self.shared.rank.into()),
+                ("timed", u64::from(timed).into()),
+            ]
+        });
         let node = *self.shared.node.lock();
         let hca = self.job.fabric().attach(node);
         let mr = if timed {
@@ -437,6 +449,7 @@ impl RankCr {
             qps.push(qp);
         }
         *self.shared.endpoints.lock() = Some(Endpoints { mr, qps });
+        span.end();
     }
 
     /// Whether endpoints currently exist.

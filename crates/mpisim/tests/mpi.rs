@@ -226,7 +226,11 @@ fn gate_blocks_new_sends_during_suspension() {
         let mut r = j.attach(0);
         ctx.sleep(ms(2)); // gate now closed
         r.send(ctx, 1, 3, 100); // must park until reopen (t≈51ms+)
-        assert!(ctx.now().as_millis() >= 51, "sent at {}ms", ctx.now().as_millis());
+        assert!(
+            ctx.now().as_millis() >= 51,
+            "sent at {}ms",
+            ctx.now().as_millis()
+        );
     });
     let j = job.clone();
     sim.spawn("r1", move |ctx| {
@@ -289,8 +293,8 @@ fn purge_removes_unmatched_rts_only() {
     sim.spawn("sender", move |ctx| {
         let mut r = j.attach(0);
         r.send(ctx, 2, 5, 100); // eager: must survive purge
-        // rendezvous RTS that will never be matched pre-"migration":
-        // issued from a helper thread to avoid blocking this one.
+                                // rendezvous RTS that will never be matched pre-"migration":
+                                // issued from a helper thread to avoid blocking this one.
     });
     let j = job.clone();
     let doomed = sim.spawn("doomed-sender", move |ctx| {
@@ -357,7 +361,11 @@ fn intra_node_messages_bypass_the_wire() {
         let mut r = j.attach(1);
         r.recv(ctx, 0, 1);
         // loopback: microseconds, not the ~750 µs wire time
-        assert!(ctx.now().as_micros() < 100, "took {}us", ctx.now().as_micros());
+        assert!(
+            ctx.now().as_micros() < 100,
+            "took {}us",
+            ctx.now().as_micros()
+        );
     });
     sim.run().unwrap();
     assert_eq!(job.fabric().net().tx_bytes(NodeId(0)), 0);

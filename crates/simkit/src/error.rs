@@ -61,7 +61,11 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock { at, blocked } => {
-                write!(f, "simulation deadlocked at {at}: {} blocked process(es):", blocked.len())?;
+                write!(
+                    f,
+                    "simulation deadlocked at {at}: {} blocked process(es):",
+                    blocked.len()
+                )?;
                 for (pid, name) in blocked {
                     write!(f, " [{:?} {name}]", pid)?;
                 }

@@ -16,7 +16,7 @@ use crate::link::Sharing;
 use crate::process::Ctx;
 use crate::time::SimTime;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,7 +42,10 @@ struct NetFlow {
 
 struct NetInner {
     links: Vec<NetLink>,
-    flows: HashMap<u64, NetFlow>,
+    // BTreeMap, not HashMap: recompute_and_retime iterates this map and
+    // schedules wakes in iteration order, which must be stable for
+    // same-seed runs to replay identically (same-timestamp tie-breaks).
+    flows: BTreeMap<u64, NetFlow>,
     next_flow: u64,
     last_update: SimTime,
 }
@@ -116,7 +119,7 @@ impl FlowNet {
             kernel: Arc::clone(&handle.kernel),
             inner: Arc::new(Mutex::new(NetInner {
                 links: Vec::new(),
-                flows: HashMap::new(),
+                flows: BTreeMap::new(),
                 next_flow: 0,
                 last_update: handle.now(),
             })),

@@ -19,9 +19,9 @@
 //! one simulated process executes at any wall-clock instant.
 
 use crate::error::{Killed, SimError};
-use crate::process::{Ctx, ProcHandle};
+use crate::process::{Ctx, ProcHandle, Span};
 use crate::time::SimTime;
-use crate::trace::Tracer;
+use crate::trace::{Args, Tracer};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -122,7 +122,11 @@ impl Kernel {
             return false;
         }
         slot.pending_seq = Some(seq);
-        st.heap.push(Reverse(Timer { time, seq, pid: pid.0 }));
+        st.heap.push(Reverse(Timer {
+            time,
+            seq,
+            pid: pid.0,
+        }));
         true
     }
 
@@ -250,7 +254,11 @@ impl Kernel {
             st.procs.get_mut(&pid.0).unwrap().join = Some(jh);
         }
         self.schedule_wake(pid, self.now());
-        self.tracer.rec(self.now(), Some(pid), &format!("spawned '{name}'"));
+        self.tracer.name_proc(pid, name);
+        if self.tracer.armed() {
+            self.tracer
+                .rec(self.now(), Some(pid), &format!("spawned '{name}'"));
+        }
         ProcHandle::new(pid, Arc::clone(self))
     }
 
@@ -328,6 +336,57 @@ impl SimHandle {
     /// Access the tracer (enable, drain records).
     pub fn tracer(&self) -> &Tracer {
         &self.kernel.tracer
+    }
+
+    /// Whether telemetry collection is on. Check before building an
+    /// expensive event payload (formatted names, argument vectors).
+    #[inline]
+    pub fn telemetry_on(&self) -> bool {
+        self.kernel.tracer.is_enabled()
+    }
+
+    /// Open a telemetry span not attributed to any process; it ends when
+    /// the returned guard drops (or at an explicit [`Span::end`]).
+    pub fn span(&self, cat: &'static str, name: impl Into<String>) -> Span {
+        self.span_with(cat, name, Vec::new)
+    }
+
+    /// Open a telemetry span with arguments attached to its begin event.
+    /// `args` is only invoked when telemetry is on.
+    pub fn span_with(
+        &self,
+        cat: &'static str,
+        name: impl Into<String>,
+        args: impl FnOnce() -> Args,
+    ) -> Span {
+        Span::open(Arc::clone(&self.kernel), None, cat, name, args)
+    }
+
+    /// Emit a point-in-time telemetry event not attributed to any process.
+    pub fn instant(&self, cat: &'static str, name: impl Into<String>) {
+        self.instant_with(cat, name, Vec::new);
+    }
+
+    /// Emit an instant event with arguments; `args` is only invoked when
+    /// telemetry is on.
+    pub fn instant_with(
+        &self,
+        cat: &'static str,
+        name: impl Into<String>,
+        args: impl FnOnce() -> Args,
+    ) {
+        if self.kernel.tracer.armed() {
+            self.kernel
+                .tracer
+                .instant(self.now(), None, cat, name, args());
+        }
+    }
+
+    /// Emit a telemetry counter sample not attributed to any process.
+    pub fn counter(&self, cat: &'static str, name: impl Into<String>, value: f64) {
+        self.kernel
+            .tracer
+            .counter(self.now(), None, cat, name, value);
     }
 }
 
@@ -511,9 +570,7 @@ impl Simulation {
             loop {
                 match st.heap.peek() {
                     None => return Ok(StepResult::Quiescent),
-                    Some(Reverse(t)) if t.time > limit => {
-                        return Ok(StepResult::LimitReached)
-                    }
+                    Some(Reverse(t)) if t.time > limit => return Ok(StepResult::LimitReached),
                     Some(_) => {}
                 }
                 let Reverse(t) = st.heap.pop().unwrap();

@@ -57,10 +57,10 @@ pub use error::{Killed, SimError};
 pub use flownet::{FlowNet, LinkId};
 pub use kernel::{ProcId, RunOutcome, SimHandle, Simulation};
 pub use link::{Link, LinkStats, Sharing};
-pub use process::{Ctx, ProcHandle};
+pub use process::{Ctx, ProcHandle, Span};
 pub use sync::{Countdown, Event, Gate, Queue, Semaphore};
 pub use time::SimTime;
-pub use trace::{TraceRecord, Tracer};
+pub use trace::{ArgValue, Args, EventKind, TraceEvent, TraceRecord, Tracer};
 
 /// Convenience constructors for [`std::time::Duration`] used pervasively in
 /// simulation code and tests.

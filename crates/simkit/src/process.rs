@@ -3,6 +3,7 @@
 use crate::error::Killed;
 use crate::kernel::{Kernel, ProcId, SimHandle, YieldMsg};
 use crate::time::SimTime;
+use crate::trace::Args;
 use rand::rngs::StdRng;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
@@ -97,6 +98,57 @@ impl Ctx {
         self.kernel.tracer.rec(self.now(), Some(self.pid), msg);
     }
 
+    /// Whether telemetry collection is on. Check before building an
+    /// expensive event payload (formatted names, argument vectors).
+    #[inline]
+    pub fn telemetry_on(&self) -> bool {
+        self.kernel.tracer.is_enabled()
+    }
+
+    /// Open a telemetry span attributed to this process; it ends when the
+    /// returned guard drops (or at an explicit [`Span::end`]).
+    pub fn span(&self, cat: &'static str, name: impl Into<String>) -> Span {
+        self.span_with(cat, name, Vec::new)
+    }
+
+    /// Open a telemetry span with arguments attached to its begin event.
+    /// `args` is only invoked when telemetry is on.
+    pub fn span_with(
+        &self,
+        cat: &'static str,
+        name: impl Into<String>,
+        args: impl FnOnce() -> Args,
+    ) -> Span {
+        Span::open(Arc::clone(&self.kernel), Some(self.pid), cat, name, args)
+    }
+
+    /// Emit a point-in-time telemetry event attributed to this process.
+    pub fn instant(&self, cat: &'static str, name: impl Into<String>) {
+        self.instant_with(cat, name, Vec::new);
+    }
+
+    /// Emit an instant event with arguments; `args` is only invoked when
+    /// telemetry is on.
+    pub fn instant_with(
+        &self,
+        cat: &'static str,
+        name: impl Into<String>,
+        args: impl FnOnce() -> Args,
+    ) {
+        if self.kernel.tracer.armed() {
+            self.kernel
+                .tracer
+                .instant(self.now(), Some(self.pid), cat, name, args());
+        }
+    }
+
+    /// Emit a telemetry counter sample attributed to this process.
+    pub fn counter(&self, cat: &'static str, name: impl Into<String>, value: f64) {
+        self.kernel
+            .tracer
+            .counter(self.now(), Some(self.pid), cat, name, value);
+    }
+
     /// Terminate this process immediately (clean voluntary exit via the
     /// kill-unwind path).
     pub fn exit(&self) -> ! {
@@ -129,7 +181,6 @@ impl Ctx {
             .expect("scheduler dropped resume channel");
         self.check_killed();
     }
-
 }
 
 /// Handle to a spawned process: query liveness, kill it, or `join` it from
@@ -164,5 +215,59 @@ impl ProcHandle {
 impl std::fmt::Debug for ProcHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "ProcHandle({:?})", self.pid)
+    }
+}
+
+/// RAII telemetry span: emits a begin event when opened (via
+/// [`Ctx::span`]/[`SimHandle::span`]) and the matching end event — stamped
+/// with the virtual time at that moment — when dropped or explicitly
+/// closed with [`Span::end`].
+///
+/// When telemetry is off at open time the span is disarmed: no event is
+/// built and drop is free.
+#[must_use = "a span ends when dropped; binding it to _ ends it immediately"]
+pub struct Span {
+    // None when telemetry was off at open time.
+    armed: Option<(Arc<Kernel>, Option<ProcId>, &'static str, String)>,
+}
+
+impl Span {
+    pub(crate) fn open(
+        kernel: Arc<Kernel>,
+        pid: Option<ProcId>,
+        cat: &'static str,
+        name: impl Into<String>,
+        args: impl FnOnce() -> Args,
+    ) -> Self {
+        if !kernel.tracer.is_enabled() {
+            return Span { armed: None };
+        }
+        let name = name.into();
+        kernel
+            .tracer
+            .begin(kernel.now(), pid, cat, name.clone(), args());
+        Span {
+            armed: Some((kernel, pid, cat, name)),
+        }
+    }
+
+    /// Close the span now, attaching `args` to the end event.
+    pub fn end_with(mut self, args: Args) {
+        if let Some((kernel, pid, cat, name)) = self.armed.take() {
+            kernel.tracer.end(kernel.now(), pid, cat, name, args);
+        }
+    }
+
+    /// Close the span now.
+    pub fn end(self) {
+        self.end_with(Vec::new());
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((kernel, pid, cat, name)) = self.armed.take() {
+            kernel.tracer.end(kernel.now(), pid, cat, name, Vec::new());
+        }
     }
 }

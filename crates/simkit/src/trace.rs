@@ -1,11 +1,29 @@
-//! Lightweight execution tracing for debugging protocol interactions.
+//! Structured execution tracing: the workspace-wide telemetry event bus.
+//!
+//! Every simulation [`Kernel`](crate::Simulation) owns one [`Tracer`].
+//! Instrumented code emits [`TraceEvent`]s — spans ([`EventKind::Begin`]/
+//! [`EventKind::End`]), point-in-time instants, numeric counter samples,
+//! and free-form log messages — stamped with virtual time and the emitting
+//! process id. Collection is **off by default**; when disabled, an emit is
+//! a single relaxed atomic load and no event payload is constructed
+//! (span/instant helpers take `impl Into<String>` and only materialise the
+//! name when armed).
+//!
+//! Downstream, the `telemetry` crate aggregates the event stream into
+//! counters/histograms and exports it as chrome://tracing JSON; the
+//! `jobmig-core` `Timeline` rebuilds per-phase stacks (paper Fig. 4) from
+//! `cat = "phase"` spans.
+//!
+//! Because the kernel is deterministic, the event sequence for a given
+//! seed is bit-for-bit reproducible — traces are comparable across runs.
 
 use crate::kernel::ProcId;
 use crate::time::SimTime;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-/// A single trace record.
+/// A single legacy trace record (free-form message view of the stream).
 #[derive(Debug, Clone)]
 pub struct TraceRecord {
     /// Virtual time of the record.
@@ -16,14 +34,94 @@ pub struct TraceRecord {
     pub msg: String,
 }
 
-/// Collects [`TraceRecord`]s when enabled; optionally echoes them to stderr
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Start of a span; paired with the next [`EventKind::End`] of the
+    /// same `(pid, cat, name)`.
+    Begin,
+    /// End of a span.
+    End,
+    /// A point-in-time marker.
+    Instant,
+    /// A sampled numeric series value (queue depth, bytes in flight, ...).
+    Counter(f64),
+    /// A free-form log message (the legacy [`Ctx::trace`](crate::Ctx::trace) path).
+    Message,
+}
+
+/// A typed argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (ids, byte counts, chunk indexes).
+    U64(u64),
+    /// Floating point (rates, fractions).
+    F64(f64),
+    /// Text (names, transport kinds).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// Key–value pairs attached to an event.
+pub type Args = Vec<(&'static str, ArgValue)>;
+
+/// One structured telemetry event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Virtual time the event was emitted.
+    pub time: SimTime,
+    /// Emitting process, if emitted from process context.
+    pub pid: Option<ProcId>,
+    /// Category: a short static label grouping related events
+    /// (`"phase"`, `"rdma"`, `"ckpt"`, `"ftb"`, `"store"`, `"mpi"`, `"log"`).
+    pub cat: &'static str,
+    /// Event name within the category.
+    pub name: String,
+    /// What the event marks.
+    pub kind: EventKind,
+    /// Optional structured arguments.
+    pub args: Args,
+}
+
+/// Collects [`TraceEvent`]s when enabled; optionally echoes them to stderr
 /// as they are produced (useful when a test deadlocks before it can drain).
 ///
-/// Disabled by default; recording is a single relaxed atomic load when off.
+/// Disabled by default; an emit is a single relaxed atomic load when off.
 pub struct Tracer {
     enabled: AtomicBool,
     echo: AtomicBool,
-    records: Mutex<Vec<TraceRecord>>,
+    events: Mutex<Vec<TraceEvent>>,
+    proc_names: Mutex<HashMap<u32, String>>,
 }
 
 impl Tracer {
@@ -31,57 +129,202 @@ impl Tracer {
         Tracer {
             enabled: AtomicBool::new(false),
             echo: AtomicBool::new(false),
-            records: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
+            proc_names: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Turn record collection on or off.
+    /// Turn event collection on or off.
     pub fn set_enabled(&self, on: bool) {
         self.enabled.store(on, Ordering::Relaxed);
     }
 
-    /// Also print each record to stderr as it is recorded.
+    /// Also print each event to stderr as it is recorded.
     pub fn set_echo(&self, on: bool) {
         self.echo.store(on, Ordering::Relaxed);
     }
 
-    /// Whether collection is enabled.
+    /// Whether collection is enabled. Check this before building an
+    /// expensive event payload (formatted names, argument vectors).
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    pub(crate) fn rec(&self, time: SimTime, pid: Option<ProcId>, msg: &str) {
-        let enabled = self.enabled.load(Ordering::Relaxed);
-        let echo = self.echo.load(Ordering::Relaxed);
-        if !enabled && !echo {
+    #[inline]
+    pub(crate) fn armed(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed) || self.echo.load(Ordering::Relaxed)
+    }
+
+    /// Record a process name so exporters can label its track. Called by
+    /// the kernel on every spawn; names survive `drain_events`.
+    pub(crate) fn name_proc(&self, pid: ProcId, name: &str) {
+        self.proc_names.lock().insert(pid.0, name.to_string());
+    }
+
+    /// Known process names, by raw pid.
+    pub fn proc_names(&self) -> HashMap<u32, String> {
+        self.proc_names.lock().clone()
+    }
+
+    /// Append a structured event (no-op unless enabled or echoing).
+    pub fn emit(&self, ev: TraceEvent) {
+        if !self.armed() {
             return;
         }
-        if echo {
-            match pid {
-                Some(p) => eprintln!("[{time}] {p:?}: {msg}"),
-                None => eprintln!("[{time}] {msg}"),
+        if self.echo.load(Ordering::Relaxed) {
+            let t = ev.time;
+            let what = match &ev.kind {
+                EventKind::Begin => format!("[{}] {} begin", ev.cat, ev.name),
+                EventKind::End => format!("[{}] {} end", ev.cat, ev.name),
+                EventKind::Instant => format!("[{}] {}", ev.cat, ev.name),
+                EventKind::Counter(v) => format!("[{}] {} = {v}", ev.cat, ev.name),
+                EventKind::Message => ev.name.clone(),
+            };
+            match ev.pid {
+                Some(p) => eprintln!("[{t}] {p:?}: {what}"),
+                None => eprintln!("[{t}] {what}"),
             }
         }
-        if enabled {
-            self.records.lock().push(TraceRecord {
-                time,
-                pid,
-                msg: msg.to_string(),
-            });
+        if self.enabled.load(Ordering::Relaxed) {
+            self.events.lock().push(ev);
         }
     }
 
-    /// Remove and return all collected records.
+    /// Emit a span-begin event.
+    pub fn begin(
+        &self,
+        time: SimTime,
+        pid: Option<ProcId>,
+        cat: &'static str,
+        name: impl Into<String>,
+        args: Args,
+    ) {
+        if !self.armed() {
+            return;
+        }
+        self.emit(TraceEvent {
+            time,
+            pid,
+            cat,
+            name: name.into(),
+            kind: EventKind::Begin,
+            args,
+        });
+    }
+
+    /// Emit a span-end event.
+    pub fn end(
+        &self,
+        time: SimTime,
+        pid: Option<ProcId>,
+        cat: &'static str,
+        name: impl Into<String>,
+        args: Args,
+    ) {
+        if !self.armed() {
+            return;
+        }
+        self.emit(TraceEvent {
+            time,
+            pid,
+            cat,
+            name: name.into(),
+            kind: EventKind::End,
+            args,
+        });
+    }
+
+    /// Emit a point-in-time instant event.
+    pub fn instant(
+        &self,
+        time: SimTime,
+        pid: Option<ProcId>,
+        cat: &'static str,
+        name: impl Into<String>,
+        args: Args,
+    ) {
+        if !self.armed() {
+            return;
+        }
+        self.emit(TraceEvent {
+            time,
+            pid,
+            cat,
+            name: name.into(),
+            kind: EventKind::Instant,
+            args,
+        });
+    }
+
+    /// Emit a counter sample.
+    pub fn counter(
+        &self,
+        time: SimTime,
+        pid: Option<ProcId>,
+        cat: &'static str,
+        name: impl Into<String>,
+        value: f64,
+    ) {
+        if !self.armed() {
+            return;
+        }
+        self.emit(TraceEvent {
+            time,
+            pid,
+            cat,
+            name: name.into(),
+            kind: EventKind::Counter(value),
+            args: Vec::new(),
+        });
+    }
+
+    /// Legacy free-form message record.
+    pub(crate) fn rec(&self, time: SimTime, pid: Option<ProcId>, msg: &str) {
+        if !self.armed() {
+            return;
+        }
+        self.emit(TraceEvent {
+            time,
+            pid,
+            cat: "log",
+            name: msg.to_string(),
+            kind: EventKind::Message,
+            args: Vec::new(),
+        });
+    }
+
+    /// Remove and return all collected events.
+    pub fn drain_events(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Clone the collected events without draining them.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Remove all collected events and return the free-form-message ones
+    /// as legacy [`TraceRecord`]s. Structured events are discarded; use
+    /// [`Tracer::drain_events`] to keep them.
     pub fn drain(&self) -> Vec<TraceRecord> {
-        std::mem::take(&mut *self.records.lock())
+        self.drain_events()
+            .into_iter()
+            .filter(|e| matches!(e.kind, EventKind::Message))
+            .map(|e| TraceRecord {
+                time: e.time,
+                pid: e.pid,
+                msg: e.name,
+            })
+            .collect()
     }
 
-    /// Number of collected records.
+    /// Number of collected events.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.events.lock().len()
     }
 
-    /// Whether no records have been collected.
+    /// Whether no events have been collected.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -95,7 +338,9 @@ mod tests {
     fn disabled_tracer_records_nothing() {
         let t = Tracer::new();
         t.rec(SimTime::ZERO, None, "hello");
+        t.instant(SimTime::ZERO, None, "rdma", "chunk", Vec::new());
         assert!(t.is_empty());
+        assert!(!t.is_enabled());
     }
 
     #[test]
@@ -110,5 +355,43 @@ mod tests {
         assert_eq!(recs[0].pid, Some(ProcId(3)));
         assert_eq!(recs[1].time.as_nanos(), 9);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn structured_events_roundtrip() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.begin(
+            SimTime::from_nanos(1),
+            Some(ProcId(1)),
+            "phase",
+            "migrate",
+            vec![("cycle", 0u64.into())],
+        );
+        t.counter(SimTime::from_nanos(2), None, "store", "dirty", 0.5);
+        t.end(
+            SimTime::from_nanos(3),
+            Some(ProcId(1)),
+            "phase",
+            "migrate",
+            Vec::new(),
+        );
+        let evs = t.drain_events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].kind, EventKind::Begin);
+        assert_eq!(evs[0].args, vec![("cycle", ArgValue::U64(0))]);
+        assert_eq!(evs[1].kind, EventKind::Counter(0.5));
+        assert_eq!(evs[2].kind, EventKind::End);
+    }
+
+    #[test]
+    fn legacy_drain_skips_structured_events() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.instant(SimTime::ZERO, None, "ftb", "publish", Vec::new());
+        t.rec(SimTime::ZERO, None, "msg");
+        let recs = t.drain();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].msg, "msg");
     }
 }

@@ -62,6 +62,7 @@ struct DirtyState {
 /// A disk: a seek-degraded fluid link plus dirty-page accounting.
 #[derive(Clone)]
 pub struct Disk {
+    name: Arc<str>,
     cfg: Arc<DiskConfig>,
     link: Link,
     dirty: Arc<Mutex<DirtyState>>,
@@ -77,6 +78,7 @@ impl Disk {
             Sharing::Degraded { alpha: cfg.alpha },
         );
         Disk {
+            name: name.into(),
             cfg: Arc::new(cfg),
             link,
             dirty: Arc::new(Mutex::new(DirtyState {
@@ -84,6 +86,11 @@ impl Disk {
                 at: handle.now(),
             })),
         }
+    }
+
+    /// The disk's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Configuration in effect.
@@ -109,7 +116,11 @@ impl Disk {
     /// Durable write: goes straight through the spindle (O_SYNC /
     /// fsync-per-chunk, as BLCR checkpoint streams behave).
     pub fn write_sync(&self, ctx: &Ctx, bytes: u64) {
+        let span = ctx.span_with("store", "write_sync", || {
+            vec![("disk", (&*self.name).into()), ("bytes", bytes.into())]
+        });
         self.link.transfer(ctx, bytes);
+        span.end();
     }
 
     /// Buffered write: absorbed at memory speed within the dirty budget,
@@ -129,6 +140,10 @@ impl Disk {
         if spill > 0.5 {
             self.link.transfer(ctx, spill as u64);
         }
+        if ctx.telemetry_on() {
+            let level = self.decay_dirty(ctx.now());
+            ctx.counter("store", format!("dirty:{}", self.name), level);
+        }
     }
 
     /// Read `bytes`, of which `cached_bytes` hit the page cache.
@@ -144,6 +159,13 @@ impl Disk {
             let charged = (cold as f64 / self.cfg.read_factor.max(1.0)) as u64;
             self.link.transfer(ctx, charged.max(1));
         }
+        ctx.instant_with("store", "read", || {
+            vec![
+                ("disk", (&*self.name).into()),
+                ("bytes", bytes.into()),
+                ("cached", cached.into()),
+            ]
+        });
     }
 
     /// Current dirty-page level (after decay), for tests.
@@ -187,8 +209,12 @@ mod tests {
         let disk = Disk::new(&sim.handle(), "d", cfg());
         sim.spawn("w", move |ctx| {
             disk.write_buffered(ctx, 40_000_000); // 40 MB < 50 MB budget
-            // 40 MB at 1 GB/s = 40 ms, nowhere near 400 ms of disk time
-            assert!(ctx.now().as_millis() < 60, "took {}ms", ctx.now().as_millis());
+                                                  // 40 MB at 1 GB/s = 40 ms, nowhere near 400 ms of disk time
+            assert!(
+                ctx.now().as_millis() < 60,
+                "took {}ms",
+                ctx.now().as_millis()
+            );
         });
         sim.run().unwrap();
     }

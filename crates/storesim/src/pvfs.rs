@@ -67,6 +67,8 @@ pub struct Pvfs {
     inner: Arc<Mutex<Inner>>,
     written: Arc<AtomicU64>,
     read: Arc<AtomicU64>,
+    /// Stripe operations currently in flight per server (telemetry).
+    inflight: Arc<Vec<AtomicU64>>,
 }
 
 impl Pvfs {
@@ -75,6 +77,7 @@ impl Pvfs {
         let disks = (0..cfg.servers)
             .map(|i| Disk::new(handle, &format!("pvfs-srv{i}"), cfg.disk.clone()))
             .collect();
+        let inflight = (0..cfg.servers).map(|_| AtomicU64::new(0)).collect();
         Pvfs {
             cfg: Arc::new(cfg),
             server_disks: Arc::new(disks),
@@ -85,6 +88,7 @@ impl Pvfs {
             })),
             written: Arc::new(AtomicU64::new(0)),
             read: Arc::new(AtomicU64::new(0)),
+            inflight: Arc::new(inflight),
         }
     }
 
@@ -134,6 +138,11 @@ impl Pvfs {
         op: StripeOp,
         cached: u64,
     ) {
+        let telemetry = ctx.telemetry_on();
+        if telemetry {
+            let depth = self.inflight[server_idx].fetch_add(1, Ordering::Relaxed) + 1;
+            ctx.counter("store", format!("pvfs_queue:srv{server_idx}"), depth as f64);
+        }
         if let Some((net, nodes)) = &self.transport {
             let server = nodes[server_idx];
             // Data flows client→server for writes, server→client for reads.
@@ -146,6 +155,10 @@ impl Pvfs {
         match op {
             StripeOp::Write => disk.write_sync(ctx, bytes),
             StripeOp::Read => disk.read(ctx, bytes, cached),
+        }
+        if telemetry {
+            let depth = self.inflight[server_idx].fetch_sub(1, Ordering::Relaxed) - 1;
+            ctx.counter("store", format!("pvfs_queue:srv{server_idx}"), depth as f64);
         }
     }
 }
@@ -200,6 +213,9 @@ impl CkptStore for PvfsClient {
                 .unwrap_or_else(|| panic!("append to nonexistent PVFS file {path}"));
             (f.len, f.start_server)
         };
+        let span = ctx.span_with("store", "pvfs_append", || {
+            vec![("path", path.into()), ("bytes", len.into())]
+        });
         let mut remaining = len;
         while remaining > 0 {
             let within = offset % stripe;
@@ -210,6 +226,7 @@ impl CkptStore for PvfsClient {
             offset += chunk;
             remaining -= chunk;
         }
+        span.end();
         let mut inner = self.fs.inner.lock();
         let f = inner.files.get_mut(path).expect("file vanished mid-append");
         f.slices.push(data);
@@ -225,6 +242,13 @@ impl CkptStore for PvfsClient {
             let f = inner.files.get(path)?;
             (f.slices.clone(), f.len, f.cached, f.start_server)
         };
+        let span = ctx.span_with("store", "pvfs_read", || {
+            vec![
+                ("path", path.into()),
+                ("bytes", len.into()),
+                ("cached", cached.into()),
+            ]
+        });
         let stripe = self.fs.cfg.stripe;
         let nsrv = self.fs.cfg.servers;
         let mut offset = 0u64;
@@ -238,6 +262,7 @@ impl CkptStore for PvfsClient {
             cached_left -= chunk_cached;
             offset += chunk;
         }
+        span.end();
         self.fs.read.fetch_add(len, Ordering::Relaxed);
         Some(slices)
     }
@@ -342,7 +367,10 @@ mod tests {
         // 128 MiB total over 4 servers with ~4 streams each: aggregate
         // noticeably below the 400 MB/s ideal.
         let ms = done.load(Ordering::SeqCst);
-        assert!(ms > 380, "contended write finished suspiciously fast: {ms} ms");
+        assert!(
+            ms > 380,
+            "contended write finished suspiciously fast: {ms} ms"
+        );
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! Metrics aggregation and trace export for simulation runs.
+//!
+//! Consumes the structured event stream produced by `simkit::trace` and
+//! turns it into:
+//! - a [`Registry`] of counters, gauges, and histograms,
+//! - a chrome://tracing JSON document ([`chrome_trace`]) that opens
+//!   directly in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`,
+//! - a [`Timeline`] folding protocol-phase spans back into the per-cycle
+//!   phase stacks of the paper's Figure 4.
+
+pub mod chrome;
+pub mod registry;
+pub mod timeline;
+
+pub use chrome::{chrome_trace, write_chrome_trace};
+pub use registry::{CounterSnapshot, HistogramSnapshot, Registry};
+pub use timeline::{PhaseStack, Timeline};

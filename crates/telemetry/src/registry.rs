@@ -1,0 +1,238 @@
+//! Metric aggregation over the structured trace stream.
+
+use parking_lot::Mutex;
+use simkit::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Aggregated samples of one numeric series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One named monotonic counter value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// Metric name (`"cat/name"` for metrics derived from events).
+    pub name: String,
+    /// Accumulated value.
+    pub value: f64,
+}
+
+/// A registry of counters, gauges, and histograms.
+///
+/// Metrics can be driven directly (`inc`/`set_gauge`/`observe`) or
+/// derived wholesale from a trace with [`Registry::from_events`]:
+/// - every matched Begin/End span pair observes its duration (seconds)
+///   into histogram `span:{cat}/{name}`,
+/// - every `Counter` event sets gauge `{cat}/{name}` and observes the
+///   sample into a same-named histogram,
+/// - every `Instant` event increments counter `{cat}/{name}`.
+///
+/// Iteration order is name-sorted, so reports are deterministic.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, f64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, HistogramSnapshot>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Add `delta` to the named counter (created at 0).
+    pub fn inc(&self, name: &str, delta: f64) {
+        *self.counters.lock().entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Set the named gauge to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauges.lock().insert(name.to_string(), value);
+    }
+
+    /// Record one sample into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.histograms
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(HistogramSnapshot::empty)
+            .observe(value);
+    }
+
+    /// Current value of a counter, if it exists.
+    pub fn counter_value(&self, name: &str) -> Option<f64> {
+        self.counters.lock().get(name).copied()
+    }
+
+    /// Current value of a gauge, if it exists.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.lock().get(name).copied()
+    }
+
+    /// Snapshot of a histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms.lock().get(name).copied()
+    }
+
+    /// All counters, name-sorted.
+    pub fn counters(&self) -> Vec<CounterSnapshot> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|(name, &value)| CounterSnapshot {
+                name: name.clone(),
+                value,
+            })
+            .collect()
+    }
+
+    /// All gauges, name-sorted.
+    pub fn gauges(&self) -> Vec<CounterSnapshot> {
+        self.gauges
+            .lock()
+            .iter()
+            .map(|(name, &value)| CounterSnapshot {
+                name: name.clone(),
+                value,
+            })
+            .collect()
+    }
+
+    /// All histograms, name-sorted.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .lock()
+            .iter()
+            .map(|(name, &h)| (name.clone(), h))
+            .collect()
+    }
+
+    /// Build a registry from a trace. Spans are matched Begin→End by
+    /// `(pid, cat, name)` with a per-key stack, so nested and repeated
+    /// spans aggregate correctly.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let reg = Registry::new();
+        let mut open: BTreeMap<(Option<u32>, &str, &str), Vec<simkit::SimTime>> = BTreeMap::new();
+        for ev in events {
+            let key = (ev.pid.map(|p| p.0), ev.cat, ev.name.as_str());
+            match &ev.kind {
+                EventKind::Begin => open.entry(key).or_default().push(ev.time),
+                EventKind::End => {
+                    if let Some(t0) = open.get_mut(&key).and_then(Vec::pop) {
+                        let dt = ev.time.since(t0).as_secs_f64();
+                        reg.observe(&format!("span:{}/{}", ev.cat, ev.name), dt);
+                    }
+                }
+                EventKind::Instant => reg.inc(&format!("{}/{}", ev.cat, ev.name), 1.0),
+                EventKind::Counter(v) => {
+                    let name = format!("{}/{}", ev.cat, ev.name);
+                    reg.set_gauge(&name, *v);
+                    reg.observe(&name, *v);
+                }
+                EventKind::Message => reg.inc("log/messages", 1.0),
+            }
+        }
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::{ProcId, SimTime, TraceEvent};
+
+    fn ev(t: u64, pid: Option<u32>, cat: &'static str, name: &str, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_nanos(t),
+            pid: pid.map(ProcId),
+            cat,
+            name: name.to_string(),
+            kind,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn direct_metrics() {
+        let r = Registry::new();
+        r.inc("a", 1.0);
+        r.inc("a", 2.0);
+        r.set_gauge("g", 7.0);
+        r.observe("h", 1.0);
+        r.observe("h", 3.0);
+        assert_eq!(r.counter_value("a"), Some(3.0));
+        assert_eq!(r.gauge_value("g"), Some(7.0));
+        let h = r.histogram("h").unwrap();
+        assert_eq!((h.count, h.min, h.max, h.mean()), (2, 1.0, 3.0, 2.0));
+    }
+
+    #[test]
+    fn from_events_matches_spans_and_series() {
+        let evs = vec![
+            ev(0, Some(1), "phase", "migrate", EventKind::Begin),
+            ev(500, Some(2), "rdma", "read", EventKind::Instant),
+            ev(1_000, Some(1), "phase", "migrate", EventKind::End),
+            ev(1_500, None, "store", "dirty", EventKind::Counter(4.0)),
+            ev(2_000, None, "store", "dirty", EventKind::Counter(6.0)),
+            // nested + repeated span on another pid
+            ev(0, Some(3), "phase", "migrate", EventKind::Begin),
+            ev(3_000, Some(3), "phase", "migrate", EventKind::End),
+        ];
+        let r = Registry::from_events(&evs);
+        let spans = r.histogram("span:phase/migrate").unwrap();
+        assert_eq!(spans.count, 2);
+        assert!((spans.sum - 4e-6).abs() < 1e-12, "sum {}", spans.sum);
+        assert_eq!(r.counter_value("rdma/read"), Some(1.0));
+        assert_eq!(r.gauge_value("store/dirty"), Some(6.0));
+        assert_eq!(r.histogram("store/dirty").unwrap().count, 2);
+    }
+
+    #[test]
+    fn unmatched_end_is_ignored() {
+        let evs = vec![ev(10, None, "phase", "x", EventKind::End)];
+        let r = Registry::from_events(&evs);
+        assert!(r.histogram("span:phase/x").is_none());
+    }
+}

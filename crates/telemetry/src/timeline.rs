@@ -1,0 +1,255 @@
+//! Per-run phase timeline, reconstructed from trace events.
+//!
+//! The migration protocol (and the CR baseline) wrap each protocol phase
+//! in a `"phase"`-category span carrying a `cycle` argument. This module
+//! folds those spans back into per-cycle phase stacks — the same
+//! decomposition the paper's Figure 4 plots — so a run's timing breakdown
+//! can be regenerated from its trace alone, without the in-band
+//! [`MigrationReport`] bookkeeping.
+//!
+//! [`MigrationReport`]: https://docs.rs/jobmig-core
+
+use simkit::{ArgValue, EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The phase durations of one protocol cycle (migration or checkpoint),
+/// keyed by span name in first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseStack {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseStack {
+    /// Duration of phase `name`, if it was traced.
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+
+    /// All phases in the order they began.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// Sum of all phases (the cycle's wall time when phases are
+    /// contiguous, as the migration protocol's are).
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    fn add(&mut self, name: &str, d: Duration) {
+        match self.phases.iter_mut().find(|(n, _)| n == name) {
+            Some((_, acc)) => *acc += d,
+            None => self.phases.push((name.to_string(), d)),
+        }
+    }
+}
+
+/// Phase stacks for every traced protocol cycle of a run.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    cycles: BTreeMap<u64, PhaseStack>,
+}
+
+impl Timeline {
+    /// Fold `"phase"`-category spans out of `events`.
+    ///
+    /// A phase span is attributed to the cycle named by the `cycle`
+    /// argument on its Begin event; spans without one land in cycle 0.
+    /// Begin/End pairs are matched per (process, name) in LIFO order, so
+    /// nested re-entries of the same phase name accumulate correctly.
+    pub fn from_events(events: &[TraceEvent]) -> Timeline {
+        // Open Begin edges for one (process, phase-name) track: stack of
+        // (begin time, cycle id), popped LIFO when the End edge arrives.
+        type OpenSpans<'a> =
+            BTreeMap<(Option<simkit::ProcId>, &'a str), Vec<(simkit::SimTime, u64)>>;
+        let mut open: OpenSpans = BTreeMap::new();
+        let mut tl = Timeline::default();
+        for ev in events {
+            if ev.cat != "phase" {
+                continue;
+            }
+            match ev.kind {
+                EventKind::Begin => {
+                    let cycle = ev
+                        .args
+                        .iter()
+                        .find_map(|(k, v)| match (*k, v) {
+                            ("cycle", ArgValue::U64(c)) => Some(*c),
+                            _ => None,
+                        })
+                        .unwrap_or(0);
+                    open.entry((ev.pid, ev.name.as_str()))
+                        .or_default()
+                        .push((ev.time, cycle));
+                }
+                EventKind::End => {
+                    if let Some((t0, cycle)) =
+                        open.get_mut(&(ev.pid, ev.name.as_str())).and_then(Vec::pop)
+                    {
+                        let d = Duration::from_nanos(ev.time.as_nanos() - t0.as_nanos());
+                        tl.cycles.entry(cycle).or_default().add(&ev.name, d);
+                    }
+                }
+                _ => {}
+            }
+        }
+        tl
+    }
+
+    /// The stack for `cycle`, if any phase of it was traced.
+    pub fn cycle(&self, cycle: u64) -> Option<&PhaseStack> {
+        self.cycles.get(&cycle)
+    }
+
+    /// All traced cycles in id order.
+    pub fn cycles(&self) -> impl Iterator<Item = (u64, &PhaseStack)> {
+        self.cycles.iter().map(|(id, s)| (*id, s))
+    }
+
+    /// Number of traced cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether no phase spans were found.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Render the Figure 4-style text breakdown: one block per cycle,
+    /// one bar per phase, scaled to the cycle total.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (id, stack) in &self.cycles {
+            let total = stack.total();
+            let _ = writeln!(out, "cycle #{id}  total {total:.1?}");
+            for (name, d) in &stack.phases {
+                let frac = if total.is_zero() {
+                    0.0
+                } else {
+                    d.as_secs_f64() / total.as_secs_f64()
+                };
+                let filled = (frac * 40.0).round() as usize;
+                let _ = writeln!(
+                    out,
+                    "  {name:<12} |{:<40}| {d:>10.1?} ({:>5.1}%)",
+                    "#".repeat(filled.min(40)),
+                    frac * 100.0,
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+
+    fn ev(
+        t: u64,
+        pid: Option<simkit::ProcId>,
+        name: &str,
+        kind: EventKind,
+        cycle: Option<u64>,
+    ) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_nanos(t),
+            pid,
+            cat: "phase",
+            name: name.to_string(),
+            kind,
+            args: cycle
+                .map(|c| vec![("cycle", ArgValue::U64(c))])
+                .unwrap_or_default(),
+        }
+    }
+
+    #[test]
+    fn folds_phase_spans_per_cycle() {
+        let events = vec![
+            ev(
+                0,
+                Some(simkit::ProcId(1)),
+                "stall",
+                EventKind::Begin,
+                Some(1),
+            ),
+            ev(30, Some(simkit::ProcId(1)), "stall", EventKind::End, None),
+            ev(
+                30,
+                Some(simkit::ProcId(1)),
+                "migrate",
+                EventKind::Begin,
+                Some(1),
+            ),
+            ev(
+                480,
+                Some(simkit::ProcId(1)),
+                "migrate",
+                EventKind::End,
+                None,
+            ),
+            ev(
+                1000,
+                Some(simkit::ProcId(1)),
+                "stall",
+                EventKind::Begin,
+                Some(2),
+            ),
+            ev(1040, Some(simkit::ProcId(1)), "stall", EventKind::End, None),
+        ];
+        let tl = Timeline::from_events(&events);
+        assert_eq!(tl.len(), 2);
+        let c1 = tl.cycle(1).unwrap();
+        assert_eq!(c1.phase("stall"), Some(Duration::from_nanos(30)));
+        assert_eq!(c1.phase("migrate"), Some(Duration::from_nanos(450)));
+        assert_eq!(c1.total(), Duration::from_nanos(480));
+        assert_eq!(
+            tl.cycle(2).unwrap().phase("stall"),
+            Some(Duration::from_nanos(40))
+        );
+        assert!(tl.cycle(3).is_none());
+    }
+
+    #[test]
+    fn ignores_other_categories_and_unmatched_ends() {
+        let mut events = vec![ev(
+            5,
+            Some(simkit::ProcId(1)),
+            "stall",
+            EventKind::End,
+            None,
+        )];
+        events.push(TraceEvent {
+            time: SimTime::from_nanos(1),
+            pid: Some(simkit::ProcId(1)),
+            cat: "rdma",
+            name: "read".into(),
+            kind: EventKind::Begin,
+            args: Vec::new(),
+        });
+        let tl = Timeline::from_events(&events);
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn render_mentions_every_phase() {
+        let events = vec![
+            ev(
+                0,
+                Some(simkit::ProcId(1)),
+                "stall",
+                EventKind::Begin,
+                Some(1),
+            ),
+            ev(100, Some(simkit::ProcId(1)), "stall", EventKind::End, None),
+        ];
+        let out = Timeline::from_events(&events).render();
+        assert!(out.contains("cycle #1"));
+        assert!(out.contains("stall"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Golden-file test: the chrome-trace exporter's byte-exact output for a
+//! small fixed event stream. Guards the JSON shape Perfetto depends on —
+//! if the exporter changes intentionally, update the golden string.
+
+use simkit::{ArgValue, EventKind, ProcId, SimTime, TraceEvent};
+use std::collections::HashMap;
+use telemetry::chrome_trace;
+
+fn ev(
+    t: u64,
+    pid: Option<u32>,
+    cat: &'static str,
+    name: &str,
+    kind: EventKind,
+    args: Vec<(&'static str, ArgValue)>,
+) -> TraceEvent {
+    TraceEvent {
+        time: SimTime::from_nanos(t),
+        pid: pid.map(ProcId),
+        cat,
+        name: name.to_string(),
+        kind,
+        args,
+    }
+}
+
+#[test]
+fn golden_trace_output() {
+    let events = vec![
+        ev(
+            1_000,
+            Some(0),
+            "phase",
+            "stall",
+            EventKind::Begin,
+            vec![("cycle", ArgValue::U64(1))],
+        ),
+        ev(2_500, Some(0), "phase", "stall", EventKind::End, vec![]),
+        ev(
+            3_000,
+            Some(1),
+            "pool",
+            "chunk_submit",
+            EventKind::Instant,
+            vec![("slot", ArgValue::U64(3))],
+        ),
+        ev(
+            4_000,
+            None,
+            "store",
+            "dirty:d0",
+            EventKind::Counter(42.5),
+            vec![],
+        ),
+    ];
+    let mut names = HashMap::new();
+    names.insert(0u32, "job-manager".to_string());
+    let got = chrome_trace(&events, &names);
+    let want = concat!(
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"kernel\"}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"job-manager\"}},",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,\"args\":{\"name\":\"proc-1\"}},",
+        "{\"name\":\"stall\",\"cat\":\"phase\",\"ph\":\"B\",\"ts\":1,\"pid\":1,\"tid\":1,\"args\":{\"cycle\":1}},",
+        "{\"name\":\"stall\",\"cat\":\"phase\",\"ph\":\"E\",\"ts\":2.5,\"pid\":1,\"tid\":1},",
+        "{\"name\":\"chunk_submit\",\"cat\":\"pool\",\"ph\":\"i\",\"ts\":3,\"pid\":1,\"tid\":2,\"s\":\"t\",\"args\":{\"slot\":3}},",
+        "{\"name\":\"dirty:d0\",\"cat\":\"store\",\"ph\":\"C\",\"ts\":4,\"pid\":1,\"tid\":0,\"args\":{\"value\":42.5}}",
+        "]}"
+    );
+    assert_eq!(got, want);
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the benchmarking API this workspace uses —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`] — with
+//! a simple warmup-then-measure wall-clock loop instead of upstream's
+//! statistical engine. Reported numbers are per-iteration means, good
+//! enough to compare orders of magnitude and catch gross regressions.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from discarding a value (std's `black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+fn run_one<R>(name: &str, samples: usize, mut routine: impl FnMut() -> R) {
+    // warmup: one untimed call so lazy init and caches settle
+    black_box(routine());
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        black_box(routine());
+        let dt = t0.elapsed();
+        total += dt;
+        best = best.min(dt);
+    }
+    let mean = total / samples as u32;
+    println!("bench {name:<50} mean {mean:>12.3?}  best {best:>12.3?}  ({samples} samples)");
+}
+
+impl Criterion {
+    /// Time `f`'s [`Bencher::iter`] routine and print the mean.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Open a named group of benchmarks sharing a sample size.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// Runs and times a benchmark routine.
+pub struct Bencher {
+    name: String,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` for warmup plus `sample_size` timed samples.
+    pub fn iter<R>(&mut self, routine: impl FnMut() -> R) {
+        run_one(&self.name, self.sample_size, routine);
+    }
+}
+
+/// Group of benchmarks with a shared sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            name: format!("{}/{}", self.name, name),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one name, as in upstream's simple form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        c.bench_function("t", |b| b.iter(|| calls += 1));
+        // warmup + sample_size timed runs
+        assert_eq!(calls, 21);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("t", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 6);
+    }
+}

@@ -6,11 +6,7 @@
 //!
 //! Run with: `cargo run --release --example cr_vs_migration`
 
-use jobmig_core::prelude::*;
-use jobmig_core::report::CrStoreKind;
-use jobmig_core::runtime::JobSpec;
-use npbsim::{NpbApp, NpbClass, Workload};
-use simkit::{dur, SimTime, Simulation};
+use rdma_jobmig::prelude::*;
 use std::time::Duration;
 
 fn migration_cost() -> Duration {
@@ -20,7 +16,8 @@ fn migration_cost() -> Duration {
         &cluster,
         JobSpec::npb(Workload::new(NpbApp::Lu, NpbClass::C, 64), 8),
     );
-    rt.trigger_migration_after(dur::secs(30));
+    rt.control()
+        .migrate_after(dur::secs(30), MigrationRequest::new());
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     let r = &rt.migration_reports()[0];
     println!("  {r}");
@@ -37,9 +34,9 @@ fn cr_cost(store: CrStoreKind) -> Duration {
     let rt2 = rt.clone();
     sim.handle().spawn_daemon("script", move |ctx| {
         ctx.sleep(dur::secs(30));
-        rt2.trigger_checkpoint(store);
+        rt2.control().checkpoint(CheckpointRequest::to(store));
         ctx.sleep(dur::secs(60));
-        rt2.trigger_restart_from(1);
+        rt2.control().restart_from_checkpoint(1);
     });
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     let r = &rt.cr_reports()[0];
@@ -68,7 +65,5 @@ fn main() {
         pvfs.as_secs_f64(),
         pvfs.as_secs_f64() / mig.as_secs_f64()
     );
-    println!(
-        "\npaper (Fig. 7a): 6.3 s vs 12.9 s (2.03x) vs 28.3 s (4.49x)"
-    );
+    println!("\npaper (Fig. 7a): 6.3 s vs 12.9 s (2.03x) vs 28.3 s (4.49x)");
 }

@@ -6,12 +6,9 @@
 //!
 //! Run with: `cargo run --release --example health_triggered`
 
-use ftb::FtbClient;
-use healthmon::{MonitorConfig, SensorKind, SensorProfile};
-use jobmig_core::prelude::*;
-use jobmig_core::runtime::JobSpec;
-use npbsim::{NpbApp, NpbClass, Workload};
-use simkit::{SimTime, Simulation};
+use rdma_jobmig::ftb::FtbClient;
+use rdma_jobmig::healthmon::{self, MonitorConfig, SensorKind, SensorProfile};
+use rdma_jobmig::prelude::*;
 use std::time::Duration;
 
 fn main() {
@@ -50,7 +47,13 @@ fn main() {
                 SensorProfile::healthy(SensorKind::FanRpm, 8000.0, 120.0),
             ]
         };
-        healthmon::spawn_monitor(&sim.handle(), *node, profiles, client, MonitorConfig::default());
+        healthmon::spawn_monitor(
+            &sim.handle(),
+            *node,
+            profiles,
+            client,
+            MonitorConfig::default(),
+        );
     }
 
     println!(
@@ -58,7 +61,8 @@ fn main() {
         workload.name(),
         MonitorConfig::default().horizon.as_secs()
     );
-    sim.run_until_set(rt.completion(), SimTime::MAX).expect("simulation");
+    sim.run_until_set(rt.completion(), SimTime::MAX)
+        .expect("simulation");
 
     println!("application completed at t = {}", sim.now());
     let reports = rt.migration_reports();

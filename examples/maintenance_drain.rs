@@ -6,10 +6,7 @@
 //!
 //! Run with: `cargo run --release --example maintenance_drain`
 
-use jobmig_core::prelude::*;
-use jobmig_core::runtime::JobSpec;
-use npbsim::{NpbApp, NpbClass, Workload};
-use simkit::{dur, SimTime, Simulation};
+use rdma_jobmig::prelude::*;
 
 fn main() {
     let mut sim = Simulation::new(7);
@@ -31,13 +28,16 @@ fn main() {
     sim.handle().spawn_daemon("operator", move |ctx| {
         ctx.sleep(dur::secs(25));
         println!("[t={}] operator: draining {first}", ctx.now());
-        rt2.trigger_migration(Some(first));
+        rt2.control()
+            .migrate(MigrationRequest::new().from_node(first));
         ctx.sleep(dur::secs(55));
         println!("[t={}] operator: draining {second}", ctx.now());
-        rt2.trigger_migration(Some(second));
+        rt2.control()
+            .migrate(MigrationRequest::new().from_node(second));
     });
 
-    sim.run_until_set(rt.completion(), SimTime::MAX).expect("simulation");
+    sim.run_until_set(rt.completion(), SimTime::MAX)
+        .expect("simulation");
 
     println!("application completed at t = {}", sim.now());
     for r in rt.migration_reports() {

@@ -3,14 +3,34 @@
 //! phase-decomposed report (the Figure 4 measurement for one application).
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Pass `--trace out.json` to record the run's structured telemetry and
+//! export it as a chrome://tracing JSON file — open it in Perfetto
+//! (<https://ui.perfetto.dev>) to see the four migration phases, per-chunk
+//! RDMA Reads, and checkpoint stream progress on a zoomable timeline.
 
-use jobmig_core::prelude::*;
-use jobmig_core::runtime::JobSpec;
-use npbsim::{NpbApp, NpbClass, Workload};
-use simkit::{dur, SimTime, Simulation};
+use rdma_jobmig::prelude::*;
 
 fn main() {
+    let trace_path = {
+        let mut args = std::env::args().skip(1);
+        match args.next().as_deref() {
+            Some("--trace") => Some(args.next().unwrap_or_else(|| {
+                eprintln!("usage: quickstart [--trace OUT.json]");
+                std::process::exit(2);
+            })),
+            Some(other) => {
+                eprintln!("unknown argument '{other}'; usage: quickstart [--trace OUT.json]");
+                std::process::exit(2);
+            }
+            None => None,
+        }
+    };
+
     let mut sim = Simulation::new(2010);
+    if trace_path.is_some() {
+        sim.handle().tracer().set_enabled(true);
+    }
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::paper_testbed());
     let workload = Workload::new(NpbApp::Lu, NpbClass::C, 64);
     println!(
@@ -25,7 +45,8 @@ fn main() {
     // A user-initiated migration trigger 30 s into the run, as in §IV
     // ("we simulate the migration trigger by firing a user signal to the
     // Job Manager").
-    rt.trigger_migration_after(dur::secs(30));
+    rt.control()
+        .migrate_after(dur::secs(30), MigrationRequest::new().label("quickstart"));
 
     sim.run_until_set(rt.completion(), SimTime::MAX)
         .expect("simulation");
@@ -40,5 +61,18 @@ fn main() {
             report.restart.as_secs_f64() * 1e3,
             report.resume.as_secs_f64() * 1e3,
         );
+    }
+
+    if let Some(path) = trace_path {
+        let handle = sim.handle();
+        let events = handle.tracer().drain_events();
+        let names = handle.tracer().proc_names();
+        telemetry::write_chrome_trace(&path, &events, &names).expect("write trace");
+        println!(
+            "\nwrote {} trace events to {path} (open in https://ui.perfetto.dev)",
+            events.len()
+        );
+        let tl = Timeline::from_events(&events);
+        print!("{}", tl.render());
     }
 }

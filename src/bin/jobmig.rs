@@ -31,7 +31,7 @@ fn parse_u32(s: &str, what: &str) -> Result<u32, String> {
 }
 
 fn migrate(app: NpbApp, np: u32, ppn: u32) -> Result<(), String> {
-    if np == 0 || !np.is_power_of_two() || ppn == 0 || np % ppn != 0 {
+    if np == 0 || !np.is_power_of_two() || ppn == 0 || !np.is_multiple_of(ppn) {
         return Err("need power-of-two NP divisible by PPN".into());
     }
     let nodes = np / ppn;
@@ -46,7 +46,8 @@ fn migrate(app: NpbApp, np: u32, ppn: u32) -> Result<(), String> {
         wl.per_proc_image() as f64 / 1e6
     );
     let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, ppn));
-    rt.trigger_migration_after(dur::secs(30));
+    rt.control()
+        .migrate_after(dur::secs(30), MigrationRequest::new());
     let rt2 = rt.clone();
     bench::run_until_pred(&mut sim, move || !rt2.migration_reports().is_empty(), 600);
     println!("{}", rt.migration_reports()[0]);
@@ -73,7 +74,8 @@ fn full_run_quickstart() -> Result<(), String> {
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::paper_testbed());
     let wl = Workload::new(NpbApp::Lu, NpbClass::C, 64);
     let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 8));
-    rt.trigger_migration_after(dur::secs(30));
+    rt.control()
+        .migrate_after(dur::secs(30), MigrationRequest::new());
     sim.run_until_set(rt.completion(), SimTime::MAX)
         .map_err(|e| e.to_string())?;
     println!("completed at t = {}", sim.now());

@@ -15,3 +15,20 @@ pub use mpisim;
 pub use npbsim;
 pub use simkit;
 pub use storesim;
+pub use telemetry;
+
+/// One-line import for examples, tests, and downstream experiments:
+/// `use rdma_jobmig::prelude::*;` brings in the cluster builder, the job
+/// runtime and its typed control plane, the report types, workload
+/// definitions, and the telemetry surface.
+pub mod prelude {
+    pub use jobmig_core::bufpool::{PoolConfig, RestartMode, Transport};
+    pub use jobmig_core::cluster::{Cluster, ClusterSpec};
+    pub use jobmig_core::report::{CrReport, CrStoreKind, MigrationReport};
+    pub use jobmig_core::runtime::{
+        AppBody, CheckpointRequest, Control, JobRuntime, JobSpec, MigrationRequest,
+    };
+    pub use npbsim::{NpbApp, NpbClass, Workload};
+    pub use simkit::{dur, SimTime, Simulation};
+    pub use telemetry::{chrome_trace, write_chrome_trace, Registry, Timeline};
+}

@@ -15,7 +15,8 @@ fn paper_testbed_migration_shape() {
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::paper_testbed());
     let wl = Workload::new(NpbApp::Lu, NpbClass::C, 64);
     let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 8));
-    rt.trigger_migration_after(dur::secs(30));
+    rt.control()
+        .migrate_after(dur::secs(30), MigrationRequest::new());
     // run only as far as the cycle needs (the full app takes ~160 s)
     let rt2 = rt.clone();
     while rt2.migration_reports().is_empty() {
@@ -67,7 +68,7 @@ fn scale_checkpoint(store: CrStoreKind) -> std::time::Duration {
     let rt2 = rt.clone();
     sim.handle().spawn_daemon("t", move |ctx| {
         ctx.sleep(dur::secs(20));
-        rt2.trigger_checkpoint(store);
+        rt2.control().checkpoint(CheckpointRequest::to(store));
     });
     let rt3 = rt.clone();
     while rt3.cr_reports().is_empty() {
@@ -86,7 +87,8 @@ fn migrated_job_result_is_bit_identical() {
         let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
         let wl = Workload::new(NpbApp::Bt, NpbClass::A, 4);
         let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2));
-        rt.trigger_migration_after(dur::secs(50));
+        rt.control()
+            .migrate_after(dur::secs(50), MigrationRequest::new());
         sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
         let st = rt.job().stats();
         (sim.now().as_nanos(), st.messages, st.bytes)
@@ -103,7 +105,8 @@ fn image_integrity_is_checked_end_to_end() {
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
     let wl = Workload::new(NpbApp::Sp, NpbClass::A, 4);
     let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2));
-    rt.trigger_migration_after(dur::secs(30));
+    rt.control()
+        .migrate_after(dur::secs(30), MigrationRequest::new());
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     assert!(rt.is_complete());
     assert_eq!(rt.migration_reports().len(), 1);
