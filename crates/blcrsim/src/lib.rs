@@ -26,7 +26,9 @@ mod ops;
 mod stream;
 
 pub use image::{ProcessImage, Segment, SegmentKind};
-pub use ops::{Blcr, BlcrConfig, MemSource, RestartCosts, StoreSink, StoreSource};
+pub use ops::{
+    Blcr, BlcrConfig, BlcrFaultHook, CkptError, MemSource, RestartCosts, StoreSink, StoreSource,
+};
 pub use stream::{parse_stream, serialize_image, SliceCursor, StreamError};
 
 use ibfabric::DataSlice;
@@ -37,6 +39,14 @@ pub trait CheckpointSink {
     /// Write one run of stream bytes (already paid for by the memory
     /// walk); the sink charges its own transport/storage cost.
     fn write(&mut self, ctx: &Ctx, data: DataSlice);
+
+    /// Fallible write for fault-aware sinks (e.g. a store that may return
+    /// disk-full). The default delegates to [`CheckpointSink::write`] and
+    /// never fails.
+    fn try_write(&mut self, ctx: &Ctx, data: DataSlice) -> Result<(), CkptError> {
+        self.write(ctx, data);
+        Ok(())
+    }
 
     /// Stream complete: flush buffered state. Default: no-op.
     fn close(&mut self, _ctx: &Ctx) {}

@@ -4,10 +4,42 @@ use crate::image::ProcessImage;
 use crate::stream::{parse_stream, serialize_image, StreamError};
 use crate::{CheckpointSink, CheckpointSource};
 use ibfabric::DataSlice;
-use simkit::{Ctx, Link};
+use parking_lot::Mutex;
+use simkit::{Ctx, Link, SimTime};
+use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
-use storesim::CkptStore;
+use storesim::{CkptStore, StoreFault};
+
+/// A checkpoint dump failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptError {
+    /// The BLCR kernel thread failed mid-dump (injected write error).
+    WriteError,
+    /// The sink's backing store failed.
+    Store(StoreFault),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::WriteError => write!(f, "checkpoint write error"),
+            CkptError::Store(e) => write!(f, "checkpoint store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Injector consulted by [`Blcr::try_checkpoint`] on every stream chunk.
+/// The default is "no fault".
+pub trait BlcrFaultHook: Send + Sync {
+    /// Consulted once per pipeline chunk; returning `true` fails the dump
+    /// with [`CkptError::WriteError`] after `offset` bytes have streamed.
+    fn on_write(&self, _now: SimTime, _pid: u64, _offset: u64) -> bool {
+        false
+    }
+}
 
 /// BLCR engine tunables.
 #[derive(Debug, Clone)]
@@ -57,12 +89,17 @@ pub struct Blcr {
     /// Node memory bus used by checkpoint page walks and restart
     /// population; concurrent dumps on one node share it.
     membus: Link,
+    hook: Arc<Mutex<Option<Arc<dyn BlcrFaultHook>>>>,
 }
 
 impl Blcr {
     /// Create an engine over the node's memory-walk link.
     pub fn new(membus: Link, cfg: BlcrConfig) -> Self {
-        Blcr { cfg, membus }
+        Blcr {
+            cfg,
+            membus,
+            hook: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// The memory-walk link (for stats).
@@ -70,14 +107,37 @@ impl Blcr {
         &self.membus
     }
 
+    /// Install (or replace) the fault hook consulted by
+    /// [`Blcr::try_checkpoint`].
+    pub fn set_fault_hook(&self, hook: Arc<dyn BlcrFaultHook>) {
+        *self.hook.lock() = Some(hook);
+    }
+
     /// Dump `image` through `sink`, interleaving memory-walk and sink cost
     /// at chunk granularity. Returns the total stream bytes written.
+    ///
+    /// Infallible wrapper around [`Blcr::try_checkpoint`] for callers with
+    /// no recovery path; panics on an injected fault.
     pub fn checkpoint(
         &self,
         ctx: &Ctx,
         image: &ProcessImage,
         sink: &mut dyn CheckpointSink,
     ) -> u64 {
+        self.try_checkpoint(ctx, image, sink)
+            .unwrap_or_else(|e| panic!("unhandled checkpoint fault: {e}"))
+    }
+
+    /// Fallible checkpoint dump: surfaces injected BLCR write errors and
+    /// sink/store faults instead of panicking. On error the sink may hold
+    /// a partial stream; the caller owns cleanup (delete the file, abort
+    /// the migration cycle).
+    pub fn try_checkpoint(
+        &self,
+        ctx: &Ctx,
+        image: &ProcessImage,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<u64, CkptError> {
         let span = ctx.span_with("ckpt", "dump", || {
             vec![
                 ("pid", image.pid.into()),
@@ -92,8 +152,25 @@ impl Blcr {
             while offset < slice.len {
                 let n = self.cfg.chunk.min(slice.len - offset);
                 let piece = slice.slice(offset, n);
+                let injected = {
+                    let hook = self.hook.lock().clone();
+                    hook.is_some_and(|h| h.on_write(ctx.now(), image.pid, total))
+                };
+                if injected {
+                    span.end_with(vec![
+                        ("error", "write".into()),
+                        ("stream_bytes", total.into()),
+                    ]);
+                    return Err(CkptError::WriteError);
+                }
                 self.membus.transfer(ctx, n);
-                sink.write(ctx, piece);
+                if let Err(e) = sink.try_write(ctx, piece) {
+                    span.end_with(vec![
+                        ("error", "sink".into()),
+                        ("stream_bytes", total.into()),
+                    ]);
+                    return Err(e);
+                }
                 offset += n;
                 total += n;
                 ctx.counter("ckpt", "dump_bytes", total as f64);
@@ -101,7 +178,7 @@ impl Blcr {
         }
         sink.close(ctx);
         span.end_with(vec![("stream_bytes", total.into())]);
-        total
+        Ok(total)
     }
 
     /// Restore a process from `source`: read the stream (storage cost),
@@ -160,6 +237,16 @@ impl CheckpointSink for StoreSink {
             self.created = true;
         }
         self.store.append(ctx, &self.path, data, self.sync);
+    }
+
+    fn try_write(&mut self, ctx: &Ctx, data: DataSlice) -> Result<(), CkptError> {
+        if !self.created {
+            self.store.create(ctx, &self.path);
+            self.created = true;
+        }
+        self.store
+            .try_append(ctx, &self.path, data, self.sync)
+            .map_err(CkptError::Store)
     }
 }
 

@@ -57,6 +57,9 @@ pub struct PoolConfig {
     pub transport: Transport,
     /// Phase 3 restart strategy.
     pub restart_mode: RestartMode,
+    /// Per-chunk RDMA Read re-issue budget on CQ error or checksum
+    /// mismatch.
+    pub chunk_retries: u32,
 }
 
 impl Default for PoolConfig {
@@ -66,8 +69,37 @@ impl Default for PoolConfig {
             chunk_bytes: calib::CHUNK_BYTES,
             transport: Transport::RdmaRead,
             restart_mode: RestartMode::FileBased,
+            chunk_retries: calib::recovery().chunk_retries,
         }
     }
+}
+
+/// Positional sampled checksum over a slice stream, independent of slice
+/// boundaries (the target's RDMA Read may return different slicing than
+/// the source wrote). Samples up to 64 byte positions, endpoints
+/// included, and mixes in the position — so a full-chunk pattern swap, a
+/// truncation, or an offset shift all change the value.
+pub(crate) fn stream_checksum(slices: &[DataSlice]) -> u64 {
+    let total: u64 = slices.iter().map(|s| s.len).sum();
+    if total == 0 {
+        return 0;
+    }
+    const SAMPLES: u64 = 64;
+    let n = SAMPLES.min(total);
+    let mut acc: u64 = 0xfeed_f00d_0bad_cafe;
+    // Positions are non-decreasing: walk the stream with one cursor.
+    let mut si = 0usize;
+    let mut base = 0u64;
+    for i in 0..n {
+        let pos = if n == 1 { 0 } else { i * (total - 1) / (n - 1) };
+        while pos >= base + slices[si].len {
+            base += slices[si].len;
+            si += 1;
+        }
+        let b = slices[si].byte_at(pos - base);
+        acc = acc.rotate_left(7) ^ (b as u64) ^ pos.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    (acc << 1) ^ total
 }
 
 impl PoolConfig {
@@ -91,6 +123,10 @@ struct ChunkReq {
     slot: u32,
     len: u64,
     src_mr: RemoteMr,
+    /// Positional checksum of the chunk content (see [`stream_checksum`]);
+    /// the target verifies each pulled chunk against it and re-issues the
+    /// RDMA Read on mismatch.
+    checksum: u64,
 }
 
 /// End-of-stream marker for one process.
@@ -157,16 +193,16 @@ pub struct SourcePool {
 
 impl SourcePool {
     /// Set up the source manager on `hca`: registers the pool MR (timed),
-    /// publishes its QP address on `rendezvous`, and spawns the ack loop.
-    /// `nranks` is the number of local processes that will stream through
-    /// the pool.
+    /// publishes its QP address on `rendezvous`, and spawns the ack loop
+    /// (returned so an aborted cycle can kill it). `nranks` is the number
+    /// of local processes that will stream through the pool.
     pub fn setup(
         ctx: &Ctx,
         hca: &Hca,
         cfg: PoolConfig,
         nranks: u32,
         rendezvous: &PoolRendezvous,
-    ) -> Arc<SourcePool> {
+    ) -> (Arc<SourcePool>, simkit::ProcHandle) {
         let handle = ctx.handle();
         let mr = hca.register_mr(ctx, cfg.pool_bytes);
         let qp = hca.create_qp();
@@ -189,9 +225,11 @@ impl SourcePool {
             st,
         });
         // Ack loop: receives HELLO (target address), ACKs and DONE_ACK.
+        // A daemon: on a healthy cycle it exits at DONE_ACK; on an aborted
+        // one the runtime kills it.
         let p = Arc::clone(&pool);
-        ctx.spawn("srcpool-ackloop", move |ctx| p.ack_loop(ctx));
-        pool
+        let ack = ctx.spawn_daemon("srcpool-ackloop", move |ctx| p.ack_loop(ctx));
+        (pool, ack)
     }
 
     fn ack_loop(&self, ctx: &Ctx) {
@@ -241,6 +279,7 @@ impl SourcePool {
             slot: None,
             fill: 0,
             total: 0,
+            chunk: Vec::new(),
         }
     }
 
@@ -254,7 +293,7 @@ impl SourcePool {
         self.st.bytes_streamed.load(Ordering::Relaxed)
     }
 
-    fn submit_chunk(&self, ctx: &Ctx, rank: u32, slot: u32, len: u64) {
+    fn submit_chunk(&self, ctx: &Ctx, rank: u32, slot: u32, len: u64, checksum: u64) {
         ctx.sleep(calib::CHUNK_PROTOCOL_OVERHEAD);
         let outstanding = {
             let mut o = self.st.outstanding.lock();
@@ -272,46 +311,56 @@ impl SourcePool {
             ctx.counter("pool", "outstanding", outstanding as f64);
         }
         self.st.bytes_streamed.fetch_add(len, Ordering::Relaxed);
-        self.qp
-            .send(
-                ctx,
-                TAG_REQ,
-                Box::new(ChunkReq {
-                    rank,
-                    slot,
-                    len,
-                    src_mr: self.mr.remote(),
-                }),
-                96,
-            )
-            .expect("chunk request send");
+        // A failed control send (link fault) is treated as a lost message:
+        // the target never pulls the chunk, the pool stalls, and the Job
+        // Manager's phase deadline aborts and retries the cycle.
+        if let Err(e) = self.qp.send(
+            ctx,
+            TAG_REQ,
+            Box::new(ChunkReq {
+                rank,
+                slot,
+                len,
+                src_mr: self.mr.remote(),
+                checksum,
+            }),
+            96,
+        ) {
+            ctx.instant_with("pool", "control_send_failed", || {
+                vec![("msg", "chunk_req".into()), ("error", e.to_string().into())]
+            });
+        }
     }
 
     fn rank_eof(&self, ctx: &Ctx, rank: u32, total: u64, checksum: u64) {
         ctx.instant_with("pool", "rank_eof", || {
             vec![("rank", rank.into()), ("stream_bytes", total.into())]
         });
-        self.qp
-            .send(
-                ctx,
-                TAG_EOF,
-                Box::new(RankEof {
-                    rank,
-                    total_bytes: total,
-                    image_checksum: checksum,
-                }),
-                96,
-            )
-            .expect("eof send");
+        if let Err(e) = self.qp.send(
+            ctx,
+            TAG_EOF,
+            Box::new(RankEof {
+                rank,
+                total_bytes: total,
+                image_checksum: checksum,
+            }),
+            96,
+        ) {
+            ctx.instant_with("pool", "control_send_failed", || {
+                vec![("msg", "eof".into()), ("error", e.to_string().into())]
+            });
+        }
         let mut remaining = self.st.ranks_remaining.lock();
         *remaining -= 1;
         if *remaining == 0 {
             let mut sent = self.st.done_sent.lock();
             if !*sent {
                 *sent = true;
-                self.qp
-                    .send(ctx, TAG_DONE, Box::new(()), 64)
-                    .expect("done send");
+                if let Err(e) = self.qp.send(ctx, TAG_DONE, Box::new(()), 64) {
+                    ctx.instant_with("pool", "control_send_failed", || {
+                        vec![("msg", "done".into()), ("error", e.to_string().into())]
+                    });
+                }
             }
         }
     }
@@ -326,6 +375,9 @@ pub struct AggregationSink {
     slot: Option<u32>,
     fill: u64,
     total: u64,
+    /// Shadow of the slices written into the current chunk, for the
+    /// per-chunk checksum that rides the RDMA-read request.
+    chunk: Vec<DataSlice>,
 }
 
 impl AggregationSink {
@@ -349,13 +401,15 @@ impl AggregationSink {
     fn flush_chunk(&mut self, ctx: &Ctx) {
         if let Some(slot) = self.slot.take() {
             if self.fill > 0 {
-                self.pool.submit_chunk(ctx, self.rank, slot, self.fill);
+                let sum = stream_checksum(&self.chunk);
+                self.pool.submit_chunk(ctx, self.rank, slot, self.fill, sum);
             } else {
                 // nothing written: return the slot silently
                 self.pool.st.free_slots.lock().push(slot);
                 self.pool.st.slot_sem.release(1);
             }
             self.fill = 0;
+            self.chunk.clear();
         }
     }
 }
@@ -369,9 +423,9 @@ impl CheckpointSink for AggregationSink {
             let room = chunk - self.fill;
             let n = room.min(data.len - offset);
             let base = slot as u64 * chunk;
-            self.pool
-                .mr
-                .write_local(base + self.fill, data.slice(offset, n));
+            let part = data.slice(offset, n);
+            self.chunk.push(part.clone());
+            self.pool.mr.write_local(base + self.fill, part);
             self.fill += n;
             self.total += n;
             offset += n;
@@ -409,10 +463,21 @@ pub struct TargetResult {
     pub bytes_pulled: u64,
 }
 
+/// Why a target-side pull gave up. The Job Manager's Phase 2 deadline
+/// notices (no PIIC arrives) and aborts/retries the cycle.
+#[derive(Debug, Clone)]
+pub struct PullAbort {
+    /// What failed ("chunk", "store", "wire").
+    pub reason: &'static str,
+}
+
 /// Run the target-side buffer manager to completion: connect back to the
-/// source, pull every announced chunk with RDMA Read, append chunks to
-/// per-rank checkpoint files on `store` (buffered temp files), and
-/// acknowledge. Returns once the source signals DONE.
+/// source, pull every announced chunk with RDMA Read (re-issuing on CQ
+/// error or per-chunk checksum mismatch, within `cfg.chunk_retries`),
+/// append chunks to per-rank checkpoint files on `store` (buffered temp
+/// files), and acknowledge. Returns once the source signals DONE, or
+/// `Err` when a chunk cannot be obtained or staged — the caller leaves
+/// the cycle to the Job Manager's phase deadline.
 pub fn run_target_pool(
     ctx: &Ctx,
     hca: &Hca,
@@ -420,45 +485,71 @@ pub fn run_target_pool(
     rendezvous: &PoolRendezvous,
     store: Arc<dyn CkptStore>,
     file_prefix: &str,
-) -> TargetResult {
+) -> Result<TargetResult, PullAbort> {
     let src_addr = rendezvous.wait(ctx);
     // Local staging pool mirrors the source pool geometry.
     let _staging = hca.register_mr(ctx, cfg.pool_bytes);
     let qp = hca.create_qp();
-    qp.connect(ctx, src_addr).expect("target qp connect");
-    qp.send(ctx, TAG_HELLO, Box::new(qp.addr()), 64)
-        .expect("hello send");
+    if qp.connect(ctx, src_addr).is_err() {
+        return Err(PullAbort { reason: "wire" });
+    }
+    if qp.send(ctx, TAG_HELLO, Box::new(qp.addr()), 64).is_err() {
+        return Err(PullAbort { reason: "wire" });
+    }
 
     let mut images: HashMap<u32, AssembledImage> = HashMap::new();
     let mut created: HashMap<u32, String> = HashMap::new();
     let mut memory: HashMap<u32, Vec<DataSlice>> = HashMap::new();
     let mut bytes_pulled = 0u64;
     loop {
-        let msg = qp.recv(ctx).expect("target pool recv");
+        let Ok(msg) = qp.recv(ctx) else {
+            return Err(PullAbort { reason: "wire" });
+        };
         match msg.tag {
             TAG_REQ => {
                 let req = msg.body.downcast::<ChunkReq>().expect("req");
                 let base = req.slot as u64 * cfg.chunk_bytes;
-                let slices = match cfg.transport {
-                    Transport::RdmaRead => qp
-                        .rdma_read(ctx, &req.src_mr, base, req.len)
-                        .expect("rdma read of chunk"),
-                    Transport::IpoibStaged => {
-                        // Same wire, but through the socket stack: an
-                        // extra kernel copy on each side of the transfer.
-                        ctx.sleep(Duration::from_secs_f64(
-                            req.len as f64 / calib::IPOIB_COPY_BW,
-                        ));
-                        let slices = qp
-                            .rdma_read(ctx, &req.src_mr, base, req.len)
-                            .expect("staged read of chunk");
-                        ctx.sleep(Duration::from_secs_f64(
-                            req.len as f64 / calib::IPOIB_COPY_BW,
-                        ));
-                        slices
+                let mut tries = 0u32;
+                let slices = loop {
+                    let pulled = match cfg.transport {
+                        Transport::RdmaRead => qp.rdma_read(ctx, &req.src_mr, base, req.len),
+                        Transport::IpoibStaged => {
+                            // Same wire, but through the socket stack: an
+                            // extra kernel copy on each side of the
+                            // transfer.
+                            ctx.sleep(Duration::from_secs_f64(
+                                req.len as f64 / calib::IPOIB_COPY_BW,
+                            ));
+                            let r = qp.rdma_read(ctx, &req.src_mr, base, req.len);
+                            ctx.sleep(Duration::from_secs_f64(
+                                req.len as f64 / calib::IPOIB_COPY_BW,
+                            ));
+                            r
+                        }
+                    };
+                    bytes_pulled += req.len;
+                    let error: &'static str = match pulled {
+                        Ok(s) if stream_checksum(&s) == req.checksum => break s,
+                        Ok(_) => "checksum_mismatch",
+                        Err(ibfabric::VerbsError::CqError) => "cq_error",
+                        Err(_) => return Err(PullAbort { reason: "wire" }),
+                    };
+                    tries += 1;
+                    ctx.instant_with("pool", "chunk_reissue", || {
+                        vec![
+                            ("rank", req.rank.into()),
+                            ("slot", req.slot.into()),
+                            ("try", tries.into()),
+                            ("error", error.into()),
+                        ]
+                    });
+                    if tries > cfg.chunk_retries {
+                        ctx.instant_with("pool", "chunk_failed", || {
+                            vec![("rank", req.rank.into()), ("slot", req.slot.into())]
+                        });
+                        return Err(PullAbort { reason: "chunk" });
                     }
                 };
-                bytes_pulled += req.len;
                 ctx.instant_with("pool", "chunk_pull", || {
                     vec![
                         ("rank", req.rank.into()),
@@ -474,40 +565,64 @@ pub fn run_target_pool(
                             p
                         });
                         for s in slices {
-                            store.append(ctx, path, s, false);
+                            if let Err(e) = store.try_append(ctx, path, s, false) {
+                                ctx.instant_with("pool", "stage_write_failed", || {
+                                    vec![("rank", req.rank.into()), ("error", e.to_string().into())]
+                                });
+                                return Err(PullAbort { reason: "store" });
+                            }
                         }
                     }
                     RestartMode::MemoryBased => {
                         memory.entry(req.rank).or_default().extend(slices);
                     }
                 }
-                qp.send(ctx, TAG_ACK, Box::new(AckMsg { slot: req.slot }), 64)
-                    .expect("ack send");
+                if qp
+                    .send(ctx, TAG_ACK, Box::new(AckMsg { slot: req.slot }), 64)
+                    .is_err()
+                {
+                    return Err(PullAbort { reason: "wire" });
+                }
             }
             TAG_EOF => {
                 let eof = msg.body.downcast::<RankEof>().expect("eof");
+                // A staged stream shorter than announced means a chunk
+                // request was lost on the wire: give up gracefully and let
+                // the Phase 2 deadline abort the cycle.
                 let (path, slices) = match cfg.restart_mode {
                     RestartMode::FileBased => {
-                        let path = created
-                            .get(&eof.rank)
-                            .cloned()
-                            .unwrap_or_else(|| panic!("EOF for rank {} with no chunks", eof.rank));
-                        assert_eq!(
-                            store.len(&path),
-                            Some(eof.total_bytes),
-                            "assembled file length mismatch for rank {}",
-                            eof.rank
-                        );
+                        let Some(path) = created.get(&eof.rank).cloned() else {
+                            return Err(PullAbort {
+                                reason: "incomplete",
+                            });
+                        };
+                        if store.len(&path) != Some(eof.total_bytes) {
+                            ctx.instant_with("pool", "stream_incomplete", || {
+                                vec![
+                                    ("rank", eof.rank.into()),
+                                    ("expected", eof.total_bytes.into()),
+                                ]
+                            });
+                            return Err(PullAbort {
+                                reason: "incomplete",
+                            });
+                        }
                         (path, None)
                     }
                     RestartMode::MemoryBased => {
                         let slices = memory.remove(&eof.rank).unwrap_or_default();
                         let total: u64 = slices.iter().map(|s| s.len).sum();
-                        assert_eq!(
-                            total, eof.total_bytes,
-                            "assembled stream length mismatch for rank {}",
-                            eof.rank
-                        );
+                        if total != eof.total_bytes {
+                            ctx.instant_with("pool", "stream_incomplete", || {
+                                vec![
+                                    ("rank", eof.rank.into()),
+                                    ("expected", eof.total_bytes.into()),
+                                ]
+                            });
+                            return Err(PullAbort {
+                                reason: "incomplete",
+                            });
+                        }
                         (String::new(), Some(slices))
                     }
                 };
@@ -522,15 +637,16 @@ pub fn run_target_pool(
                 );
             }
             TAG_DONE => {
-                qp.send(ctx, TAG_DONE_ACK, Box::new(()), 64)
-                    .expect("done ack");
+                if qp.send(ctx, TAG_DONE_ACK, Box::new(()), 64).is_err() {
+                    return Err(PullAbort { reason: "wire" });
+                }
                 break;
             }
             other => panic!("target pool: unexpected tag {other}"),
         }
     }
-    TargetResult {
+    Ok(TargetResult {
         images,
         bytes_pulled,
-    }
+    })
 }

@@ -111,6 +111,51 @@ pub const SPAWN_TREE_ADJUST: Duration = Duration::from_millis(2);
 /// Node Launch Agent process-spawn cost (fork/exec of one MPI process).
 pub const NLA_SPAWN: Duration = Duration::from_millis(8);
 
+/// Recovery policy for the self-healing migration protocol: per-phase
+/// virtual-time deadlines, the migration retry budget, and the per-chunk
+/// RDMA re-issue budget. Defaults are deliberately generous relative to
+/// the paper's measured phase times (seconds, against sub-10 s phases) so
+/// they never fire on a healthy run; tests shrink them freely.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// Phase 1 (Job Stall) deadline.
+    pub stall_timeout: Duration,
+    /// Phase 2 (Job Migration) deadline.
+    pub migrate_timeout: Duration,
+    /// Phase 3 (Restart) deadline.
+    pub restart_timeout: Duration,
+    /// Phase 4 (Resume) deadline.
+    pub resume_timeout: Duration,
+    /// Whole-migration attempt budget (each attempt consumes a spare
+    /// unless the previous attempt's spare survived).
+    pub max_attempts: u32,
+    /// Base of the exponential inter-attempt backoff
+    /// (`base * 2^(attempt-1)`).
+    pub backoff_base: Duration,
+    /// Per-chunk RDMA Read re-issue budget on CQ error or checksum
+    /// mismatch.
+    pub chunk_retries: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        recovery()
+    }
+}
+
+/// Default recovery policy.
+pub fn recovery() -> RecoveryConfig {
+    RecoveryConfig {
+        stall_timeout: Duration::from_secs(10),
+        migrate_timeout: Duration::from_secs(60),
+        restart_timeout: Duration::from_secs(30),
+        resume_timeout: Duration::from_secs(30),
+        max_attempts: 3,
+        backoff_base: Duration::from_millis(200),
+        chunk_retries: 4,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,8 +8,10 @@
 
 use crate::calib;
 use blcrsim::Blcr;
+use faultplane::{FaultPlan, FaultPlane};
 use ftb::{FtbBackplane, FtbConfig};
 use ibfabric::{IbConfig, IbFabric, Net, NetConfig, NodeId};
+use parking_lot::Mutex;
 use simkit::{Link, Sharing, SimHandle};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -81,6 +83,7 @@ struct ClusterInner {
     spares: Vec<NodeId>,
     nodes: HashMap<NodeId, NodeResources>,
     pvfs: Option<Pvfs>,
+    fault_plane: Mutex<Option<FaultPlane>>,
 }
 
 /// The built cluster. Cloning shares it.
@@ -159,8 +162,38 @@ impl Cluster {
                 spares,
                 nodes,
                 pvfs,
+                fault_plane: Mutex::new(None),
             }),
         }
+    }
+
+    /// Instantiate `plan` and wire the resulting [`FaultPlane`] into every
+    /// injection point the cluster owns: the IB fabric, the GigE network
+    /// (which carries the FTB tree), each node's local filesystem and BLCR
+    /// engine, and the PVFS deployment if present. The Job Manager also
+    /// polls the installed plane for scheduled spare-node crashes.
+    ///
+    /// Call before launching the job. Returns the live plane (for
+    /// injection statistics); it is also retained by the cluster.
+    pub fn install_fault_plane(&self, plan: &FaultPlan) -> FaultPlane {
+        let plane = FaultPlane::new(&self.inner.handle, plan);
+        let hook = Arc::new(plane.clone());
+        self.inner.fabric.net().set_fault_hook(hook.clone());
+        self.inner.gige.set_fault_hook(hook.clone());
+        for res in self.inner.nodes.values() {
+            res.fs.set_fault_hook(hook.clone());
+            res.blcr.set_fault_hook(hook.clone());
+        }
+        if let Some(p) = &self.inner.pvfs {
+            p.set_fault_hook(hook);
+        }
+        *self.inner.fault_plane.lock() = Some(plane.clone());
+        plane
+    }
+
+    /// The installed fault plane, if any.
+    pub fn fault_plane(&self) -> Option<FaultPlane> {
+        self.inner.fault_plane.lock().clone()
     }
 
     /// Simulation handle.

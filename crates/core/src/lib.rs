@@ -51,8 +51,11 @@ pub mod prelude {
     pub use crate::bufpool::{PoolConfig, RestartMode, Transport};
     pub use crate::cluster::{Cluster, ClusterSpec};
     pub use crate::cr_baseline::{CrRunner, CrStore};
-    pub use crate::report::{CrReport, CrStoreKind, MigrationReport};
+    pub use crate::report::{
+        CrReport, CrStoreKind, MigrationOutcome, MigrationReport, OutcomeCounts,
+    };
     pub use crate::runtime::{
         AppBody, CheckpointRequest, Control, JobRuntime, JobSpec, MigrationRequest,
     };
+    pub use faultplane::{FaultPlan, FaultPlane, FaultSpec, MigPhase, NetSel, StoreFault};
 }

@@ -4,6 +4,73 @@ use ibfabric::NodeId;
 use std::fmt;
 use std::time::Duration;
 
+/// How a migration trigger ultimately ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MigrationOutcome {
+    /// Completed on the first attempt.
+    Migrated,
+    /// Completed, but only after at least one aborted attempt (phase
+    /// timeout or spare death) was retried on another spare.
+    MigratedAfterRetry,
+    /// Could not migrate (no spare left, or every attempt failed); the
+    /// framework degraded to a coordinated checkpoint to storage so the
+    /// job remains recoverable.
+    FellBackToCr,
+    /// No recovery path remained. Defensive terminal state: the current
+    /// degradation ladder always ends in a local-disk checkpoint, so this
+    /// is never expected in practice.
+    Lost,
+}
+
+impl MigrationOutcome {
+    /// Stable lower-snake name (used in traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MigrationOutcome::Migrated => "migrated",
+            MigrationOutcome::MigratedAfterRetry => "migrated_after_retry",
+            MigrationOutcome::FellBackToCr => "fell_back_to_cr",
+            MigrationOutcome::Lost => "lost",
+        }
+    }
+}
+
+impl fmt::Display for MigrationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-outcome migration counters (replaces the old single
+/// `failed_triggers` count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// First-attempt successes.
+    pub migrated: u64,
+    /// Successes that needed at least one retry.
+    pub migrated_after_retry: u64,
+    /// Triggers degraded to the CR baseline.
+    pub fell_back_to_cr: u64,
+    /// Triggers with no recovery path (defensive; expected 0).
+    pub lost: u64,
+}
+
+impl OutcomeCounts {
+    /// Total triggers accounted for.
+    pub fn total(&self) -> u64 {
+        self.migrated + self.migrated_after_retry + self.fell_back_to_cr + self.lost
+    }
+
+    /// Bump the counter for `outcome`.
+    pub(crate) fn record(&mut self, outcome: MigrationOutcome) {
+        match outcome {
+            MigrationOutcome::Migrated => self.migrated += 1,
+            MigrationOutcome::MigratedAfterRetry => self.migrated_after_retry += 1,
+            MigrationOutcome::FellBackToCr => self.fell_back_to_cr += 1,
+            MigrationOutcome::Lost => self.lost += 1,
+        }
+    }
+}
+
 /// One completed migration cycle, decomposed as in Figures 4/6/7.
 #[derive(Debug, Clone)]
 pub struct MigrationReport {
@@ -25,6 +92,11 @@ pub struct MigrationReport {
     pub ranks_moved: usize,
     /// Checkpoint stream bytes moved over RDMA (Table I).
     pub bytes_moved: u64,
+    /// How the trigger ended (phase durations describe the successful
+    /// attempt, or are zero for a CR fallback).
+    pub outcome: MigrationOutcome,
+    /// Attempts consumed, counting the successful (or final) one.
+    pub attempts: u32,
 }
 
 impl MigrationReport {
@@ -38,7 +110,7 @@ impl fmt::Display for MigrationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "migration #{} {}→{}: stall {:>8.1?}  migrate {:>8.1?}  restart {:>8.1?}  resume {:>8.1?}  total {:>8.1?}  ({} ranks, {:.1} MB)",
+            "migration #{} {}→{}: stall {:>8.1?}  migrate {:>8.1?}  restart {:>8.1?}  resume {:>8.1?}  total {:>8.1?}  ({} ranks, {:.1} MB, {} in {} attempt{})",
             self.cycle,
             self.source,
             self.target,
@@ -49,6 +121,9 @@ impl fmt::Display for MigrationReport {
             self.total(),
             self.ranks_moved,
             self.bytes_moved as f64 / 1e6,
+            self.outcome,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
         )
     }
 }
@@ -138,6 +213,8 @@ mod tests {
             resume: Duration::from_millis(1100),
             ranks_moved: 8,
             bytes_moved: 170_400_000,
+            outcome: MigrationOutcome::Migrated,
+            attempts: 1,
         };
         assert_eq!(m.total(), Duration::from_millis(6080));
         let c = CrReport {
@@ -153,5 +230,23 @@ mod tests {
         assert_eq!(c.total_with_restart(), Some(Duration::from_millis(12830)));
         // Display renders without panicking
         let _ = format!("{m}\n{c}");
+    }
+
+    #[test]
+    fn outcome_counts_accumulate() {
+        let mut o = OutcomeCounts::default();
+        o.record(MigrationOutcome::Migrated);
+        o.record(MigrationOutcome::MigratedAfterRetry);
+        o.record(MigrationOutcome::MigratedAfterRetry);
+        o.record(MigrationOutcome::FellBackToCr);
+        assert_eq!(o.migrated, 1);
+        assert_eq!(o.migrated_after_retry, 2);
+        assert_eq!(o.fell_back_to_cr, 1);
+        assert_eq!(o.lost, 0);
+        assert_eq!(o.total(), 4);
+        assert_eq!(
+            MigrationOutcome::FellBackToCr.to_string(),
+            "fell_back_to_cr"
+        );
     }
 }

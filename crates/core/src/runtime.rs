@@ -25,9 +25,10 @@ use crate::calib;
 use crate::cluster::Cluster;
 use crate::cr_baseline;
 use crate::msgs::*;
-use crate::report::{CrReport, CrStoreKind, MigrationReport};
+use crate::report::{CrReport, CrStoreKind, MigrationOutcome, MigrationReport, OutcomeCounts};
 use blcrsim::{ProcessImage, StoreSource};
 use bytes::Bytes;
+use faultplane::{FaultPlane, MigPhase};
 use ftb::{EventFilter, FtbClient, FtbEvent, Severity};
 use ibfabric::NodeId;
 use mpisim::{CrMeta, MpiConfig, MpiJob, MpiRank};
@@ -73,6 +74,8 @@ pub struct JobSpec {
     /// Automatically migrate away from nodes that publish
     /// `HEALTH_PREDICT`/`HEALTH_CRITICAL` events.
     pub auto_migrate_on_health: bool,
+    /// Self-healing policy: per-phase deadlines, retry budget, backoff.
+    pub recovery: calib::RecoveryConfig,
 }
 
 impl JobSpec {
@@ -91,6 +94,7 @@ impl JobSpec {
             pool: PoolConfig::default(),
             seed,
             auto_migrate_on_health: false,
+            recovery: calib::recovery(),
         }
     }
 
@@ -104,6 +108,7 @@ impl JobSpec {
             pool: PoolConfig::default(),
             seed: 42,
             auto_migrate_on_health: false,
+            recovery: calib::recovery(),
         }
     }
 }
@@ -275,6 +280,21 @@ pub(crate) struct MigCycle {
     pub restart_done: Event,
     pub barrier: Countdown,
     pub resumed: Countdown,
+    /// Abort gate plus the set of ranks that entered the protocol.
+    gate: Mutex<CycleGate>,
+    /// Checkpoint metadata captured by source ranks before their app
+    /// incarnation was killed. Presence of a rank here means its app is
+    /// dead and must be resurrected from this state on abort.
+    captured_meta: Mutex<HashMap<u32, CrMeta>>,
+    /// Worker processes owned by this cycle (pool managers, ack loop,
+    /// restart workers) — killed wholesale on abort.
+    procs: Mutex<Vec<ProcHandle>>,
+}
+
+#[derive(Default)]
+struct CycleGate {
+    aborted: bool,
+    entered: HashSet<u32>,
 }
 
 impl MigCycle {
@@ -286,6 +306,32 @@ impl MigCycle {
     fn wait_source_pool(&self, ctx: &Ctx) -> Arc<SourcePool> {
         self.source_pool_ready.wait(ctx);
         self.source_pool.lock().clone().expect("pool set")
+    }
+
+    /// A C/R thread checks in before acting on this cycle's events. Once
+    /// the cycle is aborted, late arrivals are turned away (they never
+    /// suspended, so they need no recovery).
+    fn enter(&self, rank: u32) -> bool {
+        let mut g = self.gate.lock();
+        if g.aborted {
+            return false;
+        }
+        g.entered.insert(rank);
+        true
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.gate.lock().aborted
+    }
+
+    /// Register a cycle-owned worker process; if the cycle is already
+    /// aborted the worker is killed on the spot.
+    pub(crate) fn track(&self, ph: ProcHandle) {
+        if self.gate.lock().aborted {
+            ph.kill();
+        } else {
+            self.procs.lock().push(ph);
+        }
     }
 }
 
@@ -342,10 +388,13 @@ pub(crate) struct RtInner {
     pub mig_reports: Mutex<Vec<MigrationReport>>,
     pub cr_reports: Mutex<Vec<CrReport>>,
     pub app_threads: Mutex<HashMap<u32, ProcHandle>>,
+    pub cr_threads: Mutex<HashMap<u32, ProcHandle>>,
+    pub nla_procs: Mutex<HashMap<NodeId, ProcHandle>>,
     pub finished: Mutex<HashSet<u32>>,
     pub all_done: Event,
     pub spawn_tree: Mutex<SpawnTree>,
     pub no_spare_failures: AtomicU64,
+    pub outcomes: Mutex<OutcomeCounts>,
 }
 
 /// A launched job: handles for triggering migrations/checkpoints and
@@ -414,6 +463,8 @@ impl JobRuntime {
                 mig_reports: Mutex::new(Vec::new()),
                 cr_reports: Mutex::new(Vec::new()),
                 app_threads: Mutex::new(HashMap::new()),
+                cr_threads: Mutex::new(HashMap::new()),
+                nla_procs: Mutex::new(HashMap::new()),
                 finished: Mutex::new(HashSet::new()),
                 all_done: Event::new(&handle, "job-complete"),
                 spawn_tree: Mutex::new(SpawnTree {
@@ -421,6 +472,7 @@ impl JobRuntime {
                     nodes: Vec::new(),
                 }),
                 no_spare_failures: AtomicU64::new(0),
+                outcomes: Mutex::new(OutcomeCounts::default()),
             }),
         };
         rt.inner.spawn_tree.lock().nodes = used_nodes.clone();
@@ -434,7 +486,9 @@ impl JobRuntime {
         };
         for node in all_nla_nodes {
             let rt2 = rt.clone();
-            handle.spawn_daemon(&format!("nla@{node}"), move |ctx| nla_proc(ctx, rt2, node));
+            let ph =
+                handle.spawn_daemon(&format!("nla@{node}"), move |ctx| nla_proc(ctx, rt2, node));
+            rt.inner.nla_procs.lock().insert(node, ph);
         }
         // Job Manager on the login node.
         let rt2 = rt.clone();
@@ -540,8 +594,19 @@ impl JobRuntime {
     }
 
     /// Migrations that failed for lack of a spare node.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `migration_outcomes()` — typed per-outcome counters; \
+                this only counts triggers that ran out of spares"
+    )]
     pub fn failed_triggers(&self) -> u64 {
         self.inner.no_spare_failures.load(Ordering::Relaxed)
+    }
+
+    /// Per-outcome migration counters: first-attempt successes, retried
+    /// successes, CR fallbacks, and (defensively) lost triggers.
+    pub fn migration_outcomes(&self) -> OutcomeCounts {
+        *self.inner.outcomes.lock()
     }
 
     /// The current mpispawn tree: `(root, NLA nodes in launch order)`.
@@ -609,12 +674,14 @@ impl JobRuntime {
 
     pub(crate) fn spawn_cr_thread(&self, rank: u32, resume: Option<Arc<MigCycle>>) {
         let rt = self.clone();
-        self.inner
+        let ph = self
+            .inner
             .cluster
             .handle()
             .spawn_daemon(&format!("cr-r{rank}"), move |ctx| {
                 cr_thread(ctx, rt, rank, resume)
             });
+        self.inner.cr_threads.lock().insert(rank, ph);
     }
 
     /// The checkpoint store for `kind` as seen from `node`.
@@ -690,11 +757,24 @@ fn jm_proc(ctx: &Ctx, rt: JobRuntime) {
     }
 }
 
-/// Pop events from `sub` until one matches `name` and `pred` on its cycle
-/// id (other traffic — acks from old cycles, suspend acks — is skipped).
-fn wait_named(ctx: &Ctx, sub: &Queue<FtbEvent>, name: &str, cycle: u64) -> FtbEvent {
+/// Pop events from `sub` until one matches `name` and its cycle id, or
+/// the virtual-time `deadline` passes (other traffic — acks from old
+/// cycles, suspend acks — is skipped). Returns `false` on timeout.
+fn wait_named_until(
+    ctx: &Ctx,
+    sub: &Queue<FtbEvent>,
+    name: &str,
+    cycle: u64,
+    deadline: SimTime,
+) -> bool {
     loop {
-        let ev = sub.pop(ctx);
+        let now = ctx.now();
+        if now >= deadline {
+            return false;
+        }
+        let Some(ev) = sub.pop_timeout(ctx, deadline - now) else {
+            return false;
+        };
         if ev.name != name {
             continue;
         }
@@ -704,17 +784,30 @@ fn wait_named(ctx: &Ctx, sub: &Queue<FtbEvent>, name: &str, cycle: u64) -> FtbEv
             _ => Some(true),
         };
         if matches == Some(true) {
-            return ev;
+            return true;
         }
     }
 }
 
 /// Count `FTB_SUSPEND_ACK`s for `cycle` until all `n` ranks have
 /// acknowledged — the Phase 1 fan-in the paper's Job Stall time measures.
-fn wait_suspend_acks(ctx: &Ctx, sub: &Queue<FtbEvent>, cycle: u64, n: u32) {
+/// Returns `false` if the deadline passes first.
+fn wait_suspend_acks_until(
+    ctx: &Ctx,
+    sub: &Queue<FtbEvent>,
+    cycle: u64,
+    n: u32,
+    deadline: SimTime,
+) -> bool {
     let mut seen = HashSet::new();
     while seen.len() < n as usize {
-        let ev = sub.pop(ctx);
+        let now = ctx.now();
+        if now >= deadline {
+            return false;
+        }
+        let Some(ev) = sub.pop_timeout(ctx, deadline - now) else {
+            return false;
+        };
         if ev.name == FTB_SUSPEND_ACK {
             if let Some(a) = ev.payload_as::<SuspendAckMsg>() {
                 if a.cycle == cycle {
@@ -723,6 +816,44 @@ fn wait_suspend_acks(ctx: &Ctx, sub: &Queue<FtbEvent>, cycle: u64, n: u32) {
             }
         }
     }
+    true
+}
+
+/// Wait for `ev` with a virtual-time deadline.
+fn wait_event_until(ctx: &Ctx, ev: &Event, deadline: SimTime) -> bool {
+    if ev.is_set() {
+        return true;
+    }
+    let now = ctx.now();
+    if now >= deadline {
+        return false;
+    }
+    ev.wait_timeout(ctx, deadline - now)
+}
+
+/// Wait for `cd` with a virtual-time deadline.
+fn wait_countdown_until(ctx: &Ctx, cd: &Countdown, deadline: SimTime) -> bool {
+    let now = ctx.now();
+    if now >= deadline {
+        return false;
+    }
+    cd.wait_timeout(ctx, deadline - now)
+}
+
+/// Inter-attempt backoff: `base * 2^(attempt-2)` for attempt ≥ 2 (the
+/// first attempt starts immediately). Clamped to at least 1 ms so that
+/// C/R threads respawned by an abort are always re-subscribed before the
+/// next attempt's `FTB_MIGRATE` is published.
+fn backoff_delay(rec: &calib::RecoveryConfig, attempt: u32) -> Duration {
+    let base = rec.backoff_base.max(Duration::from_millis(1));
+    base * 2u32.saturating_pow(attempt.saturating_sub(2))
+}
+
+fn record_outcome(ctx: &Ctx, rt: &JobRuntime, outcome: MigrationOutcome) {
+    rt.inner.outcomes.lock().record(outcome);
+    ctx.instant_with("log", "migration_outcome", || {
+        vec![("outcome", outcome.name().into())]
+    });
 }
 
 fn run_migration(
@@ -766,16 +897,131 @@ fn run_migration(
         inner.pending_sources.lock().remove(&source);
         return;
     }
-    let target = {
-        let mut spares = inner.spares.lock();
-        if spares.is_empty() {
-            drop(spares);
-            inner.no_spare_failures.fetch_add(1, Ordering::Relaxed);
-            inner.pending_sources.lock().remove(&source);
-            return;
+
+    // Self-healing attempt loop: each attempt consumes a spare from the
+    // front of the pool; a spare that survives its failed attempt is
+    // returned for reuse. When the retry budget or the spare pool is
+    // exhausted, degrade to a coordinated checkpoint so the job remains
+    // recoverable (§III-A's failure handling, hardened).
+    let rec = inner.spec.recovery;
+    let plane = inner.cluster.fault_plane();
+    let mut attempt = 0u32;
+    while attempt < rec.max_attempts {
+        attempt += 1;
+        if attempt > 1 {
+            ctx.sleep(backoff_delay(&rec, attempt));
         }
-        spares.remove(0) // FIFO: spares are consumed in id order
+        let target = {
+            let mut spares = inner.spares.lock();
+            if spares.is_empty() {
+                inner.no_spare_failures.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            spares.remove(0) // FIFO: spares are consumed in id order
+        };
+        match run_attempt(
+            ctx,
+            rt,
+            ftb,
+            sub,
+            &req,
+            source,
+            &ranks,
+            target,
+            attempt,
+            plane.as_ref(),
+            &rec,
+        ) {
+            Ok(times) => {
+                let outcome = if attempt == 1 {
+                    MigrationOutcome::Migrated
+                } else {
+                    MigrationOutcome::MigratedAfterRetry
+                };
+                record_outcome(ctx, rt, outcome);
+                inner.mig_reports.lock().push(MigrationReport {
+                    cycle: times.cycle,
+                    source,
+                    target,
+                    stall: times.stall,
+                    migrate: times.migrate,
+                    restart: times.restart,
+                    resume: times.resume,
+                    ranks_moved: ranks.len(),
+                    bytes_moved: times.bytes,
+                    outcome,
+                    attempts: attempt,
+                });
+                inner.pending_sources.lock().remove(&source);
+                return;
+            }
+            Err(()) => continue,
+        }
+    }
+
+    // Degraded path: no spare (or every attempt failed). Checkpoint the
+    // whole job to storage so it can be recovered off the ailing node.
+    let store = if inner.cluster.pvfs().is_some() {
+        CrStoreKind::Pvfs
+    } else {
+        CrStoreKind::LocalExt3
     };
+    ctx.instant_with("log", "migration_fallback_cr", || {
+        vec![
+            ("source", source.0.into()),
+            ("attempts", attempt.into()),
+            ("store", store.to_string().into()),
+        ]
+    });
+    cr_baseline::run_checkpoint(ctx, rt, ftb, sub, store);
+    record_outcome(ctx, rt, MigrationOutcome::FellBackToCr);
+    let cr_cycle = inner.cr_reports.lock().last().map(|r| r.cycle).unwrap_or(0);
+    inner.mig_reports.lock().push(MigrationReport {
+        cycle: cr_cycle,
+        source,
+        target: source, // nothing moved
+        stall: Duration::ZERO,
+        migrate: Duration::ZERO,
+        restart: Duration::ZERO,
+        resume: Duration::ZERO,
+        ranks_moved: 0,
+        bytes_moved: 0,
+        outcome: MigrationOutcome::FellBackToCr,
+        attempts: attempt,
+    });
+    inner.pending_sources.lock().remove(&source);
+}
+
+/// Phase durations of one successful attempt.
+struct AttemptTimes {
+    cycle: u64,
+    stall: Duration,
+    migrate: Duration,
+    restart: Duration,
+    resume: Duration,
+    bytes: u64,
+}
+
+/// One migration attempt: the four-phase protocol of §III-A under
+/// per-phase virtual-time deadlines, plus scheduled spare-crash checks.
+/// On any failure the cycle is aborted (ranks rolled back to the source
+/// and resumed) and `Err` is returned; a surviving spare goes back to the
+/// front of the pool.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    ctx: &Ctx,
+    rt: &JobRuntime,
+    ftb: &FtbClient,
+    sub: &Queue<FtbEvent>,
+    req: &MigrationRequest,
+    source: NodeId,
+    ranks: &[u32],
+    target: NodeId,
+    attempt: u32,
+    plane: Option<&FaultPlane>,
+    rec: &calib::RecoveryConfig,
+) -> Result<AttemptTimes, ()> {
+    let inner = &rt.inner;
     let id = rt.next_cycle_id();
     let handle = inner.cluster.handle();
     let n = inner.spec.nranks as u64;
@@ -783,7 +1029,7 @@ fn run_migration(
         id,
         source,
         target,
-        ranks: ranks.clone(),
+        ranks: ranks.to_vec(),
         pool: req.effective_pool(inner.spec.pool),
         stall_done: Countdown::new(handle, "mig-stall", n),
         rendezvous: PoolRendezvous::new(handle),
@@ -796,8 +1042,30 @@ fn run_migration(
         restart_done: Event::new(handle, "restart-done"),
         barrier: Countdown::new(handle, "mig-barrier", n),
         resumed: Countdown::new(handle, "mig-resumed", n),
+        gate: Mutex::new(CycleGate::default()),
+        captured_meta: Mutex::new(HashMap::new()),
+        procs: Mutex::new(Vec::new()),
     });
     inner.mig_cycles.lock().insert(id, cycle.clone());
+
+    let crash = |phase: MigPhase| {
+        plane
+            .map(|p| p.take_spare_crash(phase, attempt))
+            .unwrap_or(false)
+    };
+    let mut tree_adjusted = false;
+
+    // Abort this attempt: `$spare_alive` decides whether the spare goes
+    // back to the pool for the next attempt.
+    macro_rules! fail {
+        ($reason:expr, $spare_alive:expr) => {{
+            abort_cycle(ctx, rt, &cycle, $reason, tree_adjusted);
+            if $spare_alive {
+                inner.spares.lock().insert(0, target);
+            }
+            return Err(());
+        }};
+    }
 
     // Each protocol phase is wrapped in a `"phase"` span carrying the
     // cycle id, so the Figure 4 decomposition can be rebuilt from the
@@ -809,6 +1077,7 @@ fn run_migration(
                 ("cycle", id.into()),
                 ("source", source.0.into()),
                 ("target", target.0.into()),
+                ("attempt", attempt.into()),
             ];
             if let Some(l) = &label {
                 a.push(("label", l.as_str().into()));
@@ -817,8 +1086,13 @@ fn run_migration(
         }
     };
 
+    // Phase 1 — Job Stall.
+    if crash(MigPhase::Stall) {
+        kill_spare(ctx, rt, target);
+        fail!("spare_crash", false);
+    }
     let t0 = ctx.now();
-    let ph = ctx.span_with("phase", "stall", phase_args(&req));
+    let ph = ctx.span_with("phase", "stall", phase_args(req));
     ftb.publish(
         ctx,
         FtbEvent::with_payload(
@@ -833,21 +1107,39 @@ fn run_migration(
             },
         ),
     );
-    // Phase 1 complete: every rank suspended and acknowledged.
-    wait_suspend_acks(ctx, sub, id, inner.spec.nranks);
-    cycle.stall_done.wait(ctx);
+    let deadline = t0 + rec.stall_timeout;
+    let ok = wait_suspend_acks_until(ctx, sub, id, inner.spec.nranks, deadline)
+        && wait_countdown_until(ctx, &cycle.stall_done, deadline);
     ph.end();
+    if !ok {
+        fail!("stall_timeout", true);
+    }
     let t1 = ctx.now();
-    // Phase 2 complete: source NLA published PIIC.
-    let ph = ctx.span_with("phase", "migrate", phase_args(&req));
-    wait_named(ctx, sub, FTB_MIGRATE_PIIC, id);
-    cycle.piic.wait(ctx);
+
+    // Phase 2 — Job Migration.
+    if crash(MigPhase::Migrate) {
+        kill_spare(ctx, rt, target);
+        fail!("spare_crash", false);
+    }
+    let ph = ctx.span_with("phase", "migrate", phase_args(req));
+    let deadline = t1 + rec.migrate_timeout;
+    let ok = wait_named_until(ctx, sub, FTB_MIGRATE_PIIC, id, deadline)
+        && wait_event_until(ctx, &cycle.piic, deadline);
     ph.end();
+    if !ok {
+        fail!("migrate_timeout", true);
+    }
     let t2 = ctx.now();
-    // Phase 3: adjust the mpispawn tree and broadcast the restart.
-    let ph = ctx.span_with("phase", "restart", phase_args(&req));
+
+    // Phase 3 — Restart on the spare.
+    if crash(MigPhase::Restart) {
+        kill_spare(ctx, rt, target);
+        fail!("spare_crash", false);
+    }
+    let ph = ctx.span_with("phase", "restart", phase_args(req));
     ctx.sleep(calib::SPAWN_TREE_ADJUST);
     inner.spawn_tree.lock().replace(source, target);
+    tree_adjusted = true;
     ftb.publish(
         ctx,
         FtbEvent::with_payload(
@@ -858,32 +1150,138 @@ fn run_migration(
             RestartMsg {
                 cycle: id,
                 target,
-                ranks: ranks.clone(),
+                ranks: ranks.to_vec(),
             },
         ),
     );
-    wait_named(ctx, sub, FTB_RESTART_DONE, id);
-    cycle.restart_done.wait(ctx);
+    let deadline = t2 + rec.restart_timeout;
+    let ok = wait_named_until(ctx, sub, FTB_RESTART_DONE, id, deadline)
+        && wait_event_until(ctx, &cycle.restart_done, deadline);
     ph.end();
+    if !ok {
+        fail!("restart_timeout", true);
+    }
     let t3 = ctx.now();
-    // Phase 4 complete: all ranks out of the barrier and reopened.
-    let ph = ctx.span_with("phase", "resume", phase_args(&req));
-    cycle.resumed.wait(ctx);
+
+    // Phase 4 — Resume.
+    if crash(MigPhase::Resume) {
+        kill_spare(ctx, rt, target);
+        fail!("spare_crash", false);
+    }
+    let ph = ctx.span_with("phase", "resume", phase_args(req));
+    let deadline = t3 + rec.resume_timeout;
+    let ok = wait_countdown_until(ctx, &cycle.resumed, deadline);
     ph.end();
+    if !ok {
+        fail!("resume_timeout", true);
+    }
     let t4 = ctx.now();
 
-    inner.mig_reports.lock().push(MigrationReport {
-        cycle: cycle.id,
-        source: cycle.source,
-        target: cycle.target,
+    let bytes = *cycle.piic_bytes.lock();
+    Ok(AttemptTimes {
+        cycle: id,
         stall: t1 - t0,
         migrate: t2 - t1,
         restart: t3 - t2,
         resume: t4 - t3,
-        ranks_moved: cycle.ranks.len(),
-        bytes_moved: *cycle.piic_bytes.lock(),
+        bytes,
+    })
+}
+
+/// Simulate the abrupt death of spare node `node`: its NLA process, NLA
+/// bookkeeping, and FTB agent all disappear. The caller aborts the cycle
+/// afterwards; nothing is ever respawned on the dead node.
+fn kill_spare(ctx: &Ctx, rt: &JobRuntime, node: NodeId) {
+    ctx.instant_with("log", "spare_node_dead", || vec![("node", node.0.into())]);
+    let inner = &rt.inner;
+    if let Some(ph) = inner.nla_procs.lock().remove(&node) {
+        ph.kill();
+    }
+    inner.nlas.lock().remove(&node);
+    inner.cluster.ftb().kill_agent(node);
+}
+
+/// Abort a migration cycle mid-flight and roll the job back to a running
+/// state on the source node.
+///
+/// Every rank that *entered* the cycle (suspended) is recovered: its C/R
+/// thread is killed and respawned straight into Phase 4 (tolerant
+/// barrier, endpoint rebuild, reopen); if its app incarnation died after
+/// the Phase 2 metadata capture, the app is resurrected from that
+/// captured state — on the source node, even if a Phase 3 restart had
+/// already placed it on the target. Ranks that never entered are left
+/// untouched (the gate turns them away from the stale events).
+fn abort_cycle(
+    ctx: &Ctx,
+    rt: &JobRuntime,
+    cycle: &Arc<MigCycle>,
+    reason: &str,
+    tree_adjusted: bool,
+) {
+    let inner = &rt.inner;
+    ctx.instant_with("log", "cycle_abort", || {
+        vec![
+            ("cycle", cycle.id.into()),
+            ("reason", reason.to_string().into()),
+        ]
     });
-    inner.pending_sources.lock().remove(&source);
+    // Close the entry gate and snapshot who is inside the protocol.
+    let entered: HashSet<u32> = {
+        let mut g = cycle.gate.lock();
+        g.aborted = true;
+        g.entered.clone()
+    };
+    // Kill the cycle's worker processes (buffer-pool managers, the ack
+    // loop, restart workers).
+    for ph in cycle.procs.lock().drain(..) {
+        ph.kill();
+    }
+    let metas = cycle.captured_meta.lock().clone();
+    let mut recover: Vec<u32> = Vec::new();
+    for &rank in &cycle.ranks {
+        if !entered.contains(&rank) {
+            continue;
+        }
+        if let Some(ph) = inner.cr_threads.lock().get(&rank) {
+            ph.kill();
+        }
+        if inner.job.rank_node(rank) == cycle.target {
+            // A Phase 3 restart already placed this rank on the (now
+            // abandoned) target; pull it back.
+            rt.kill_app(rank);
+            inner.job.set_rank_node(rank, cycle.source);
+        }
+        recover.push(rank);
+    }
+    // Release every non-source rank still parked on cycle primitives.
+    // The barrier is force-completed because not all ranks necessarily
+    // entered; `images_ready` is deliberately left unset (its only
+    // consumers were just killed).
+    cycle.stall_done.force_complete();
+    cycle.barrier.force_complete();
+    cycle.restart_done.set();
+    // Resurrect the cycle's ranks and rejoin them through Phase 4.
+    for rank in recover {
+        if let Some(meta) = metas.get(&rank) {
+            inner.job.cr(rank).restore_meta(meta.clone());
+            inner.job.purge_stale_rts_from(rank);
+            rt.spawn_app(rank);
+        }
+        rt.spawn_cr_thread(rank, Some(cycle.clone()));
+    }
+    // The source NLA goes back to hosting its ranks; a surviving target
+    // NLA goes back to being a clean spare.
+    if let Some(nla) = inner.nlas.lock().get(&cycle.source) {
+        *nla.state.lock() = NlaState::MigrationReady;
+        *nla.ranks.lock() = cycle.ranks.clone();
+    }
+    if let Some(nla) = inner.nlas.lock().get(&cycle.target) {
+        *nla.state.lock() = NlaState::MigrationSpare;
+        nla.ranks.lock().clear();
+    }
+    if tree_adjusted {
+        inner.spawn_tree.lock().replace(cycle.target, cycle.source);
+    }
 }
 
 fn health_bridge(ctx: &Ctx, rt: JobRuntime) {
@@ -938,6 +1336,8 @@ fn nla_proc(ctx: &Ctx, rt: JobRuntime, node: NodeId) {
 
     let ftb = FtbClient::connect(inner.cluster.ftb(), node, &format!("nla@{node}"));
     let sub = ftb.subscribe(&ctx.handle(), EventFilter::space(MPI_SPACE));
+    // Protocol work runs in spawned children registered with the cycle,
+    // so an abort can kill them without taking down the NLA itself.
     loop {
         let ev = sub.pop(ctx);
         match ev.name.as_str() {
@@ -947,9 +1347,29 @@ fn nla_proc(ctx: &Ctx, rt: JobRuntime, node: NodeId) {
                 };
                 let m = *m;
                 if m.source == node {
-                    source_side_phase2(ctx, &rt, &nla, &ftb, m);
+                    let rt2 = rt.clone();
+                    let nla2 = nla.clone();
+                    let ftb2 = ftb.clone();
+                    let cycle = rt.mig_cycle(m.cycle);
+                    let ph = ctx.spawn_daemon(&format!("mig{}-src@{node}", m.cycle), move |ctx| {
+                        let cycle = rt2.mig_cycle(m.cycle);
+                        if cycle.is_aborted() {
+                            return;
+                        }
+                        source_side_phase2(ctx, &rt2, &nla2, &ftb2, m);
+                    });
+                    cycle.track(ph);
                 } else if m.target == node {
-                    target_side_pull(ctx, &rt, m);
+                    let rt2 = rt.clone();
+                    let cycle = rt.mig_cycle(m.cycle);
+                    let ph = ctx.spawn_daemon(&format!("mig{}-pull@{node}", m.cycle), move |ctx| {
+                        let cycle = rt2.mig_cycle(m.cycle);
+                        if cycle.is_aborted() {
+                            return;
+                        }
+                        target_side_pull(ctx, &rt2, m);
+                    });
+                    cycle.track(ph);
                 }
             }
             FTB_RESTART => {
@@ -958,7 +1378,19 @@ fn nla_proc(ctx: &Ctx, rt: JobRuntime, node: NodeId) {
                 };
                 if r.target == node {
                     let r = r.clone();
-                    target_side_restart(ctx, &rt, &nla, &ftb, r);
+                    let rt2 = rt.clone();
+                    let nla2 = nla.clone();
+                    let ftb2 = ftb.clone();
+                    let cycle = rt.mig_cycle(r.cycle);
+                    let ph =
+                        ctx.spawn_daemon(&format!("mig{}-restart@{node}", r.cycle), move |ctx| {
+                            let cycle = rt2.mig_cycle(r.cycle);
+                            if cycle.is_aborted() {
+                                return;
+                            }
+                            target_side_restart(ctx, &rt2, &nla2, &ftb2, r);
+                        });
+                    cycle.track(ph);
                 }
             }
             _ => {}
@@ -980,7 +1412,8 @@ fn source_side_phase2(
     let cycle = rt.mig_cycle(m.cycle);
     let nlocal = nla.ranks.lock().len() as u32;
     let hca = inner.cluster.fabric().attach(m.source);
-    let pool = SourcePool::setup(ctx, &hca, cycle.pool, nlocal, &cycle.rendezvous);
+    let (pool, ackloop) = SourcePool::setup(ctx, &hca, cycle.pool, nlocal, &cycle.rendezvous);
+    cycle.track(ackloop);
     cycle.set_source_pool(pool.clone());
     pool.finished().wait(ctx);
     *cycle.piic_bytes.lock() = pool.bytes_streamed();
@@ -1010,16 +1443,26 @@ fn target_side_pull(ctx: &Ctx, rt: &JobRuntime, m: MigrateMsg) {
     let cycle = rt.mig_cycle(m.cycle);
     let hca = inner.cluster.fabric().attach(m.target);
     let store: Arc<dyn storesim::CkptStore> = Arc::new(inner.cluster.node(m.target).fs.clone());
-    let result = crate::bufpool::run_target_pool(
+    match crate::bufpool::run_target_pool(
         ctx,
         &hca,
         cycle.pool,
         &cycle.rendezvous,
         store,
         &format!("mig.{}", m.cycle),
-    );
-    *cycle.images.lock() = result.images;
-    cycle.images_ready.set();
+    ) {
+        Ok(result) => {
+            *cycle.images.lock() = result.images;
+            cycle.images_ready.set();
+        }
+        Err(abort) => {
+            // Leave `images_ready` unset: the Job Manager's Phase 2/3
+            // deadline aborts the cycle and retries or degrades.
+            ctx.instant_with("pool", "pull_aborted", || {
+                vec![("cycle", m.cycle.into()), ("reason", abort.reason.into())]
+            });
+        }
+    }
 }
 
 /// Target NLA, Phase 3: restart every migrated process from its image.
@@ -1044,10 +1487,11 @@ fn target_side_restart(
         let cycle2 = cycle.clone();
         let done2 = done.clone();
         let target = r.target;
-        ctx.spawn_daemon(&format!("restart-r{rank}"), move |ctx| {
+        let ph = ctx.spawn_daemon(&format!("restart-r{rank}"), move |ctx| {
             restart_one_rank(ctx, &rt2, &cycle2, rank, target);
             done2.arrive();
         });
+        cycle.track(ph);
     }
     done.wait(ctx);
     *nla.ranks.lock() = r.ranks.clone();
@@ -1123,6 +1567,11 @@ fn cr_thread(ctx: &Ctx, rt: JobRuntime, rank: u32, resume: Option<Arc<MigCycle>>
                 };
                 let m = *m;
                 let cycle = rt.mig_cycle(m.cycle);
+                if !cycle.enter(rank) {
+                    // The cycle was aborted before this rank reacted;
+                    // nothing was suspended, nothing to recover.
+                    continue;
+                }
                 cr.suspend_and_drain(ctx);
                 ftb.publish(
                     ctx,
@@ -1144,11 +1593,21 @@ fn cr_thread(ctx: &Ctx, rt: JobRuntime, rank: u32, resume: Option<Arc<MigCycle>>
                     cycle.stall_done.wait(ctx);
                     let pool = cycle.wait_source_pool(ctx);
                     let meta = cr.capture_meta();
+                    // Keep the captured state around: if the cycle
+                    // aborts after the app is killed, the rank is
+                    // resurrected from exactly this state.
+                    cycle.captured_meta.lock().insert(rank, meta.clone());
                     let image = build_image(rank, &meta);
                     rt.kill_app(rank);
                     let mut sink = pool.sink(ctx, rank, image.checksum());
                     let blcr = &inner.cluster.node(m.source).blcr;
-                    blcr.checkpoint(ctx, &image, &mut sink);
+                    if blcr.try_checkpoint(ctx, &image, &mut sink).is_err() {
+                        // Incomplete stream: the Phase 2 deadline aborts
+                        // the cycle and recovers this rank.
+                        ctx.instant_with("ckpt", "source_dump_failed", || {
+                            vec![("rank", rank.into()), ("cycle", m.cycle.into())]
+                        });
+                    }
                     // This process incarnation migrates away; its C/R
                     // thread ends with it.
                     return;
@@ -1184,10 +1643,40 @@ fn cr_thread(ctx: &Ctx, rt: JobRuntime, rank: u32, resume: Option<Arc<MigCycle>>
                 let meta = cr.capture_meta();
                 let image = build_image(rank, &meta);
                 cycle.checksums.lock().insert(rank, image.checksum());
-                let mut sink =
-                    blcrsim::StoreSink::new(store, format!("ckpt.{}.{}", c.cycle, rank), true);
                 let blcr = &inner.cluster.node(mynode).blcr;
-                let written = blcr.checkpoint(ctx, &image, &mut sink);
+                let rec = inner.spec.recovery;
+                let path = format!("ckpt.{}.{}", c.cycle, rank);
+                // Bounded-retry dump: a failed write restarts the file
+                // from scratch; if the budget runs out the job still
+                // resumes (without a usable checkpoint for this rank).
+                let mut written = 0;
+                let mut tries = 0u32;
+                loop {
+                    let mut sink = blcrsim::StoreSink::new(store.clone(), path.clone(), true);
+                    match blcr.try_checkpoint(ctx, &image, &mut sink) {
+                        Ok(w) => {
+                            written = w;
+                            break;
+                        }
+                        Err(e) => {
+                            tries += 1;
+                            ctx.instant_with("ckpt", "dump_retry", || {
+                                vec![
+                                    ("rank", rank.into()),
+                                    ("try", tries.into()),
+                                    ("error", e.to_string().into()),
+                                ]
+                            });
+                            if tries >= rec.max_attempts {
+                                ctx.instant_with("ckpt", "dump_failed", || {
+                                    vec![("rank", rank.into())]
+                                });
+                                break;
+                            }
+                            ctx.sleep(backoff_delay(&rec, tries + 1));
+                        }
+                    }
+                }
                 cycle.bytes.fetch_add(written, Ordering::Relaxed);
                 cycle.ckpt_done.arrive_and_wait(ctx);
                 // Resume.

@@ -55,7 +55,7 @@ fn pump(n: u32, mb_per_rank: u64, cfg: PoolConfig) -> (u64, u64, Vec<u64>) {
     let rdv2 = rdv.clone();
     let st2 = streamed.clone();
     sim.spawn("source", move |ctx| {
-        let pool = SourcePool::setup(ctx, &src_hca, cfg, n, &rdv2);
+        let (pool, _ack) = SourcePool::setup(ctx, &src_hca, cfg, n, &rdv2);
         let done = simkit::Countdown::new(&ctx.handle(), "writers", n as u64);
         for r in 0..n {
             let pool = pool.clone();
@@ -76,7 +76,7 @@ fn pump(n: u32, mb_per_rank: u64, cfg: PoolConfig) -> (u64, u64, Vec<u64>) {
     let p2 = pulled.clone();
     let sz2 = sizes.clone();
     sim.spawn("target", move |ctx| {
-        let res = run_target_pool(ctx, &tgt_hca, cfg, &rdv, fs, "mig.t");
+        let res = run_target_pool(ctx, &tgt_hca, cfg, &rdv, fs, "mig.t").expect("pull");
         p2.store(res.bytes_pulled, Ordering::SeqCst);
         let mut v: Vec<(u32, u64)> = res.images.iter().map(|(r, i)| (*r, i.bytes)).collect();
         v.sort();
@@ -148,7 +148,7 @@ fn odd_sized_streams_with_partial_final_chunks() {
     let blcr = Blcr::new(membus, BlcrConfig::default());
     let rdv2 = rdv.clone();
     sim.spawn("source", move |ctx| {
-        let pool = SourcePool::setup(ctx, &src_hca, cfg, 1, &rdv2);
+        let (pool, _ack) = SourcePool::setup(ctx, &src_hca, cfg, 1, &rdv2);
         let img = ProcessImage::new(0, &b"odd"[..]).with_segment(
             SegmentKind::Heap,
             DataSlice::pattern(3, 0, 3 * (1 << 20) + 12345),
@@ -158,7 +158,7 @@ fn odd_sized_streams_with_partial_final_chunks() {
         pool.finished().wait(ctx);
     });
     sim.spawn("target", move |ctx| {
-        let res = run_target_pool(ctx, &tgt_hca, cfg, &rdv, fs.clone(), "mig.odd");
+        let res = run_target_pool(ctx, &tgt_hca, cfg, &rdv, fs.clone(), "mig.odd").expect("pull");
         let img_info = &res.images[&0];
         // restore and verify integrity end to end
         let mut src = blcrsim::StoreSource::new(fs.clone(), img_info.path.clone());
@@ -191,14 +191,14 @@ fn memory_mode_keeps_streams_off_the_filesystem() {
     let blcr = Blcr::new(membus, BlcrConfig::default());
     let rdv2 = rdv.clone();
     sim.spawn("source", move |ctx| {
-        let pool = SourcePool::setup(ctx, &src_hca, cfg, 1, &rdv2);
+        let (pool, _ack) = SourcePool::setup(ctx, &src_hca, cfg, 1, &rdv2);
         let img = image(0, 4);
         let mut sink = pool.sink(ctx, 0, img.checksum());
         blcr.checkpoint(ctx, &img, &mut sink);
         pool.finished().wait(ctx);
     });
     sim.spawn("target", move |ctx| {
-        let res = run_target_pool(ctx, &tgt_hca, cfg, &rdv, fs_dyn, "mig.mem");
+        let res = run_target_pool(ctx, &tgt_hca, cfg, &rdv, fs_dyn, "mig.mem").expect("pull");
         let info = &res.images[&0];
         let slices = info.slices.as_ref().expect("in-memory stream");
         let parsed = blcrsim::parse_stream(slices.clone()).unwrap();
@@ -232,7 +232,7 @@ fn ipoib_transport_is_slower_but_correct() {
         let blcr = Blcr::new(membus, BlcrConfig::default());
         let rdv2 = rdv.clone();
         sim.spawn("source", move |ctx| {
-            let pool = SourcePool::setup(ctx, &src_hca, cfg, 2, &rdv2);
+            let (pool, _ack) = SourcePool::setup(ctx, &src_hca, cfg, 2, &rdv2);
             let done = simkit::Countdown::new(&ctx.handle(), "w", 2);
             for r in 0..2 {
                 let pool = pool.clone();
@@ -249,7 +249,7 @@ fn ipoib_transport_is_slower_but_correct() {
             pool.finished().wait(ctx);
         });
         sim.spawn("target", move |ctx| {
-            run_target_pool(ctx, &tgt_hca, cfg, &rdv, fs, "mig.x");
+            run_target_pool(ctx, &tgt_hca, cfg, &rdv, fs, "mig.x").expect("pull");
         });
         sim.run().unwrap();
         *out = sim.now().as_secs_f64();

@@ -127,8 +127,21 @@ fn migration_without_spare_fails_gracefully() {
         .migrate_after(secs(10), MigrationRequest::new());
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     assert!(rt.is_complete(), "job unaffected by failed trigger");
-    assert!(rt.migration_reports().is_empty());
-    assert_eq!(rt.failed_triggers(), 1);
+    // With no spare the trigger degrades to a coordinated checkpoint:
+    // the report records the fallback, and a CR report carries the dump.
+    let reports = rt.migration_reports();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].outcome, MigrationOutcome::FellBackToCr);
+    assert_eq!(reports[0].ranks_moved, 0);
+    let crs = rt.cr_reports();
+    assert_eq!(crs.len(), 1);
+    assert_eq!(crs[0].store, CrStoreKind::LocalExt3);
+    assert!(crs[0].bytes_written > 0);
+    assert_eq!(rt.migration_outcomes().fell_back_to_cr, 1);
+    #[allow(deprecated)]
+    {
+        assert_eq!(rt.failed_triggers(), 1);
+    }
 }
 
 #[test]
@@ -155,4 +168,62 @@ fn migration_overhead_is_small_fraction_of_runtime() {
         (0.0..0.12).contains(&overhead),
         "overhead {overhead} (base {base}, with {with_mig})"
     );
+}
+
+mod determinism {
+    //! Property: one seed + one fault plan → one history. Two runs of the
+    //! same configuration must produce byte-identical traces and identical
+    //! migration reports, whatever faults the plan injects.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    fn plan(choice: u8) -> FaultPlan {
+        match choice % 4 {
+            0 => FaultPlan::new(9).with(FaultSpec::SpareCrash {
+                phase: MigPhase::Restart,
+                attempt: 1,
+            }),
+            1 => FaultPlan::new(9)
+                .with(FaultSpec::RdmaCqError { nth: 1 })
+                .with(FaultSpec::RdmaCorrupt { nth: 3 }),
+            2 => FaultPlan::new(9).with(FaultSpec::BlcrWriteError { nth: 1 }),
+            _ => FaultPlan::new(9).with(FaultSpec::LinkFlap {
+                net: NetSel::Gige,
+                at: secs(10),
+                lasts: ms(700),
+            }),
+        }
+    }
+
+    /// One full faulted run → (chrome trace bytes, report debug dump).
+    fn faulted_run(seed: u64, choice: u8) -> (String, String) {
+        let mut sim = Simulation::new(seed);
+        sim.handle().tracer().set_enabled(true);
+        let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 2));
+        cluster.install_fault_plane(&plan(choice));
+        let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);
+        let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 2));
+        rt.control()
+            .migrate_after(secs(10), MigrationRequest::new());
+        sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
+        let h = sim.handle();
+        let trace = telemetry::chrome_trace(&h.tracer().drain_events(), &h.tracer().proc_names());
+        let reports = format!("{:?} {:?}", rt.migration_reports(), rt.migration_outcomes());
+        (trace, reports)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        fn same_seed_and_fault_plan_replay_byte_identically(
+            seed in 1u64..512,
+            choice in 0u8..4,
+        ) {
+            let (trace_a, reports_a) = faulted_run(seed, choice);
+            let (trace_b, reports_b) = faulted_run(seed, choice);
+            prop_assert!(trace_a == trace_b, "traces diverge for seed {seed}");
+            prop_assert_eq!(reports_a, reports_b);
+        }
+    }
 }

@@ -40,12 +40,21 @@ pub(crate) struct AgentState {
 pub struct FtbConfig {
     /// Parent heartbeat period (drives failure detection latency).
     pub heartbeat: Duration,
+    /// Forward-up retry budget: how many times an agent re-sends an event
+    /// toward (a possibly re-attached) parent after the first send fails.
+    /// When the budget is exhausted the event is dropped and an
+    /// `ftb/event_dropped` trace instant is emitted.
+    pub forward_retries: u32,
+    /// Pause between forward-up retry attempts (0 = immediate).
+    pub forward_retry_backoff: Duration,
 }
 
 impl Default for FtbConfig {
     fn default() -> Self {
         FtbConfig {
             heartbeat: Duration::from_millis(500),
+            forward_retries: 1,
+            forward_retry_backoff: Duration::ZERO,
         }
     }
 }
@@ -109,10 +118,11 @@ impl FtbBackplane {
         let inbox = self.net.bind(node, FTB_AGENT_PORT);
         let loop_state = state.clone();
         let loop_net = self.net.clone();
+        let loop_cfg = self.cfg.clone();
         let main = self
             .handle
             .spawn_daemon(&format!("ftb-agent@{node}"), move |ctx| {
-                agent_main(ctx, loop_state, loop_net, inbox)
+                agent_main(ctx, loop_state, loop_net, loop_cfg, inbox)
             });
         let hb_state = state.clone();
         let hb_net = self.net.clone();
@@ -180,10 +190,15 @@ fn send_agent(
     )
 }
 
-/// Re-attach to the grandparent after the parent died. Returns the new
-/// parent, if any.
+/// Re-attach after a send to the parent failed. Prefer the grandparent
+/// (the parent is presumed dead); with no ancestor above it, keep the
+/// current parent — a transient link error (flap, dropped window) must
+/// not orphan the subtree permanently. Returns the parent now in effect.
 fn reattach(ctx: &Ctx, state: &Arc<AgentState>, net: &Net) -> Option<NodeId> {
-    let new_parent = state.grandparent.lock().take();
+    let new_parent = match state.grandparent.lock().take() {
+        Some(gp) => Some(gp),
+        None => *state.parent.lock(),
+    };
     *state.parent.lock() = new_parent;
     if let Some(gp) = new_parent {
         let _ = send_agent(
@@ -211,7 +226,51 @@ fn deliver_local(state: &Arc<AgentState>, event: &FtbEvent) {
     *state.delivered.lock() += n.min(1); // count events, not fan-out
 }
 
-fn agent_main(ctx: &Ctx, state: Arc<AgentState>, net: Net, inbox: Queue<ibfabric::Datagram>) {
+/// Forward an event toward the root, re-attaching and retrying within the
+/// configured budget. When the budget is exhausted (or no ancestor is
+/// reachable) the event is dropped with a trace instant — bounded loss,
+/// never an unbounded stall of the agent loop.
+fn forward_up(ctx: &Ctx, state: &Arc<AgentState>, net: &Net, cfg: &FtbConfig, event: &FtbEvent) {
+    let Some(mut parent) = *state.parent.lock() else {
+        return; // we are the root
+    };
+    let mut attempts = 0u32;
+    loop {
+        let fwd = AgentMsg::Publish {
+            event: event.clone(),
+            via: Via::Child(state.node),
+        };
+        if send_agent(net, ctx, state.node, parent, fwd, event.wire_bytes()).is_ok() {
+            return;
+        }
+        attempts += 1;
+        if attempts > cfg.forward_retries {
+            break;
+        }
+        if !cfg.forward_retry_backoff.is_zero() {
+            ctx.sleep(cfg.forward_retry_backoff);
+        }
+        match reattach(ctx, state, net) {
+            Some(np) => parent = np,
+            None => break, // orphaned: no ancestor left to carry the event
+        }
+    }
+    ctx.instant_with("ftb", "event_dropped", || {
+        vec![
+            ("node", state.node.0.into()),
+            ("event", event.name.clone().into()),
+            ("attempts", attempts.into()),
+        ]
+    });
+}
+
+fn agent_main(
+    ctx: &Ctx,
+    state: Arc<AgentState>,
+    net: Net,
+    cfg: Arc<FtbConfig>,
+    inbox: Queue<ibfabric::Datagram>,
+) {
     // Announce ourselves to the configured parent.
     let parent0 = *state.parent.lock();
     if let Some(p) = parent0 {
@@ -232,31 +291,9 @@ fn agent_main(ctx: &Ctx, state: Arc<AgentState>, net: Net, inbox: Queue<ibfabric
         match *msg {
             AgentMsg::Publish { event, via } => {
                 deliver_local(&state, &event);
-                // forward up
+                // forward up (bounded retry, see `forward_up`)
                 if via != Via::Parent {
-                    let parent = *state.parent.lock();
-                    if let Some(p) = parent {
-                        let fwd = AgentMsg::Publish {
-                            event: event.clone(),
-                            via: Via::Child(state.node),
-                        };
-                        if send_agent(&net, ctx, state.node, p, fwd, event.wire_bytes()).is_err() {
-                            if let Some(np) = reattach(ctx, &state, &net) {
-                                let retry = AgentMsg::Publish {
-                                    event: event.clone(),
-                                    via: Via::Child(state.node),
-                                };
-                                let _ = send_agent(
-                                    &net,
-                                    ctx,
-                                    state.node,
-                                    np,
-                                    retry,
-                                    event.wire_bytes(),
-                                );
-                            }
-                        }
-                    }
+                    forward_up(ctx, &state, &net, &cfg, &event);
                 }
                 // forward down (sorted: deterministic delivery order)
                 let mut children: Vec<NodeId> = state.children.lock().iter().copied().collect();

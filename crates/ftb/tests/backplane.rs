@@ -214,3 +214,63 @@ fn concurrent_publishers_all_delivered() {
     sim.run_for(secs(1)).unwrap();
     assert_eq!(q.len(), 15);
 }
+
+/// A visible-error window on every link. All sends fail while the window
+/// is open; the tree must heal afterwards instead of orphaning agents.
+struct FlapWindow {
+    from: simkit::SimTime,
+    until: simkit::SimTime,
+}
+
+impl ibfabric::FaultHook for FlapWindow {
+    fn on_send(
+        &self,
+        now: simkit::SimTime,
+        _net: &str,
+        _from: NodeId,
+        _to: NodeId,
+        _port: u16,
+        _wire: u64,
+    ) -> ibfabric::SendVerdict {
+        if now >= self.from && now < self.until {
+            ibfabric::SendVerdict::Error
+        } else {
+            ibfabric::SendVerdict::Deliver
+        }
+    }
+}
+
+#[test]
+fn transient_link_flap_does_not_orphan_agents() {
+    let mut sim = Simulation::new(0);
+    let bp = deploy(&sim);
+    let h = sim.handle();
+    // The window covers at least one heartbeat (period 500 ms) for every
+    // agent, so each one sees a failed ping and goes through reattach.
+    bp.net().set_fault_hook(Arc::new(FlapWindow {
+        from: simkit::SimTime::ZERO + ms(200),
+        until: simkit::SimTime::ZERO + ms(1400),
+    }));
+    sim.run_for(secs(3)).unwrap();
+
+    // Depth-1 agents have no grandparent to fail over to; a transient
+    // error must leave them attached to the root, not orphaned.
+    assert_eq!(bp.parent_of(NodeId(1)), Some(NodeId(0)));
+    assert_eq!(bp.parent_of(NodeId(2)), Some(NodeId(0)));
+    // n3 may have failed over to its grandparent — either parent works,
+    // as long as it still has one.
+    assert!(bp.parent_of(NodeId(3)).is_some(), "n3 orphaned");
+
+    // And events still traverse the healed tree end-to-end.
+    let c = FtbClient::connect(&bp, NodeId(1), "sub");
+    let q = c.subscribe(&h, EventFilter::all());
+    let p = FtbClient::connect(&bp, NodeId(3), "pub");
+    sim.spawn("pub", move |ctx| {
+        p.publish(
+            ctx,
+            FtbEvent::simple("S", "HEALED", Severity::Info, NodeId(3)),
+        );
+    });
+    sim.run_for(secs(1)).unwrap();
+    assert_eq!(q.len(), 1, "event must flow after the flap heals");
+}

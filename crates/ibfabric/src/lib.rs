@@ -16,11 +16,13 @@
 //! See `DESIGN.md` §2 for why a simulated fabric (rather than real
 //! hardware) preserves the behaviour the paper evaluates.
 
+mod fault;
 mod net;
 mod payload;
 mod sparsebuf;
 mod verbs;
 
+pub use fault::{FaultHook, ReadFault, SendVerdict};
 pub use net::{Datagram, Net, NetConfig, NetError};
 pub use payload::{pattern_byte, total_len, DataSlice, DataSrc};
 pub use sparsebuf::SparseBuf;

@@ -10,6 +10,7 @@
 //! Intra-node messages skip the links entirely and cost only a small
 //! loopback latency, mirroring MVAPICH2's shared-memory channel.
 
+use crate::fault::{FaultHook, SendVerdict};
 use crate::NodeId;
 use parking_lot::Mutex;
 use simkit::{Ctx, FlowNet, LinkId, Queue, Sharing, SimHandle};
@@ -82,6 +83,8 @@ pub enum NetError {
     NoSuchNode(NodeId),
     /// Destination `(node, port)` is not bound.
     PortClosed(NodeId, u16),
+    /// The link to the destination is down (injected fault).
+    LinkDown(NodeId),
 }
 
 impl fmt::Display for NetError {
@@ -89,6 +92,7 @@ impl fmt::Display for NetError {
         match self {
             NetError::NoSuchNode(n) => write!(f, "no such node on network: {n:?}"),
             NetError::PortClosed(n, p) => write!(f, "port closed: {n:?}:{p}"),
+            NetError::LinkDown(n) => write!(f, "link down to {n:?}"),
         }
     }
 }
@@ -112,6 +116,7 @@ pub struct Net {
     flows: FlowNet,
     cfg: Arc<NetConfig>,
     inner: Arc<Mutex<NetInner>>,
+    hook: Arc<Mutex<Option<Arc<dyn FaultHook>>>>,
 }
 
 impl Net {
@@ -125,7 +130,22 @@ impl Net {
                 ports: HashMap::new(),
                 inboxes: HashMap::new(),
             })),
+            hook: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Install (or replace) the fault hook consulted on every send.
+    pub fn set_fault_hook(&self, hook: Arc<dyn FaultHook>) {
+        *self.hook.lock() = Some(hook);
+    }
+
+    /// Remove the fault hook.
+    pub fn clear_fault_hook(&self) {
+        *self.hook.lock() = None;
+    }
+
+    pub(crate) fn fault_hook(&self) -> Option<Arc<dyn FaultHook>> {
+        self.hook.lock().clone()
     }
 
     /// Network configuration.
@@ -214,6 +234,19 @@ impl Net {
             let inner = self.inner.lock();
             if !inner.ports.contains_key(&to.0) {
                 return Err(NetError::NoSuchNode(to.0));
+            }
+        }
+        let verdict = match self.fault_hook() {
+            Some(h) => h.on_send(ctx.now(), &self.cfg.name, from.0, to.0, to.1, wire_bytes),
+            None => SendVerdict::Deliver,
+        };
+        match verdict {
+            SendVerdict::Deliver => {}
+            SendVerdict::Error => return Err(NetError::LinkDown(to.0)),
+            SendVerdict::Drop => {
+                // The bytes occupy the wire, but the message evaporates.
+                self.wire_delay(ctx, from.0, to.0, wire_bytes)?;
+                return Ok(());
             }
         }
         self.wire_delay(ctx, from.0, to.0, wire_bytes)?;

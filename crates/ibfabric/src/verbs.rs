@@ -20,6 +20,7 @@
 //!   it fails with [`VerbsError::RemoteAccess`] — the staleness hazard that
 //!   forces MVAPICH2 to release rkeys before checkpointing.
 
+use crate::fault::ReadFault;
 use crate::net::{Net, NetConfig, NetError};
 use crate::payload::DataSlice;
 use crate::sparsebuf::SparseBuf;
@@ -34,6 +35,10 @@ use std::time::Duration;
 
 /// Wire-header overhead charged per message.
 const MSG_HEADER_BYTES: u64 = 64;
+
+/// Pattern seed for corrupted-read poison data; chosen so it can never
+/// collide with a legitimate image seed (those are small integers).
+const CORRUPT_SEED: u64 = 0xDEAD_BEEF_0BAD_C0DE;
 
 /// Fabric-wide tunables.
 #[derive(Debug, Clone)]
@@ -76,6 +81,9 @@ pub enum VerbsError {
         /// The offending rkey.
         rkey: u32,
     },
+    /// The work request completed with an error CQE (injected transport
+    /// fault). The operation may be retried on the same QP.
+    CqError,
     /// Underlying network failure.
     Net(NetError),
 }
@@ -89,6 +97,7 @@ impl fmt::Display for VerbsError {
             VerbsError::RemoteAccess { node, rkey } => {
                 write!(f, "remote access error at {node:?} rkey {rkey}")
             }
+            VerbsError::CqError => write!(f, "work request completed in error (CQE)"),
             VerbsError::Net(e) => write!(f, "network error: {e}"),
         }
     }
@@ -523,6 +532,16 @@ impl Qp {
         ctx.sleep(self.fabric.inner.cfg.net.latency);
         self.fabric
             .checked_mr(remote.node, remote.rkey, offset, len)?;
+        let fault = self
+            .fabric
+            .inner
+            .net
+            .fault_hook()
+            .and_then(|h| h.on_rdma_read(ctx.now(), remote.node, my_node, len));
+        if let Some(ReadFault::CqError) = fault {
+            span.end_with(vec![("error", "cqe".into())]);
+            return Err(VerbsError::CqError);
+        }
         // bulk flows from the remote node to us
         self.fabric
             .inner
@@ -532,6 +551,13 @@ impl Qp {
             .fabric
             .checked_mr(remote.node, remote.rkey, offset, len)?;
         let slices = buf.lock().read(offset, len);
+        if let Some(ReadFault::Corrupt) = fault {
+            // The transfer "succeeded" but the payload is garbage: hand back
+            // a poison pattern of the right length so only checksum
+            // verification can tell.
+            span.end_with(vec![("bytes", len.into()), ("error", "corrupt".into())]);
+            return Ok(vec![DataSlice::pattern(CORRUPT_SEED, offset, len)]);
+        }
         span.end_with(vec![("bytes", len.into())]);
         Ok(slices)
     }

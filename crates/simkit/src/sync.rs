@@ -12,6 +12,16 @@ use crate::process::Ctx;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Remove `pid` from a waiter list if still registered. Timed waits must
+/// call this after waking: a pid left behind would be woken by a later
+/// `set`/`push` while blocked in an unrelated sleep, corrupting its timing.
+fn unregister(waiters: &mut VecDeque<u32>, pid: u32) {
+    if let Some(pos) = waiters.iter().position(|&w| w == pid) {
+        waiters.remove(pos);
+    }
+}
 
 fn wake_one_live(kernel: &Kernel, waiters: &mut VecDeque<u32>) {
     while let Some(w) = waiters.pop_front() {
@@ -87,6 +97,28 @@ impl Event {
                 st.1.push_back(ctx.pid().0);
             }
             ctx.block();
+        }
+    }
+
+    /// Block until the event fires or `d` of virtual time elapses.
+    /// Returns `true` if the event fired, `false` on timeout.
+    pub fn wait_timeout(&self, ctx: &Ctx, d: Duration) -> bool {
+        ctx.check_killed();
+        let deadline = ctx.now() + d;
+        loop {
+            {
+                let mut st = self.inner.st.lock();
+                if st.0 {
+                    return true;
+                }
+                if ctx.now() >= deadline {
+                    return false;
+                }
+                st.1.push_back(ctx.pid().0);
+            }
+            self.kernel.schedule_wake(ctx.pid(), deadline);
+            ctx.block();
+            unregister(&mut self.inner.st.lock().1, ctx.pid().0);
         }
     }
 
@@ -227,6 +259,32 @@ impl<T: Send> Queue<T> {
         }
     }
 
+    /// Take the oldest item, parking at most `d` of virtual time.
+    /// Returns `None` on timeout.
+    pub fn pop_timeout(&self, ctx: &Ctx, d: Duration) -> Option<T> {
+        ctx.check_killed();
+        let deadline = ctx.now() + d;
+        loop {
+            {
+                let mut st = self.inner.st.lock();
+                if let Some(item) = st.0.pop_front() {
+                    if !st.0.is_empty() {
+                        let (_, waiters) = &mut *st;
+                        wake_one_live(&self.kernel, waiters);
+                    }
+                    return Some(item);
+                }
+                if ctx.now() >= deadline {
+                    return None;
+                }
+                st.1.push_back(ctx.pid().0);
+            }
+            self.kernel.schedule_wake(ctx.pid(), deadline);
+            ctx.block();
+            unregister(&mut self.inner.st.lock().1, ctx.pid().0);
+        }
+    }
+
     /// Take the oldest item if one is present (never blocks).
     pub fn try_pop(&self) -> Option<T> {
         self.inner.st.lock().0.pop_front()
@@ -276,9 +334,13 @@ impl Countdown {
         }
     }
 
-    /// Record one arrival (non-blocking).
+    /// Record one arrival (non-blocking). Arrivals after a
+    /// [`Countdown::force_complete`] are ignored.
     pub fn arrive(&self) {
         let mut r = self.remaining.lock();
+        if *r == 0 && self.done.is_set() {
+            return; // forced open; late arrival from an aborted cycle
+        }
         assert!(*r > 0, "Countdown over-arrived");
         *r -= 1;
         if *r == 0 {
@@ -296,6 +358,22 @@ impl Countdown {
     /// Block until the count reaches zero.
     pub fn wait(&self, ctx: &Ctx) {
         self.done.wait(ctx);
+    }
+
+    /// Block until the count reaches zero or `d` of virtual time elapses.
+    /// Returns `true` if the countdown completed, `false` on timeout.
+    pub fn wait_timeout(&self, ctx: &Ctx, d: Duration) -> bool {
+        self.done.wait_timeout(ctx, d)
+    }
+
+    /// Force the latch open without waiting for outstanding arrivals,
+    /// releasing all waiters. Used by abort paths to drain participants of
+    /// a cancelled protocol cycle; late arrivals are then ignored.
+    pub fn force_complete(&self) {
+        let mut r = self.remaining.lock();
+        *r = 0;
+        drop(r);
+        self.done.set();
     }
 
     /// Whether all arrivals have happened.
@@ -451,6 +529,70 @@ mod tests {
         assert_eq!(q.try_pop(), Some(7));
         assert_eq!(q.try_pop(), Some(8));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn event_wait_timeout_expires_then_fires() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let e = Event::new(&h, "e");
+        let done = Event::new(&h, "done");
+        {
+            let e = e.clone();
+            let done = done.clone();
+            h.spawn("waiter", move |ctx| {
+                let t0 = ctx.now();
+                assert!(!e.wait_timeout(ctx, Duration::from_millis(10)));
+                assert_eq!(ctx.now(), t0 + Duration::from_millis(10));
+                assert!(e.wait_timeout(ctx, Duration::from_secs(10)));
+                done.set();
+            });
+        }
+        {
+            let e = e.clone();
+            h.spawn("setter", move |ctx| {
+                ctx.sleep(Duration::from_millis(50));
+                e.set();
+            });
+        }
+        sim.run_until_set(&done, crate::SimTime::MAX).unwrap();
+        assert_eq!(sim.now(), crate::SimTime::ZERO + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn queue_pop_timeout_returns_none_then_item() {
+        let mut sim = Simulation::new(0);
+        let h = sim.handle();
+        let q: Queue<u32> = Queue::new(&h);
+        let done = Event::new(&h, "done");
+        {
+            let q = q.clone();
+            let done = done.clone();
+            h.spawn("popper", move |ctx| {
+                assert_eq!(q.pop_timeout(ctx, Duration::from_millis(5)), None);
+                assert_eq!(q.pop_timeout(ctx, Duration::from_secs(1)), Some(9));
+                done.set();
+            });
+        }
+        {
+            let q = q.clone();
+            h.spawn("pusher", move |ctx| {
+                ctx.sleep(Duration::from_millis(20));
+                q.push(9);
+            });
+        }
+        sim.run_until_set(&done, crate::SimTime::MAX).unwrap();
+    }
+
+    #[test]
+    fn countdown_force_complete_releases_and_ignores_late_arrivals() {
+        let sim = Simulation::new(0);
+        let c = Countdown::new(&sim.handle(), "c", 3);
+        c.arrive();
+        c.force_complete();
+        assert!(c.is_done());
+        c.arrive(); // late arrival from an aborted cycle: ignored
+        assert_eq!(c.remaining(), 0);
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Fault-injection hook for checkpoint stores.
+
+use simkit::SimTime;
+use std::fmt;
+
+/// A write-path storage fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// No space left on device: retrying against the same store is
+    /// pointless until files are deleted.
+    DiskFull,
+    /// Transient I/O error: a bounded retry may succeed.
+    IoError,
+}
+
+impl fmt::Display for StoreFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreFault::DiskFull => write!(f, "no space left on device"),
+            StoreFault::IoError => write!(f, "I/O error"),
+        }
+    }
+}
+
+/// Injector consulted by fault-aware stores on every
+/// [`CkptStore::try_append`](crate::CkptStore::try_append). The hook
+/// decides whether to inject (by schedule, count, or probability); stores
+/// only ask and obey. All methods default to "no fault".
+pub trait StoreFaultHook: Send + Sync {
+    /// Consulted once per append, before any I/O time is charged. `store`
+    /// is the store's diagnostic name ("localfs", "pvfs").
+    fn on_write(
+        &self,
+        _now: SimTime,
+        _store: &str,
+        _path: &str,
+        _bytes: u64,
+    ) -> Option<StoreFault> {
+        None
+    }
+}

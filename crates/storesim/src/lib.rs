@@ -22,10 +22,12 @@
 //! streams through.
 
 mod disk;
+mod fault;
 mod localfs;
 mod pvfs;
 
 pub use disk::{Disk, DiskConfig};
+pub use fault::{StoreFault, StoreFaultHook};
 pub use localfs::LocalFs;
 pub use pvfs::{Pvfs, PvfsConfig};
 
@@ -43,6 +45,21 @@ pub trait CkptStore: Send + Sync {
     /// Append `data` to the file. `sync` selects durable (checkpoint) vs
     /// buffered (temporary restart file) semantics.
     fn append(&self, ctx: &Ctx, path: &str, data: DataSlice, sync: bool);
+
+    /// Fallible append for fault-aware writers: implementations that carry
+    /// a [`StoreFaultHook`] consult it and surface injected faults here.
+    /// The default implementation delegates to [`CkptStore::append`] and
+    /// never fails.
+    fn try_append(
+        &self,
+        ctx: &Ctx,
+        path: &str,
+        data: DataSlice,
+        sync: bool,
+    ) -> Result<(), StoreFault> {
+        self.append(ctx, path, data, sync);
+        Ok(())
+    }
 
     /// Read the whole file back, paying disk or cache cost as appropriate.
     fn read_all(&self, ctx: &Ctx, path: &str) -> Option<Vec<DataSlice>>;

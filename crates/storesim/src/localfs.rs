@@ -1,6 +1,7 @@
 //! A node-local ext3-like filesystem over one [`Disk`].
 
 use crate::disk::Disk;
+use crate::fault::{StoreFault, StoreFaultHook};
 use crate::CkptStore;
 use ibfabric::DataSlice;
 use parking_lot::Mutex;
@@ -31,6 +32,7 @@ pub struct LocalFs {
     meta_latency: Duration,
     written: Arc<AtomicU64>,
     read: Arc<AtomicU64>,
+    hook: Arc<Mutex<Option<Arc<dyn StoreFaultHook>>>>,
 }
 
 impl LocalFs {
@@ -44,12 +46,19 @@ impl LocalFs {
             meta_latency: Duration::from_micros(150),
             written: Arc::new(AtomicU64::new(0)),
             read: Arc::new(AtomicU64::new(0)),
+            hook: Arc::new(Mutex::new(None)),
         }
     }
 
     /// The backing disk.
     pub fn disk(&self) -> &Disk {
         &self.disk
+    }
+
+    /// Install (or replace) the fault hook consulted by
+    /// [`CkptStore::try_append`].
+    pub fn set_fault_hook(&self, hook: Arc<dyn StoreFaultHook>) {
+        *self.hook.lock() = Some(hook);
     }
 
     /// List stored file paths (diagnostics).
@@ -87,6 +96,27 @@ impl CkptStore for LocalFs {
         f.len += len;
         f.cached += len; // written bytes are cache-resident either way
         self.written.fetch_add(len, Ordering::Relaxed);
+    }
+
+    fn try_append(
+        &self,
+        ctx: &Ctx,
+        path: &str,
+        data: DataSlice,
+        sync: bool,
+    ) -> Result<(), StoreFault> {
+        let fault = self
+            .hook
+            .lock()
+            .as_ref()
+            .and_then(|h| h.on_write(ctx.now(), "localfs", path, data.len));
+        if let Some(f) = fault {
+            // A failed write still costs the syscall round trip.
+            ctx.sleep(self.meta_latency);
+            return Err(f);
+        }
+        self.append(ctx, path, data, sync);
+        Ok(())
     }
 
     fn read_all(&self, ctx: &Ctx, path: &str) -> Option<Vec<DataSlice>> {

@@ -8,6 +8,7 @@
 //! for PVFS checkpoints being ~3x slower than local ext3.
 
 use crate::disk::{Disk, DiskConfig};
+use crate::fault::{StoreFault, StoreFaultHook};
 use crate::CkptStore;
 use ibfabric::{DataSlice, Net, NodeId};
 use parking_lot::Mutex;
@@ -69,6 +70,7 @@ pub struct Pvfs {
     read: Arc<AtomicU64>,
     /// Stripe operations currently in flight per server (telemetry).
     inflight: Arc<Vec<AtomicU64>>,
+    hook: Arc<Mutex<Option<Arc<dyn StoreFaultHook>>>>,
 }
 
 impl Pvfs {
@@ -89,7 +91,14 @@ impl Pvfs {
             written: Arc::new(AtomicU64::new(0)),
             read: Arc::new(AtomicU64::new(0)),
             inflight: Arc::new(inflight),
+            hook: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Install (or replace) the fault hook consulted by every client's
+    /// [`CkptStore::try_append`].
+    pub fn set_fault_hook(&self, hook: Arc<dyn StoreFaultHook>) {
+        *self.hook.lock() = Some(hook);
     }
 
     /// Create a deployment whose stripes traverse `net` to the given
@@ -233,6 +242,27 @@ impl CkptStore for PvfsClient {
         f.len += len;
         f.cached += len;
         self.fs.written.fetch_add(len, Ordering::Relaxed);
+    }
+
+    fn try_append(
+        &self,
+        ctx: &Ctx,
+        path: &str,
+        data: DataSlice,
+        sync: bool,
+    ) -> Result<(), StoreFault> {
+        let fault = self
+            .fs
+            .hook
+            .lock()
+            .as_ref()
+            .and_then(|h| h.on_write(ctx.now(), "pvfs", path, data.len));
+        if let Some(f) = fault {
+            ctx.sleep(self.fs.cfg.meta_latency);
+            return Err(f);
+        }
+        self.append(ctx, path, data, sync);
+        Ok(())
     }
 
     fn read_all(&self, ctx: &Ctx, path: &str) -> Option<Vec<DataSlice>> {

@@ -8,30 +8,66 @@
 //! export it as a chrome://tracing JSON file — open it in Perfetto
 //! (<https://ui.perfetto.dev>) to see the four migration phases, per-chunk
 //! RDMA Reads, and checkpoint stream progress on a zoomable timeline.
+//!
+//! Pass `--faults <preset>` to drive the run through a deterministic
+//! fault plan and watch the protocol heal itself:
+//!   spare-crash  the spare dies at the Phase 3 (Restart) boundary; the
+//!                Job Manager aborts the cycle and retries on the next
+//!                spare (or degrades to a coordinated checkpoint)
+//!   rdma         an RDMA Read completes in error and another returns a
+//!                corrupted payload; both chunks are re-issued in place
+//!   flaky-net    the GigE control network flaps right as the migration
+//!                window opens; phase deadlines drive the retry
 
 use rdma_jobmig::prelude::*;
 
-fn main() {
-    let trace_path = {
-        let mut args = std::env::args().skip(1);
-        match args.next().as_deref() {
-            Some("--trace") => Some(args.next().unwrap_or_else(|| {
-                eprintln!("usage: quickstart [--trace OUT.json]");
-                std::process::exit(2);
-            })),
-            Some(other) => {
-                eprintln!("unknown argument '{other}'; usage: quickstart [--trace OUT.json]");
-                std::process::exit(2);
-            }
-            None => None,
+fn usage() -> ! {
+    eprintln!("usage: quickstart [--trace OUT.json] [--faults spare-crash|rdma|flaky-net]");
+    std::process::exit(2);
+}
+
+fn fault_preset(name: &str) -> FaultPlan {
+    match name {
+        "spare-crash" => FaultPlan::new(2010).with(FaultSpec::SpareCrash {
+            phase: MigPhase::Restart,
+            attempt: 1,
+        }),
+        "rdma" => FaultPlan::new(2010)
+            .with(FaultSpec::RdmaCqError { nth: 2 })
+            .with(FaultSpec::RdmaCorrupt { nth: 5 }),
+        "flaky-net" => FaultPlan::new(2010).with(FaultSpec::LinkFlap {
+            net: NetSel::Gige,
+            at: dur::secs(30),
+            lasts: dur::ms(800),
+        }),
+        other => {
+            eprintln!("unknown fault preset '{other}'");
+            usage();
         }
-    };
+    }
+}
+
+fn main() {
+    let mut trace_path = None;
+    let mut fault_plan = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--faults" => fault_plan = Some(fault_preset(&args.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
 
     let mut sim = Simulation::new(2010);
     if trace_path.is_some() {
         sim.handle().tracer().set_enabled(true);
     }
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::paper_testbed());
+    let plane = fault_plan.as_ref().map(|plan| {
+        println!("fault plan installed: {plan}");
+        cluster.install_fault_plane(plan)
+    });
     let workload = Workload::new(NpbApp::Lu, NpbClass::C, 64);
     println!(
         "launching {} on {} compute nodes (+{} spare), image {:.1} MB/process",
@@ -61,6 +97,17 @@ fn main() {
             report.restart.as_secs_f64() * 1e3,
             report.resume.as_secs_f64() * 1e3,
         );
+    }
+    if let Some(plane) = plane {
+        let outcomes = rt.migration_outcomes();
+        println!(
+            "faults injected: {} | outcomes: {} migrated, {} after retry, {} fell back to CR",
+            plane.injected(),
+            outcomes.migrated,
+            outcomes.migrated_after_retry,
+            outcomes.fell_back_to_cr,
+        );
+        assert_eq!(outcomes.lost, 0, "no trigger may be lost");
     }
 
     if let Some(path) = trace_path {

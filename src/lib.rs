@@ -7,6 +7,7 @@
 //! architecture.
 
 pub use blcrsim;
+pub use faultplane;
 pub use ftb;
 pub use healthmon;
 pub use ibfabric;
@@ -22,9 +23,12 @@ pub use telemetry;
 /// runtime and its typed control plane, the report types, workload
 /// definitions, and the telemetry surface.
 pub mod prelude {
+    pub use faultplane::{FaultPlan, FaultPlane, FaultSpec, MigPhase, NetSel, StoreFault};
     pub use jobmig_core::bufpool::{PoolConfig, RestartMode, Transport};
     pub use jobmig_core::cluster::{Cluster, ClusterSpec};
-    pub use jobmig_core::report::{CrReport, CrStoreKind, MigrationReport};
+    pub use jobmig_core::report::{
+        CrReport, CrStoreKind, MigrationOutcome, MigrationReport, OutcomeCounts,
+    };
     pub use jobmig_core::runtime::{
         AppBody, CheckpointRequest, Control, JobRuntime, JobSpec, MigrationRequest,
     };
