@@ -162,9 +162,9 @@ impl PoolRendezvous {
         self.ready.set();
     }
 
-    fn wait(&self, ctx: &Ctx) -> QpAddr {
+    fn wait(&self, ctx: &Ctx) -> Option<QpAddr> {
         self.ready.wait(ctx);
-        self.addr.lock().expect("rendezvous set")
+        *self.addr.lock()
     }
 }
 
@@ -240,12 +240,24 @@ impl SourcePool {
             };
             match msg.tag {
                 TAG_HELLO => {
-                    let addr = *msg.body.downcast::<QpAddr>().expect("hello addr");
-                    self.qp.connect(ctx, addr).expect("source qp connect");
+                    let Ok(addr) = msg.body.downcast::<QpAddr>() else {
+                        continue; // foreign traffic: ignore
+                    };
+                    // A failed connect-back (link fault) leaves the channel
+                    // unready: writers stall on it and the phase deadline
+                    // aborts/retries the cycle.
+                    if let Err(e) = self.qp.connect(ctx, *addr) {
+                        ctx.instant_with("pool", "control_connect_failed", || {
+                            vec![("error", e.to_string().into())]
+                        });
+                        return;
+                    }
                     self.channel_ready.set();
                 }
                 TAG_ACK => {
-                    let ack = msg.body.downcast::<AckMsg>().expect("ack");
+                    let Ok(ack) = msg.body.downcast::<AckMsg>() else {
+                        continue; // foreign traffic: ignore
+                    };
                     self.st.free_slots.lock().push(ack.slot);
                     self.st.slot_sem.release(1);
                     let outstanding = {
@@ -262,7 +274,13 @@ impl SourcePool {
                     self.st.finished.set();
                     return;
                 }
-                other => panic!("source pool: unexpected tag {other}"),
+                other => {
+                    // A tag we don't speak is a protocol anomaly, not a
+                    // reason to take the job down: log and keep serving.
+                    ctx.instant_with("pool", "unexpected_tag", || {
+                        vec![("side", "source".into()), ("tag", other.into())]
+                    });
+                }
             }
         }
     }
@@ -392,6 +410,7 @@ impl AggregationSink {
             .free_slots
             .lock()
             .pop()
+            // jmlint: allow(hot_unwrap) — slot_sem counts free_slots exactly
             .expect("semaphore guarantees a free slot");
         self.slot = Some(s);
         self.fill = 0;
@@ -486,7 +505,13 @@ pub fn run_target_pool(
     store: Arc<dyn CkptStore>,
     file_prefix: &str,
 ) -> Result<TargetResult, PullAbort> {
-    let src_addr = rendezvous.wait(ctx);
+    let Some(src_addr) = rendezvous.wait(ctx) else {
+        // Woken without a published address: the source side died before
+        // publishing. Leave the cycle to the phase deadline.
+        return Err(PullAbort {
+            reason: "rendezvous",
+        });
+    };
     // Local staging pool mirrors the source pool geometry.
     let _staging = hca.register_mr(ctx, cfg.pool_bytes);
     let qp = hca.create_qp();
@@ -507,7 +532,9 @@ pub fn run_target_pool(
         };
         match msg.tag {
             TAG_REQ => {
-                let req = msg.body.downcast::<ChunkReq>().expect("req");
+                let Ok(req) = msg.body.downcast::<ChunkReq>() else {
+                    return Err(PullAbort { reason: "protocol" });
+                };
                 let base = req.slot as u64 * cfg.chunk_bytes;
                 let mut tries = 0u32;
                 let slices = loop {
@@ -585,7 +612,9 @@ pub fn run_target_pool(
                 }
             }
             TAG_EOF => {
-                let eof = msg.body.downcast::<RankEof>().expect("eof");
+                let Ok(eof) = msg.body.downcast::<RankEof>() else {
+                    return Err(PullAbort { reason: "protocol" });
+                };
                 // A staged stream shorter than announced means a chunk
                 // request was lost on the wire: give up gracefully and let
                 // the Phase 2 deadline abort the cycle.
@@ -642,7 +671,12 @@ pub fn run_target_pool(
                 }
                 break;
             }
-            other => panic!("target pool: unexpected tag {other}"),
+            other => {
+                ctx.instant_with("pool", "unexpected_tag", || {
+                    vec![("side", "target".into()), ("tag", other.into())]
+                });
+                return Err(PullAbort { reason: "protocol" });
+            }
         }
     }
     Ok(TargetResult {

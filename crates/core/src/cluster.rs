@@ -13,7 +13,7 @@ use ftb::{FtbBackplane, FtbConfig};
 use ibfabric::{IbConfig, IbFabric, Net, NetConfig, NodeId};
 use parking_lot::Mutex;
 use simkit::{Link, Sharing, SimHandle};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use storesim::{Disk, LocalFs, Pvfs};
 
@@ -81,7 +81,9 @@ struct ClusterInner {
     login: NodeId,
     compute: Vec<NodeId>,
     spares: Vec<NodeId>,
-    nodes: HashMap<NodeId, NodeResources>,
+    // BTreeMap: fault-plane installation and cache drops iterate every
+    // node; NodeId order keeps their side effects deterministic.
+    nodes: BTreeMap<NodeId, NodeResources>,
     pvfs: Option<Pvfs>,
     fault_plane: Mutex<Option<FaultPlane>>,
 }
@@ -104,7 +106,7 @@ impl Cluster {
         gige.add_node(login);
         ftb.add_agent(login, None);
 
-        let mut nodes = HashMap::new();
+        let mut nodes = BTreeMap::new();
         let mut compute = Vec::new();
         let mut spares = Vec::new();
         let total = spec.compute_nodes + spec.spare_nodes;

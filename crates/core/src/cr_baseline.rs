@@ -113,8 +113,20 @@ fn super_wait_acks(ctx: &Ctx, sub: &Queue<FtbEvent>, cycle: u64, n: u32) {
 /// restart duration into the matching [`CrReport`].
 pub(crate) fn run_restart(ctx: &Ctx, rt: &JobRuntime, cycle_id: u64) {
     let inner = &rt.inner;
-    let cycle = rt.ckpt_cycle(cycle_id);
-    let cut = cycle.cut.lock().expect("checkpoint cycle never completed");
+    let Some(cycle) = rt.ckpt_cycle(cycle_id) else {
+        ctx.instant_with("log", "cr_restart_unknown_cycle", || {
+            vec![("cycle", cycle_id.into())]
+        });
+        return;
+    };
+    let Some(cut) = *cycle.cut.lock() else {
+        // The checkpoint cycle never reached its consistent cut; there is
+        // nothing to roll back to.
+        ctx.instant_with("log", "cr_restart_no_cut", || {
+            vec![("cycle", cycle_id.into())]
+        });
+        return;
+    };
     let nranks = inner.spec.nranks;
 
     // The failure: every process dies; connection state evaporates.
@@ -140,22 +152,45 @@ pub(crate) fn run_restart(ctx: &Ctx, rt: &JobRuntime, cycle_id: u64) {
         let done2 = done.clone();
         ctx.spawn_daemon(&format!("cr-restart-r{rank}"), move |ctx| {
             let inner = &rt2.inner;
+            let bad = |why: String| {
+                ctx.instant_with("log", "cr_restart_rank_failed", || {
+                    vec![("rank", rank.into()), ("error", why.clone().into())]
+                });
+            };
             let node = inner.job.rank_node(rank);
             let store = rt2.store_for(cycle2.store, node);
             let mut src = StoreSource::new(store, format!("ckpt.{}.{}", cycle2.id, rank));
-            let image = inner
-                .cluster
-                .node(node)
-                .blcr
-                .restart(ctx, &mut src, &calib::restart_costs())
-                .expect("checkpoint image parse");
-            let expected = cycle2.checksums.lock()[&rank];
-            assert_eq!(
-                image.checksum(),
-                expected,
-                "checkpoint integrity violated for rank {rank}"
-            );
-            let meta = unwrap_meta(&image);
+            let image =
+                match inner
+                    .cluster
+                    .node(node)
+                    .blcr
+                    .restart(ctx, &mut src, &calib::restart_costs())
+                {
+                    Ok(img) => img,
+                    Err(e) => {
+                        bad(format!("checkpoint image parse: {e}"));
+                        done2.arrive();
+                        return;
+                    }
+                };
+            let expected = cycle2.checksums.lock().get(&rank).copied();
+            if expected != Some(image.checksum()) {
+                bad(format!(
+                    "checkpoint integrity violated: got {:#x}, want {expected:?}",
+                    image.checksum()
+                ));
+                done2.arrive();
+                return;
+            }
+            let meta = match unwrap_meta(&image) {
+                Ok(m) => m,
+                Err(e) => {
+                    bad(e.to_string());
+                    done2.arrive();
+                    return;
+                }
+            };
             inner.job.cr(rank).restore_meta(meta);
             rt2.spawn_app(rank);
             done2.arrive();

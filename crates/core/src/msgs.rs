@@ -81,27 +81,11 @@ pub struct SuspendAckMsg {
     pub rank: u32,
 }
 
-/// Node Launch Agent states, as named in §III-A.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum NlaState {
-    /// Active compute node participating in the job.
-    MigrationReady,
-    /// Hot spare, standing by to receive processes.
-    MigrationSpare,
-    /// Former source node after its processes have left.
-    MigrationInactive,
-}
-
-impl std::fmt::Display for NlaState {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            NlaState::MigrationReady => "MIGRATION_READY",
-            NlaState::MigrationSpare => "MIGRATION_SPARE",
-            NlaState::MigrationInactive => "MIGRATION_INACTIVE",
-        };
-        write!(f, "{s}")
-    }
-}
+/// Node Launch Agent states, as named in §III-A. The canonical enum now
+/// lives in `protoverify` alongside the NLA transition table the runtime
+/// drives its state changes through (see `protoverify::spec::NLA_TABLE`);
+/// re-exported here so existing `msgs::NlaState` paths keep working.
+pub use protoverify::NlaState;
 
 #[cfg(test)]
 mod tests {

@@ -33,8 +33,12 @@ use ftb::{EventFilter, FtbClient, FtbEvent, Severity};
 use ibfabric::NodeId;
 use mpisim::{CrMeta, MpiConfig, MpiJob, MpiRank};
 use parking_lot::Mutex;
+use protoverify::{
+    nla_next, rank_next, CycleEvent, CycleStepper, GuardCtx, MigrationSpec, NlaEvent, RankEvent,
+    RankLife, StepError,
+};
 use simkit::{Countdown, Ctx, Event, ProcHandle, Queue, SimTime};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -303,9 +307,12 @@ impl MigCycle {
         self.source_pool_ready.set();
     }
 
-    fn wait_source_pool(&self, ctx: &Ctx) -> Arc<SourcePool> {
+    /// Wait for the source pool to be stood up. `None` only if the ready
+    /// event fired without a pool in place (a defect in the pool setup) —
+    /// callers bail out and let the Phase 2 deadline recover the cycle.
+    fn wait_source_pool(&self, ctx: &Ctx) -> Option<Arc<SourcePool>> {
         self.source_pool_ready.wait(ctx);
-        self.source_pool.lock().clone().expect("pool set")
+        self.source_pool.lock().clone()
     }
 
     /// A C/R thread checks in before acting on this cycle's events. Once
@@ -378,7 +385,10 @@ pub(crate) struct RtInner {
     pub cluster: Cluster,
     pub spec: JobSpec,
     pub job: MpiJob,
-    pub nlas: Mutex<HashMap<NodeId, Arc<NlaShared>>>,
+    /// NLA registry, keyed by node id. A `BTreeMap` so that any iteration
+    /// (source auto-selection, launch order) is in node-id order — the
+    /// deterministic-replay guarantee forbids `HashMap` iteration here.
+    pub nlas: Mutex<BTreeMap<NodeId, Arc<NlaShared>>>,
     pub spares: Mutex<Vec<NodeId>>,
     pub triggers: Queue<Trigger>,
     pub pending_sources: Mutex<HashSet<NodeId>>,
@@ -393,8 +403,10 @@ pub(crate) struct RtInner {
     pub finished: Mutex<HashSet<u32>>,
     pub all_done: Event,
     pub spawn_tree: Mutex<SpawnTree>,
-    pub no_spare_failures: AtomicU64,
     pub outcomes: Mutex<OutcomeCounts>,
+    /// Per-rank lifecycle position, advanced only through
+    /// `protoverify::RANK_TABLE` (see [`JobRuntime::rank_apply`]).
+    pub rank_life: Mutex<BTreeMap<u32, RankLife>>,
 }
 
 /// A launched job: handles for triggering migrations/checkpoints and
@@ -411,6 +423,7 @@ impl JobRuntime {
     /// any measured figure).
     pub fn launch(cluster: &Cluster, spec: JobSpec) -> JobRuntime {
         let handle = cluster.handle().clone();
+        let spec_nranks = spec.nranks;
         let nodes_needed = spec.nranks.div_ceil(spec.ppn);
         assert!(
             nodes_needed as usize <= cluster.compute_nodes().len(),
@@ -423,7 +436,7 @@ impl JobRuntime {
             spec.nranks,
             spec.mpi.clone(),
         );
-        let mut nlas = HashMap::new();
+        let mut nlas = BTreeMap::new();
         let mut used_nodes = Vec::new();
         for r in 0..spec.nranks {
             let node = cluster.compute_nodes()[(r / spec.ppn) as usize];
@@ -471,8 +484,8 @@ impl JobRuntime {
                     root: cluster.login(),
                     nodes: Vec::new(),
                 }),
-                no_spare_failures: AtomicU64::new(0),
                 outcomes: Mutex::new(OutcomeCounts::default()),
+                rank_life: Mutex::new((0..spec_nranks).map(|r| (r, RankLife::Running)).collect()),
             }),
         };
         rt.inner.spawn_tree.lock().nodes = used_nodes.clone();
@@ -593,14 +606,14 @@ impl JobRuntime {
         self.inner.spares.lock().len()
     }
 
-    /// Migrations that failed for lack of a spare node.
+    /// Migrations that could not complete and degraded to the CR
+    /// baseline (historically: triggers that ran out of spares).
     #[deprecated(
         since = "0.3.0",
-        note = "use `migration_outcomes()` — typed per-outcome counters; \
-                this only counts triggers that ran out of spares"
+        note = "use `migration_outcomes()` — typed per-outcome counters"
     )]
     pub fn failed_triggers(&self) -> u64 {
-        self.inner.no_spare_failures.load(Ordering::Relaxed)
+        self.inner.outcomes.lock().fell_back_to_cr
     }
 
     /// Per-outcome migration counters: first-attempt successes, retried
@@ -630,12 +643,16 @@ impl JobRuntime {
     // internal helpers
     // ------------------------------------------------------------------
 
-    pub(crate) fn mig_cycle(&self, id: u64) -> Arc<MigCycle> {
-        self.inner.mig_cycles.lock()[&id].clone()
+    /// Look up a migration cycle by id. `None` for an unknown id (e.g. an
+    /// FTB event from a cycle this runtime never started) — callers skip
+    /// the event instead of panicking.
+    pub(crate) fn mig_cycle(&self, id: u64) -> Option<Arc<MigCycle>> {
+        self.inner.mig_cycles.lock().get(&id).cloned()
     }
 
-    pub(crate) fn ckpt_cycle(&self, id: u64) -> Arc<CkptCycle> {
-        self.inner.ckpt_cycles.lock()[&id].clone()
+    /// Look up a checkpoint cycle by id; `None` for an unknown id.
+    pub(crate) fn ckpt_cycle(&self, id: u64) -> Option<Arc<CkptCycle>> {
+        self.inner.ckpt_cycles.lock().get(&id).cloned()
     }
 
     pub(crate) fn next_cycle_id(&self) -> u64 {
@@ -684,7 +701,11 @@ impl JobRuntime {
         self.inner.cr_threads.lock().insert(rank, ph);
     }
 
-    /// The checkpoint store for `kind` as seen from `node`.
+    /// The checkpoint store for `kind` as seen from `node`. A PVFS
+    /// request on a cluster without a PVFS deployment falls back to the
+    /// node-local filesystem (the request-level precondition check in
+    /// `cr_baseline::run_checkpoint` rejects user-facing misconfiguration
+    /// before any dump starts).
     pub(crate) fn store_for(
         &self,
         kind: CrStoreKind,
@@ -692,18 +713,105 @@ impl JobRuntime {
     ) -> Arc<dyn storesim::CkptStore> {
         match kind {
             CrStoreKind::LocalExt3 => Arc::new(self.inner.cluster.node(node).fs.clone()),
-            CrStoreKind::Pvfs => Arc::new(
-                self.inner
-                    .cluster
-                    .pvfs()
-                    .expect("cluster has no PVFS deployment")
-                    .client(node),
-            ),
+            CrStoreKind::Pvfs => match self.inner.cluster.pvfs() {
+                Some(pvfs) => Arc::new(pvfs.client(node)),
+                None => Arc::new(self.inner.cluster.node(node).fs.clone()),
+            },
         }
     }
 
     pub(crate) fn resume_overhead(&self) -> Duration {
         calib::RESUME_BASE + calib::RESUME_PER_RANK * self.inner.spec.nranks
+    }
+
+    /// The lifecycle position of `rank` per the `protoverify` rank table.
+    pub fn rank_life(&self, rank: u32) -> Option<RankLife> {
+        self.inner.rank_life.lock().get(&rank).copied()
+    }
+
+    /// Advance `rank`'s lifecycle through the declarative rank table. A
+    /// missing row means the runtime fired an event the spec forbids in
+    /// the rank's current state — a protocol bug, trapped loudly (the
+    /// model checker proves the shipped table, so this cannot fire unless
+    /// the runtime drifts from it).
+    pub(crate) fn rank_apply(&self, ctx: &Ctx, rank: u32, ev: RankEvent) {
+        let mut life = self.inner.rank_life.lock();
+        let cur = life.get(&rank).copied().unwrap_or(RankLife::Running);
+        match rank_next(cur, ev) {
+            Some(next) => {
+                ctx.instant_with("proto", "rank_transition", || {
+                    vec![
+                        ("rank", rank.into()),
+                        ("from", cur.name().into()),
+                        ("event", ev.name().into()),
+                        ("to", next.name().into()),
+                    ]
+                });
+                life.insert(rank, next);
+            }
+            None => panic!(
+                "rank lifecycle violation: rank {rank} got {} while {}",
+                ev.name(),
+                cur.name()
+            ),
+        }
+    }
+}
+
+/// Advance an NLA through the declarative NLA table (see
+/// `protoverify::spec::NLA_TABLE`). Like [`JobRuntime::rank_apply`], a
+/// missing row is a protocol bug and is trapped loudly.
+pub(crate) fn nla_apply(ctx: &Ctx, nla: &NlaShared, ev: NlaEvent) {
+    let mut st = nla.state.lock();
+    match nla_next(*st, ev) {
+        Some(next) => {
+            ctx.instant_with("proto", "nla_transition", || {
+                vec![
+                    ("node", nla.node.0.into()),
+                    ("from", st.to_string().into()),
+                    ("event", ev.name().into()),
+                    ("to", next.to_string().into()),
+                ]
+            });
+            *st = next;
+        }
+        None => panic!(
+            "NLA protocol violation: node {} got {} while {}",
+            nla.node,
+            ev.name(),
+            *st
+        ),
+    }
+}
+
+/// Step the migration-cycle phase machine and emit the transition to the
+/// trace. [`StepError::NoTransition`] means runtime and spec disagree — a
+/// protocol bug trapped loudly; [`StepError::GuardRejected`] is returned
+/// to the caller (it is normal control flow, e.g. a retry with the budget
+/// exhausted).
+fn proto_step(
+    ctx: &Ctx,
+    stepper: &mut CycleStepper<'_>,
+    ev: CycleEvent,
+    g: &GuardCtx,
+) -> Result<(), StepError> {
+    let from = stepper.phase();
+    match stepper.step(ev, g) {
+        Ok(t) => {
+            let to = t.to;
+            ctx.instant_with("proto", "cycle_transition", || {
+                vec![
+                    ("from", from.name().into()),
+                    ("event", ev.name().into()),
+                    ("to", to.name().into()),
+                ]
+            });
+            Ok(())
+        }
+        Err(e @ StepError::GuardRejected { .. }) => Err(e),
+        Err(e @ StepError::NoTransition { .. }) => {
+            panic!("migration cycle protocol violation: {e}")
+        }
     }
 }
 
@@ -720,15 +828,35 @@ pub(crate) fn wrap_meta(meta: &CrMeta) -> Bytes {
     Bytes::from(v)
 }
 
-/// Reverse of [`wrap_meta`], recombining with the image's segments.
-pub(crate) fn unwrap_meta(image: &ProcessImage) -> CrMeta {
-    assert!(image.app_state.len() >= 8, "image meta truncated");
-    let completed = u64::from_le_bytes(image.app_state[..8].try_into().unwrap());
-    CrMeta {
-        app_state: image.app_state.slice(8..),
-        completed_ops: completed,
-        segments: image.segments.clone(),
+/// The image's metadata framing was malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MetaError {
+    /// Bytes present in the app-state field (need at least 8).
+    pub len: usize,
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "image meta truncated: {} bytes, need >= 8", self.len)
     }
+}
+
+/// Reverse of [`wrap_meta`], recombining with the image's segments.
+/// Fails (instead of panicking) on a truncated app-state field so that a
+/// corrupted image surfaces as a recoverable restart error.
+pub(crate) fn unwrap_meta(image: &ProcessImage) -> Result<CrMeta, MetaError> {
+    let Some(head) = image.app_state.get(..8) else {
+        return Err(MetaError {
+            len: image.app_state.len(),
+        });
+    };
+    let mut le = [0u8; 8];
+    le.copy_from_slice(head);
+    Ok(CrMeta {
+        app_state: image.app_state.slice(8..),
+        completed_ops: u64::from_le_bytes(le),
+        segments: image.segments.clone(),
+    })
 }
 
 /// Build the BLCR image of `rank` from captured metadata.
@@ -903,20 +1031,37 @@ fn run_migration(
     // returned for reuse. When the retry budget or the spare pool is
     // exhausted, degrade to a coordinated checkpoint so the job remains
     // recoverable (§III-A's failure handling, hardened).
+    //
+    // Control flow is driven through the declarative cycle table: every
+    // attempt starts by stepping `Trigger`/`Retry` (whose `RetryPath`
+    // guard owns the "spare available AND budget left" decision), and the
+    // degrade path below is reached exactly when that guard rejects.
     let rec = inner.spec.recovery;
     let plane = inner.cluster.fault_plane();
+    let spec = MigrationSpec::shipped();
+    let mut stepper = CycleStepper::new(&spec);
     let mut attempt = 0u32;
-    while attempt < rec.max_attempts {
+    loop {
+        let begin = if attempt == 0 {
+            CycleEvent::Trigger
+        } else {
+            CycleEvent::Retry
+        };
+        let g = GuardCtx {
+            spares_left: inner.spares.lock().len() as u32,
+            attempts_left: rec.max_attempts.saturating_sub(attempt),
+        };
+        if proto_step(ctx, &mut stepper, begin, &g).is_err() {
+            // RetryPath rejected: no spare or no budget — degrade below.
+            break;
+        }
         attempt += 1;
         if attempt > 1 {
             ctx.sleep(backoff_delay(&rec, attempt));
         }
         let target = {
             let mut spares = inner.spares.lock();
-            if spares.is_empty() {
-                inner.no_spare_failures.fetch_add(1, Ordering::Relaxed);
-                break;
-            }
+            debug_assert!(!spares.is_empty(), "RetryPath guard admitted an empty pool");
             spares.remove(0) // FIFO: spares are consumed in id order
         };
         match run_attempt(
@@ -931,6 +1076,7 @@ fn run_migration(
             attempt,
             plane.as_ref(),
             &rec,
+            &mut stepper,
         ) {
             Ok(times) => {
                 let outcome = if attempt == 1 {
@@ -961,6 +1107,12 @@ fn run_migration(
 
     // Degraded path: no spare (or every attempt failed). Checkpoint the
     // whole job to storage so it can be recovered off the ailing node.
+    let g = GuardCtx {
+        spares_left: inner.spares.lock().len() as u32,
+        attempts_left: rec.max_attempts.saturating_sub(attempt),
+    };
+    proto_step(ctx, &mut stepper, CycleEvent::Degrade, &g) // jmlint: allow(hot_unwrap) — spec invariant trap
+        .expect("Degrade must be enabled when the retry guard rejects");
     let store = if inner.cluster.pvfs().is_some() {
         CrStoreKind::Pvfs
     } else {
@@ -1020,6 +1172,7 @@ fn run_attempt(
     attempt: u32,
     plane: Option<&FaultPlane>,
     rec: &calib::RecoveryConfig,
+    stepper: &mut CycleStepper<'_>,
 ) -> Result<AttemptTimes, ()> {
     let inner = &rt.inner;
     let id = rt.next_cycle_id();
@@ -1054,11 +1207,20 @@ fn run_attempt(
             .unwrap_or(false)
     };
     let mut tree_adjusted = false;
+    // Every in-attempt row (phase completions, fault effects) carries
+    // `Guard::Always`, so the guard context contents are irrelevant here.
+    let always = GuardCtx {
+        spares_left: 0,
+        attempts_left: 0,
+    };
 
-    // Abort this attempt: `$spare_alive` decides whether the spare goes
-    // back to the pool for the next attempt.
+    // Abort this attempt: `$event` is the cycle-table fault effect
+    // ([`CycleEvent::PhaseTimeout`] or [`CycleEvent::SpareCrash`]) and
+    // `$spare_alive` decides whether the spare goes back to the pool for
+    // the next attempt.
     macro_rules! fail {
-        ($reason:expr, $spare_alive:expr) => {{
+        ($event:expr, $reason:expr, $spare_alive:expr) => {{
+            let _ = proto_step(ctx, stepper, $event, &always);
             abort_cycle(ctx, rt, &cycle, $reason, tree_adjusted);
             if $spare_alive {
                 inner.spares.lock().insert(0, target);
@@ -1089,7 +1251,7 @@ fn run_attempt(
     // Phase 1 — Job Stall.
     if crash(MigPhase::Stall) {
         kill_spare(ctx, rt, target);
-        fail!("spare_crash", false);
+        fail!(CycleEvent::SpareCrash, "spare_crash", false);
     }
     let t0 = ctx.now();
     let ph = ctx.span_with("phase", "stall", phase_args(req));
@@ -1112,14 +1274,15 @@ fn run_attempt(
         && wait_countdown_until(ctx, &cycle.stall_done, deadline);
     ph.end();
     if !ok {
-        fail!("stall_timeout", true);
+        fail!(CycleEvent::PhaseTimeout, "stall_timeout", true);
     }
+    let _ = proto_step(ctx, stepper, CycleEvent::StallDone, &always);
     let t1 = ctx.now();
 
     // Phase 2 — Job Migration.
     if crash(MigPhase::Migrate) {
         kill_spare(ctx, rt, target);
-        fail!("spare_crash", false);
+        fail!(CycleEvent::SpareCrash, "spare_crash", false);
     }
     let ph = ctx.span_with("phase", "migrate", phase_args(req));
     let deadline = t1 + rec.migrate_timeout;
@@ -1127,14 +1290,15 @@ fn run_attempt(
         && wait_event_until(ctx, &cycle.piic, deadline);
     ph.end();
     if !ok {
-        fail!("migrate_timeout", true);
+        fail!(CycleEvent::PhaseTimeout, "migrate_timeout", true);
     }
+    let _ = proto_step(ctx, stepper, CycleEvent::MigrateDone, &always);
     let t2 = ctx.now();
 
     // Phase 3 — Restart on the spare.
     if crash(MigPhase::Restart) {
         kill_spare(ctx, rt, target);
-        fail!("spare_crash", false);
+        fail!(CycleEvent::SpareCrash, "spare_crash", false);
     }
     let ph = ctx.span_with("phase", "restart", phase_args(req));
     ctx.sleep(calib::SPAWN_TREE_ADJUST);
@@ -1159,22 +1323,24 @@ fn run_attempt(
         && wait_event_until(ctx, &cycle.restart_done, deadline);
     ph.end();
     if !ok {
-        fail!("restart_timeout", true);
+        fail!(CycleEvent::PhaseTimeout, "restart_timeout", true);
     }
+    let _ = proto_step(ctx, stepper, CycleEvent::RestartDone, &always);
     let t3 = ctx.now();
 
     // Phase 4 — Resume.
     if crash(MigPhase::Resume) {
         kill_spare(ctx, rt, target);
-        fail!("spare_crash", false);
+        fail!(CycleEvent::SpareCrash, "spare_crash", false);
     }
     let ph = ctx.span_with("phase", "resume", phase_args(req));
     let deadline = t3 + rec.resume_timeout;
     let ok = wait_countdown_until(ctx, &cycle.resumed, deadline);
     ph.end();
     if !ok {
-        fail!("resume_timeout", true);
+        fail!(CycleEvent::PhaseTimeout, "resume_timeout", true);
     }
+    let _ = proto_step(ctx, stepper, CycleEvent::ResumeDone, &always);
     let t4 = ctx.now();
 
     let bytes = *cycle.piic_bytes.lock();
@@ -1263,6 +1429,7 @@ fn abort_cycle(
     // Resurrect the cycle's ranks and rejoin them through Phase 4.
     for rank in recover {
         if let Some(meta) = metas.get(&rank) {
+            rt.rank_apply(ctx, rank, RankEvent::Resurrect);
             inner.job.cr(rank).restore_meta(meta.clone());
             inner.job.purge_stale_rts_from(rank);
             rt.spawn_app(rank);
@@ -1270,13 +1437,15 @@ fn abort_cycle(
         rt.spawn_cr_thread(rank, Some(cycle.clone()));
     }
     // The source NLA goes back to hosting its ranks; a surviving target
-    // NLA goes back to being a clean spare.
+    // NLA goes back to being a clean spare. Both moves go through the
+    // declarative NLA table (legal from either side of the PIIC /
+    // restart-complete boundaries).
     if let Some(nla) = inner.nlas.lock().get(&cycle.source) {
-        *nla.state.lock() = NlaState::MigrationReady;
+        nla_apply(ctx, nla, NlaEvent::RollbackSource);
         *nla.ranks.lock() = cycle.ranks.clone();
     }
     if let Some(nla) = inner.nlas.lock().get(&cycle.target) {
-        *nla.state.lock() = NlaState::MigrationSpare;
+        nla_apply(ctx, nla, NlaEvent::RollbackTarget);
         nla.ranks.lock().clear();
     }
     if tree_adjusted {
@@ -1346,13 +1515,17 @@ fn nla_proc(ctx: &Ctx, rt: JobRuntime, node: NodeId) {
                     continue;
                 };
                 let m = *m;
+                let Some(cycle) = rt.mig_cycle(m.cycle) else {
+                    continue;
+                };
                 if m.source == node {
                     let rt2 = rt.clone();
                     let nla2 = nla.clone();
                     let ftb2 = ftb.clone();
-                    let cycle = rt.mig_cycle(m.cycle);
                     let ph = ctx.spawn_daemon(&format!("mig{}-src@{node}", m.cycle), move |ctx| {
-                        let cycle = rt2.mig_cycle(m.cycle);
+                        let Some(cycle) = rt2.mig_cycle(m.cycle) else {
+                            return;
+                        };
                         if cycle.is_aborted() {
                             return;
                         }
@@ -1361,9 +1534,10 @@ fn nla_proc(ctx: &Ctx, rt: JobRuntime, node: NodeId) {
                     cycle.track(ph);
                 } else if m.target == node {
                     let rt2 = rt.clone();
-                    let cycle = rt.mig_cycle(m.cycle);
                     let ph = ctx.spawn_daemon(&format!("mig{}-pull@{node}", m.cycle), move |ctx| {
-                        let cycle = rt2.mig_cycle(m.cycle);
+                        let Some(cycle) = rt2.mig_cycle(m.cycle) else {
+                            return;
+                        };
                         if cycle.is_aborted() {
                             return;
                         }
@@ -1381,10 +1555,14 @@ fn nla_proc(ctx: &Ctx, rt: JobRuntime, node: NodeId) {
                     let rt2 = rt.clone();
                     let nla2 = nla.clone();
                     let ftb2 = ftb.clone();
-                    let cycle = rt.mig_cycle(r.cycle);
+                    let Some(cycle) = rt.mig_cycle(r.cycle) else {
+                        continue;
+                    };
                     let ph =
                         ctx.spawn_daemon(&format!("mig{}-restart@{node}", r.cycle), move |ctx| {
-                            let cycle = rt2.mig_cycle(r.cycle);
+                            let Some(cycle) = rt2.mig_cycle(r.cycle) else {
+                                return;
+                            };
                             if cycle.is_aborted() {
                                 return;
                             }
@@ -1409,7 +1587,9 @@ fn source_side_phase2(
     m: MigrateMsg,
 ) {
     let inner = &rt.inner;
-    let cycle = rt.mig_cycle(m.cycle);
+    let Some(cycle) = rt.mig_cycle(m.cycle) else {
+        return;
+    };
     let nlocal = nla.ranks.lock().len() as u32;
     let hca = inner.cluster.fabric().attach(m.source);
     let (pool, ackloop) = SourcePool::setup(ctx, &hca, cycle.pool, nlocal, &cycle.rendezvous);
@@ -1417,7 +1597,7 @@ fn source_side_phase2(
     cycle.set_source_pool(pool.clone());
     pool.finished().wait(ctx);
     *cycle.piic_bytes.lock() = pool.bytes_streamed();
-    *nla.state.lock() = NlaState::MigrationInactive;
+    nla_apply(ctx, nla, NlaEvent::SourceDrained);
     let moved = std::mem::take(&mut *nla.ranks.lock());
     ftb.publish(
         ctx,
@@ -1440,7 +1620,9 @@ fn source_side_phase2(
 /// into buffered temp files on the local filesystem.
 fn target_side_pull(ctx: &Ctx, rt: &JobRuntime, m: MigrateMsg) {
     let inner = &rt.inner;
-    let cycle = rt.mig_cycle(m.cycle);
+    let Some(cycle) = rt.mig_cycle(m.cycle) else {
+        return;
+    };
     let hca = inner.cluster.fabric().attach(m.target);
     let store: Arc<dyn storesim::CkptStore> = Arc::new(inner.cluster.node(m.target).fs.clone());
     match crate::bufpool::run_target_pool(
@@ -1474,7 +1656,9 @@ fn target_side_restart(
     r: RestartMsg,
 ) {
     let inner = &rt.inner;
-    let cycle = rt.mig_cycle(r.cycle);
+    let Some(cycle) = rt.mig_cycle(r.cycle) else {
+        return;
+    };
     cycle.images_ready.wait(ctx);
     let res = inner.cluster.node(r.target);
     if calib::RESTART_READS_COLD && cycle.pool.restart_mode == RestartMode::FileBased {
@@ -1482,20 +1666,38 @@ fn target_side_restart(
         res.fs.drop_caches();
     }
     let done = Countdown::new(&ctx.handle(), "restart-workers", r.ranks.len() as u64);
+    let failures = Arc::new(AtomicU64::new(0));
     for rank in r.ranks.clone() {
         let rt2 = rt.clone();
         let cycle2 = cycle.clone();
         let done2 = done.clone();
+        let failures2 = failures.clone();
         let target = r.target;
         let ph = ctx.spawn_daemon(&format!("restart-r{rank}"), move |ctx| {
-            restart_one_rank(ctx, &rt2, &cycle2, rank, target);
+            if let Err(e) = restart_one_rank(ctx, &rt2, &cycle2, rank, target) {
+                ctx.instant_with("log", "restart_rank_failed", || {
+                    vec![
+                        ("rank", rank.into()),
+                        ("cycle", cycle2.id.into()),
+                        ("error", e.to_string().into()),
+                    ]
+                });
+                failures2.fetch_add(1, Ordering::Relaxed);
+            }
             done2.arrive();
         });
         cycle.track(ph);
     }
     done.wait(ctx);
+    if failures.load(Ordering::Relaxed) > 0 {
+        // Leave `restart_done` unset: the Job Manager's Phase 3 deadline
+        // aborts the cycle, rolls the ranks back to the source, and
+        // retries or degrades — the failure lands in `MigrationOutcome`
+        // instead of tearing down the simulation.
+        return;
+    }
     *nla.ranks.lock() = r.ranks.clone();
-    *nla.state.lock() = NlaState::MigrationReady;
+    nla_apply(ctx, nla, NlaEvent::RestartComplete);
     ftb.publish(
         ctx,
         FtbEvent::with_payload(
@@ -1509,40 +1711,83 @@ fn target_side_restart(
     cycle.restart_done.set();
 }
 
-fn restart_one_rank(ctx: &Ctx, rt: &JobRuntime, cycle: &Arc<MigCycle>, rank: u32, target: NodeId) {
+/// Why a single rank's Phase 3 restart failed. Routed (via the Phase 3
+/// deadline abort) into [`MigrationOutcome`] accounting rather than
+/// panicking the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum RestartRankError {
+    /// The cycle's image table has no entry for this rank.
+    ImageMissing,
+    /// BLCR could not parse/restore the image stream.
+    ImageParse(String),
+    /// The restored image's checksum disagrees with the streamed one.
+    ChecksumMismatch {
+        /// Checksum recomputed from the restored image.
+        got: u64,
+        /// Checksum recorded when the image was streamed.
+        want: u64,
+    },
+    /// The image metadata framing was truncated or malformed.
+    MetaCorrupt(MetaError),
+}
+
+impl std::fmt::Display for RestartRankError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestartRankError::ImageMissing => write!(f, "no assembled image"),
+            RestartRankError::ImageParse(e) => write!(f, "image parse: {e}"),
+            RestartRankError::ChecksumMismatch { got, want } => {
+                write!(f, "checksum mismatch: got {got:#x}, want {want:#x}")
+            }
+            RestartRankError::MetaCorrupt(e) => write!(f, "meta corrupt: {e}"),
+        }
+    }
+}
+
+fn restart_one_rank(
+    ctx: &Ctx,
+    rt: &JobRuntime,
+    cycle: &Arc<MigCycle>,
+    rank: u32,
+    target: NodeId,
+) -> Result<(), RestartRankError> {
     let inner = &rt.inner;
-    let info = cycle.images.lock()[&rank].clone();
+    let info = cycle
+        .images
+        .lock()
+        .get(&rank)
+        .cloned()
+        .ok_or(RestartRankError::ImageMissing)?;
     let res = inner.cluster.node(target);
-    let image = match info.slices {
+    let restarted = match info.slices {
         // Memory-based restart (the paper's future work): the stream is
         // already in the buffer pool; only parse + populate costs remain.
-        Some(slices) => res
-            .blcr
-            .restart(
-                ctx,
-                &mut blcrsim::MemSource::new(slices),
-                &calib::restart_costs(),
-            )
-            .expect("migrated image parse"),
+        Some(slices) => res.blcr.restart(
+            ctx,
+            &mut blcrsim::MemSource::new(slices),
+            &calib::restart_costs(),
+        ),
         None => {
             let store: Arc<dyn storesim::CkptStore> = Arc::new(res.fs.clone());
             let mut src = StoreSource::new(store, info.path.clone());
-            res.blcr
-                .restart(ctx, &mut src, &calib::restart_costs())
-                .expect("migrated image parse")
+            res.blcr.restart(ctx, &mut src, &calib::restart_costs())
         }
     };
-    assert_eq!(
-        image.checksum(),
-        info.expected_checksum,
-        "image integrity violated for rank {rank}"
-    );
-    let meta = unwrap_meta(&image);
+    let image = restarted.map_err(|e| RestartRankError::ImageParse(e.to_string()))?;
+    if image.checksum() != info.expected_checksum {
+        return Err(RestartRankError::ChecksumMismatch {
+            got: image.checksum(),
+            want: info.expected_checksum,
+        });
+    }
+    let meta = unwrap_meta(&image).map_err(RestartRankError::MetaCorrupt)?;
+    rt.rank_apply(ctx, rank, RankEvent::Restart);
     inner.job.set_rank_node(rank, target);
     inner.job.cr(rank).restore_meta(meta);
     inner.job.purge_stale_rts_from(rank);
     rt.spawn_app(rank);
     rt.spawn_cr_thread(rank, Some(cycle.clone()));
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -1566,12 +1811,15 @@ fn cr_thread(ctx: &Ctx, rt: JobRuntime, rank: u32, resume: Option<Arc<MigCycle>>
                     continue;
                 };
                 let m = *m;
-                let cycle = rt.mig_cycle(m.cycle);
+                let Some(cycle) = rt.mig_cycle(m.cycle) else {
+                    continue;
+                };
                 if !cycle.enter(rank) {
                     // The cycle was aborted before this rank reacted;
                     // nothing was suspended, nothing to recover.
                     continue;
                 }
+                rt.rank_apply(ctx, rank, RankEvent::Suspend);
                 cr.suspend_and_drain(ctx);
                 ftb.publish(
                     ctx,
@@ -1591,12 +1839,18 @@ fn cr_thread(ctx: &Ctx, rt: JobRuntime, rank: u32, resume: Option<Arc<MigCycle>>
                     // Phase 2: wait for the consistent global state, then
                     // stream my image through the buffer pool.
                     cycle.stall_done.wait(ctx);
-                    let pool = cycle.wait_source_pool(ctx);
+                    let Some(pool) = cycle.wait_source_pool(ctx) else {
+                        ctx.instant_with("ckpt", "source_pool_missing", || {
+                            vec![("rank", rank.into()), ("cycle", m.cycle.into())]
+                        });
+                        continue;
+                    };
                     let meta = cr.capture_meta();
                     // Keep the captured state around: if the cycle
                     // aborts after the app is killed, the rank is
                     // resurrected from exactly this state.
                     cycle.captured_meta.lock().insert(rank, meta.clone());
+                    rt.rank_apply(ctx, rank, RankEvent::Capture);
                     let image = build_image(rank, &meta);
                     rt.kill_app(rank);
                     let mut sink = pool.sink(ctx, rank, image.checksum());
@@ -1621,7 +1875,10 @@ fn cr_thread(ctx: &Ctx, rt: JobRuntime, rank: u32, resume: Option<Arc<MigCycle>>
                     continue;
                 };
                 let c = *c;
-                let cycle = rt.ckpt_cycle(c.cycle);
+                let Some(cycle) = rt.ckpt_cycle(c.cycle) else {
+                    continue;
+                };
+                rt.rank_apply(ctx, rank, RankEvent::Suspend);
                 cr.suspend_and_drain(ctx);
                 ftb.publish(
                     ctx,
@@ -1683,6 +1940,7 @@ fn cr_thread(ctx: &Ctx, rt: JobRuntime, rank: u32, resume: Option<Arc<MigCycle>>
                 cr.rebuild_endpoints(ctx, true);
                 ctx.sleep(rt.resume_overhead());
                 cr.reopen();
+                rt.rank_apply(ctx, rank, RankEvent::Resume);
                 cycle.resumed.arrive();
             }
             _ => {}
@@ -1696,5 +1954,7 @@ fn phase4(ctx: &Ctx, rt: &JobRuntime, cr: &mpisim::RankCr, cycle: &Arc<MigCycle>
     cr.rebuild_endpoints(ctx, true);
     ctx.sleep(rt.resume_overhead());
     cr.reopen();
+    let rank = cr.rank();
+    rt.rank_apply(ctx, rank, RankEvent::Resume);
     cycle.resumed.arrive();
 }

@@ -75,6 +75,60 @@ impl fmt::Display for MigPhase {
     }
 }
 
+/// The kind of a [`FaultSpec`], without its parameters — the fault
+/// alphabet. Protocol-level analysis (the `protoverify` model checker)
+/// enumerates fault edges over these kinds; [`FaultSpec::kind`] projects a
+/// concrete spec onto its kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Silent datagram loss ([`FaultSpec::NetDrop`]).
+    NetDrop,
+    /// Visible link error window ([`FaultSpec::LinkFlap`]).
+    LinkFlap,
+    /// RDMA Read completes with an error CQE ([`FaultSpec::RdmaCqError`]).
+    RdmaCqError,
+    /// RDMA Read returns corrupted payload ([`FaultSpec::RdmaCorrupt`]).
+    RdmaCorrupt,
+    /// BLCR dump chunk write fails ([`FaultSpec::BlcrWriteError`]).
+    BlcrWriteError,
+    /// Checkpoint-store append fails ([`FaultSpec::StoreWrite`]).
+    StoreWrite,
+    /// The migration-target spare node dies ([`FaultSpec::SpareCrash`]).
+    SpareCrash,
+}
+
+impl FaultKind {
+    /// Every fault kind, in declaration order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::NetDrop,
+        FaultKind::LinkFlap,
+        FaultKind::RdmaCqError,
+        FaultKind::RdmaCorrupt,
+        FaultKind::BlcrWriteError,
+        FaultKind::StoreWrite,
+        FaultKind::SpareCrash,
+    ];
+
+    /// Stable lower-snake name (used in traces and counterexamples).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::NetDrop => "net_drop",
+            FaultKind::LinkFlap => "link_flap",
+            FaultKind::RdmaCqError => "rdma_cq_error",
+            FaultKind::RdmaCorrupt => "rdma_corrupt",
+            FaultKind::BlcrWriteError => "blcr_write_error",
+            FaultKind::StoreWrite => "store_write",
+            FaultKind::SpareCrash => "spare_crash",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Which network a network fault applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetSel {
@@ -198,6 +252,21 @@ pub struct FaultPlan {
     pub gige_drop_prob: f64,
     /// Per-read CQ-error probability on RDMA Reads (0 = off).
     pub rdma_cq_prob: f64,
+}
+
+impl FaultSpec {
+    /// The kind of this fault, without its parameters.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            FaultSpec::NetDrop { .. } => FaultKind::NetDrop,
+            FaultSpec::LinkFlap { .. } => FaultKind::LinkFlap,
+            FaultSpec::RdmaCqError { .. } => FaultKind::RdmaCqError,
+            FaultSpec::RdmaCorrupt { .. } => FaultKind::RdmaCorrupt,
+            FaultSpec::BlcrWriteError { .. } => FaultKind::BlcrWriteError,
+            FaultSpec::StoreWrite { .. } => FaultKind::StoreWrite,
+            FaultSpec::SpareCrash { .. } => FaultKind::SpareCrash,
+        }
+    }
 }
 
 impl FaultPlan {

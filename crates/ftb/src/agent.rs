@@ -4,8 +4,9 @@ use crate::event::{EventFilter, FtbEvent};
 use crate::FTB_AGENT_PORT;
 use ibfabric::{Net, NetError, NodeId};
 use parking_lot::Mutex;
+use protoverify::{link_next, LinkEvent, LinkState};
 use simkit::{Ctx, ProcHandle, Queue, SimHandle};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,7 +30,11 @@ pub(crate) struct AgentState {
     pub node: NodeId,
     pub parent: Mutex<Option<NodeId>>,
     pub grandparent: Mutex<Option<NodeId>>,
-    pub children: Mutex<HashSet<NodeId>>,
+    /// Uplink state machine (protoverify's `LINK_TABLE` is the single
+    /// source of truth for the self-healing policy).
+    pub link: Mutex<LinkState>,
+    /// Sorted: forward-down order is deterministic by construction.
+    pub children: Mutex<BTreeSet<NodeId>>,
     pub subs: Mutex<Vec<(EventFilter, Queue<FtbEvent>)>>,
     /// Events delivered to local subscribers (diagnostics).
     pub delivered: Mutex<u64>,
@@ -111,7 +116,12 @@ impl FtbBackplane {
             node,
             parent: Mutex::new(parent),
             grandparent: Mutex::new(None),
-            children: Mutex::new(HashSet::new()),
+            link: Mutex::new(if parent.is_some() {
+                LinkState::Attached
+            } else {
+                LinkState::Root
+            }),
+            children: Mutex::new(BTreeSet::new()),
             subs: Mutex::new(Vec::new()),
             delivered: Mutex::new(0),
         });
@@ -190,14 +200,48 @@ fn send_agent(
     )
 }
 
-/// Re-attach after a send to the parent failed. Prefer the grandparent
-/// (the parent is presumed dead); with no ancestor above it, keep the
-/// current parent — a transient link error (flap, dropped window) must
-/// not orphan the subtree permanently. Returns the parent now in effect.
+/// Advance the agent's uplink machine. A missing row is a protocol bug
+/// (e.g. the root reacting to an `AttachAck` it can never have solicited),
+/// not a runtime condition — trap it loudly.
+fn link_apply(ctx: &Ctx, state: &AgentState, ev: LinkEvent) {
+    let mut link = state.link.lock();
+    let from = *link;
+    let Some(next) = link_next(from, ev) else {
+        panic!(
+            "FTB uplink protocol violation on node {}: no transition from {from:?} on {ev:?}",
+            state.node.0
+        );
+    };
+    *link = next;
+    drop(link);
+    ctx.instant_with("proto", "link_transition", || {
+        vec![
+            ("node", state.node.0.into()),
+            ("from", format!("{from:?}").into()),
+            ("on", format!("{ev:?}").into()),
+            ("to", format!("{next:?}").into()),
+        ]
+    });
+}
+
+/// Re-attach after a send to the parent failed. The uplink table decides
+/// the healing move: with a fallback known, the grandparent becomes the
+/// parent (fallback consumed until the next `AttachAck`); without one,
+/// keep the current parent — a transient link error (flap, dropped
+/// window) must not orphan the subtree permanently. Returns the parent
+/// now in effect.
 fn reattach(ctx: &Ctx, state: &Arc<AgentState>, net: &Net) -> Option<NodeId> {
-    let new_parent = match state.grandparent.lock().take() {
-        Some(gp) => Some(gp),
-        None => *state.parent.lock(),
+    let had_fallback = *state.link.lock() == LinkState::AttachedWithFallback;
+    link_apply(ctx, state, LinkEvent::ParentLost);
+    let new_parent = if had_fallback {
+        let gp = state.grandparent.lock().take();
+        debug_assert!(
+            gp.is_some(),
+            "uplink said AttachedWithFallback but no grandparent is recorded"
+        );
+        gp.or_else(|| *state.parent.lock())
+    } else {
+        *state.parent.lock()
     };
     *state.parent.lock() = new_parent;
     if let Some(gp) = new_parent {
@@ -295,9 +339,8 @@ fn agent_main(
                 if via != Via::Parent {
                     forward_up(ctx, &state, &net, &cfg, &event);
                 }
-                // forward down (sorted: deterministic delivery order)
-                let mut children: Vec<NodeId> = state.children.lock().iter().copied().collect();
-                children.sort();
+                // forward down (BTreeSet: deterministic delivery order)
+                let children: Vec<NodeId> = state.children.lock().iter().copied().collect();
                 for c in children {
                     if via == Via::Child(c) {
                         continue;
@@ -324,6 +367,12 @@ fn agent_main(
                 );
             }
             AgentMsg::AttachAck { grandparent } => {
+                let ev = if grandparent.is_some() {
+                    LinkEvent::AckGrandparent
+                } else {
+                    LinkEvent::AckNoGrandparent
+                };
+                link_apply(ctx, &state, ev);
                 *state.grandparent.lock() = grandparent;
             }
             AgentMsg::Ping { from } => {

@@ -1,0 +1,64 @@
+//! Deterministic replay regression (jmlint's `hash_iter` rationale):
+//! two identical simulations must deliver identical event sequences, in
+//! identical order, at identical virtual times. A `HashMap` iterated
+//! anywhere on the delivery path (agent children, rank registries) would
+//! break this between processes even with a fixed seed.
+
+use ftb::{EventFilter, FtbBackplane, FtbClient, FtbEvent, Severity};
+use ibfabric::{Net, NetConfig, NodeId};
+use parking_lot::Mutex;
+use simkit::dur::*;
+use simkit::Simulation;
+use std::sync::Arc;
+
+/// A wide tree (one root, many children) with several publishers: each
+/// forward-down fans an event over the whole child set, so any
+/// hash-ordered iteration there reorders deliveries between runs.
+fn run_once(seed: u64) -> Vec<(u32, String, u64)> {
+    let mut sim = Simulation::new(seed);
+    let h = sim.handle();
+    let net = Net::new(&h, NetConfig::gige());
+    let bp = FtbBackplane::new(&h, net, ftb::FtbConfig::default());
+    bp.add_agent(NodeId(0), None);
+    for n in 1..8u32 {
+        bp.add_agent(NodeId(n), Some(NodeId(0)));
+    }
+
+    // (listener node, event name, delivery time in ns) in arrival order.
+    let log: Arc<Mutex<Vec<(u32, String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    for n in 0..8u32 {
+        let c = FtbClient::connect(&bp, NodeId(n), &format!("sub{n}"));
+        let q = c.subscribe(&h, EventFilter::all());
+        let log = log.clone();
+        sim.spawn_daemon(&format!("listener{n}"), move |ctx| loop {
+            let ev = q.pop(ctx);
+            log.lock().push((n, ev.name.clone(), ctx.now().as_nanos()));
+        });
+    }
+    for n in [3u32, 5, 7] {
+        let p = FtbClient::connect(&bp, NodeId(n), &format!("pub{n}"));
+        sim.spawn(&format!("publisher{n}"), move |ctx| {
+            for k in 0..4 {
+                ctx.sleep(ms(1));
+                p.publish(
+                    ctx,
+                    FtbEvent::simple("FTB.DET", &format!("E{n}_{k}"), Severity::Info, NodeId(n)),
+                );
+            }
+        });
+    }
+    sim.run_for(secs(1)).unwrap();
+    let out = log.lock().clone();
+    assert_eq!(out.len(), 8 * 3 * 4, "every event reaches every node once");
+    out
+}
+
+#[test]
+fn identical_runs_deliver_identical_sequences() {
+    let a = run_once(42);
+    let b = run_once(42);
+    assert_eq!(
+        a, b,
+        "same seed must produce the same delivery sequence, order and timing"
+    );
+}

@@ -1,0 +1,313 @@
+//! A deliberately small Rust lexer: good enough to separate code from
+//! comments, strings, and char literals, line by line.
+//!
+//! The rules only need token-level facts ("does this line's *code* call
+//! `.iter()` on a hash map?"), so a full parse is overkill — and `syn`
+//! is unavailable offline. The lexer produces, per line:
+//!
+//! - `code`: the line with comment text blanked and string/char literal
+//!   *contents* blanked (the quotes survive, so `.expect("...")` still
+//!   reads as a call with one argument).
+//! - `allow`: every `jmlint: allow(<rule>)` marker found in that line's
+//!   comments.
+//!
+//! Handled: nested block comments, line comments, string literals with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth, with the
+//! `br`/`rb` byte forms), char literals vs. lifetimes.
+
+use std::path::{Path, PathBuf};
+
+/// One lexed source line.
+pub struct Line {
+    /// Code text with comments and literal contents blanked to spaces.
+    pub code: String,
+    /// Rules allowed by `jmlint: allow(...)` markers on this line.
+    pub allow: Vec<String>,
+}
+
+/// A lexed file: the unit the rules operate on.
+pub struct SourceFile {
+    /// Workspace-relative path (for reports and path-scoped rules).
+    pub path: PathBuf,
+    /// Lines in order; index 0 is line 1.
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Is `rule` allowed on `line` (1-based) — marker on the line itself
+    /// or on the line directly above?
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        let hit = |l: usize| {
+            l >= 1
+                && self
+                    .lines
+                    .get(l - 1)
+                    .is_some_and(|ln| ln.allow.iter().any(|a| a == rule))
+        };
+        hit(line) || hit(line.saturating_sub(1))
+    }
+
+    /// Lex `text` into per-line code/comment channels.
+    pub fn parse(path: &Path, text: &str) -> SourceFile {
+        #[derive(PartialEq)]
+        enum Mode {
+            Code,
+            Block(u32),    // nesting depth
+            Str,           // inside "..."
+            RawStr(usize), // inside r##"..."## with N hashes
+        }
+
+        let mut lines = Vec::new();
+        let mut mode = Mode::Code;
+        for raw in text.lines() {
+            let mut code = String::with_capacity(raw.len());
+            let mut comment = String::new();
+            let chars: Vec<char> = raw.chars().collect();
+            let mut i = 0;
+            // A line comment never spans lines; block/string modes do.
+            while i < chars.len() {
+                let c = chars[i];
+                let next = chars.get(i + 1).copied();
+                match mode {
+                    Mode::Code => match c {
+                        '/' if next == Some('/') => {
+                            comment.push_str(&raw[byte_at(raw, i)..]);
+                            break;
+                        }
+                        '/' if next == Some('*') => {
+                            mode = Mode::Block(1);
+                            code.push_str("  ");
+                            i += 2;
+                            continue;
+                        }
+                        '"' => {
+                            mode = Mode::Str;
+                            code.push('"');
+                        }
+                        'r' | 'b' => {
+                            // Possible raw-string start: r", r#", br", rb"...
+                            if let Some(hashes) = raw_string_open(&chars, i) {
+                                mode = Mode::RawStr(hashes);
+                                // keep the opener's shape, blank nothing yet
+                                for _ in 0..raw_open_len(&chars, i) {
+                                    code.push(chars[i]);
+                                    i += 1;
+                                }
+                                continue;
+                            }
+                            code.push(c);
+                        }
+                        '\'' => {
+                            // Char literal or lifetime? A literal closes
+                            // with ' within a few chars; a lifetime never
+                            // does. `'\''` and `'\\'` are literals too.
+                            if let Some(len) = char_literal_len(&chars, i) {
+                                code.push('\'');
+                                for _ in 1..len - 1 {
+                                    code.push(' ');
+                                }
+                                code.push('\'');
+                                i += len;
+                                continue;
+                            }
+                            code.push('\'');
+                        }
+                        _ => code.push(c),
+                    },
+                    Mode::Block(depth) => {
+                        if c == '*' && next == Some('/') {
+                            mode = if depth == 1 {
+                                Mode::Code
+                            } else {
+                                Mode::Block(depth - 1)
+                            };
+                            code.push_str("  ");
+                            i += 2;
+                            continue;
+                        }
+                        if c == '/' && next == Some('*') {
+                            mode = Mode::Block(depth + 1);
+                            code.push_str("  ");
+                            i += 2;
+                            continue;
+                        }
+                        comment.push(c);
+                        code.push(' ');
+                    }
+                    Mode::Str => match c {
+                        '\\' => {
+                            code.push_str("  ");
+                            i += 2;
+                            continue;
+                        }
+                        '"' => {
+                            mode = Mode::Code;
+                            code.push('"');
+                        }
+                        _ => code.push(' '),
+                    },
+                    Mode::RawStr(hashes) => {
+                        if c == '"' && closes_raw(&chars, i, hashes) {
+                            mode = Mode::Code;
+                            code.push('"');
+                            for _ in 0..hashes {
+                                code.push('#');
+                                i += 1;
+                            }
+                        } else {
+                            code.push(' ');
+                        }
+                    }
+                }
+                i += 1;
+            }
+            // An unterminated "..." cannot span lines in valid Rust;
+            // recover rather than eat the rest of the file.
+            if mode == Mode::Str {
+                mode = Mode::Code;
+            }
+            let allow = parse_allow(&comment);
+            lines.push(Line { code, allow });
+        }
+        SourceFile {
+            path: path.to_path_buf(),
+            lines,
+        }
+    }
+}
+
+/// Byte offset of char index `i` in `s` (lines are short; linear is fine).
+fn byte_at(s: &str, i: usize) -> usize {
+    s.char_indices()
+        .nth(i)
+        .map(|(b, _)| b)
+        .unwrap_or_else(|| s.len())
+}
+
+/// If a raw string opens at `i` (`r`, `br`, `rb` + hashes + quote),
+/// return its hash count.
+fn raw_string_open(chars: &[char], i: usize) -> Option<usize> {
+    // Not a raw string if `r`/`b` continues an identifier.
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return None;
+        }
+    }
+    let mut j = i;
+    let mut saw_r = false;
+    for _ in 0..2 {
+        match chars.get(j) {
+            Some('r') => {
+                saw_r = true;
+                j += 1;
+            }
+            Some('b') => j += 1,
+            _ => break,
+        }
+    }
+    if !saw_r {
+        return None;
+    }
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Length in chars of the raw-string opener starting at `i`.
+fn raw_open_len(chars: &[char], i: usize) -> usize {
+    let mut j = i;
+    while matches!(chars.get(j), Some('r') | Some('b')) {
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    j + 1 - i // include the opening quote
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` hashes?
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If a char literal starts at `i`, return its total char length.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // escape: find the closing quote within a short window
+            // (longest escapes are \u{10FFFF})
+            let end = (i + 12).min(chars.len());
+            chars
+                .get(i + 3..end)?
+                .iter()
+                .position(|&c| c == '\'')
+                .map(|off| off + 4)
+        }
+        _ => (chars.get(i + 2) == Some(&'\'')).then_some(3),
+    }
+}
+
+/// Extract every `jmlint: allow(rule)` marker from comment text.
+fn parse_allow(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("jmlint: allow(") {
+        rest = &rest[pos + "jmlint: allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            out.push(rest[..end].trim().to_string());
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn lex(s: &str) -> SourceFile {
+        SourceFile::parse(Path::new("t.rs"), s)
+    }
+
+    #[test]
+    fn comments_are_blanked_but_markers_survive() {
+        let f = lex("let x = m.iter(); // jmlint: allow(hash_iter) ok\nm.keys();\n");
+        assert!(f.lines[0].code.contains("m.iter()"));
+        assert!(!f.lines[0].code.contains("allow"));
+        assert_eq!(f.lines[0].allow, vec!["hash_iter"]);
+        assert!(f.allowed(1, "hash_iter"));
+        // marker on the line above also covers line 2
+        assert!(f.allowed(2, "hash_iter"));
+        assert!(!f.allowed(2, "wall_clock"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let f = lex("panic!(\"call .unwrap() here\");\n");
+        assert!(!f.lines[0].code.contains(".unwrap()"));
+        assert!(f.lines[0].code.contains("panic!"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let f = lex("let s = r#\"HashMap.iter()\"#; let c = '\\n'; let l: &'static str = s;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("&'static str"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = lex("a(); /* x /* y */ still comment\n.unwrap() */ b();\n");
+        assert!(f.lines[0].code.contains("a()"));
+        assert!(!f.lines[0].code.contains("still"));
+        assert!(!f.lines[1].code.contains(".unwrap()"));
+        assert!(f.lines[1].code.contains("b()"));
+    }
+}

@@ -1,0 +1,173 @@
+//! jmlint: determinism/safety lint pass over the workspace sources.
+//!
+//! The simulator's core guarantee is deterministic replay: the same seed
+//! and fault plan must produce the same trace, byte for byte. That
+//! guarantee is easy to break silently — a `HashMap` iterated in protocol
+//! code, a stray wall-clock read, an `unwrap()` on a path the fault plane
+//! can reach. `jmlint` walks `crates/*/src/**/*.rs` with a hand-rolled
+//! lexer (no `syn`: the tool must build offline with zero registry deps)
+//! and flags four rule classes:
+//!
+//! - `hash_iter` — iteration over a `HashMap`/`HashSet` in sim/protocol
+//!   code. Iteration order is randomized per process; anything it feeds
+//!   (trace events, send order, error listings) diverges between runs.
+//!   Fix: `BTreeMap`/`BTreeSet`, or collect-and-sort.
+//! - `wall_clock` — `SystemTime::now`/`Instant::now`/entropy-seeded RNG
+//!   outside the simulator's virtual clock. Simulated time comes from
+//!   `simkit` (`ctx.now()`); host time leaking into model code breaks
+//!   replay.
+//! - `hot_unwrap` — `unwrap()`/`expect()` in the migration protocol hot
+//!   paths (`runtime.rs`, `bufpool.rs`), where the fault plane injects
+//!   failures that must degrade, not panic. Spec-invariant traps the
+//!   model checker proves unreachable carry an allow marker.
+//! - `span_exit` — trace spans emitted without a matching exit: a span
+//!   opened in statement position (or bound to `_`) is dropped on the
+//!   same line and records zero duration; a named binding must reach an
+//!   `.end()`/`.end_with(...)` call.
+//!
+//! A finding is suppressed by `// jmlint: allow(<rule>)` on the flagged
+//! line or the line directly above it.
+//!
+//! Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
+//! or I/O errors.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod lexer;
+mod rules;
+
+use lexer::SourceFile;
+
+/// Crate directories under `crates/` that are never scanned.
+///
+/// `vendor` is third-party code (it wraps the host entropy sources the
+/// lint exists to keep out of *our* code); `jmlint` is this tool, a host
+/// binary that legitimately walks the real filesystem.
+const SKIP_CRATES: &[&str] = &["vendor", "jmlint"];
+
+/// One lint finding.
+pub struct Finding {
+    pub path: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: jmlint [--root <workspace-dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("jmlint: determinism/safety lints for the jobmig workspace");
+                println!("usage: jmlint [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        eprintln!(
+            "jmlint: no `crates/` under {} (wrong --root?)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut files = Vec::new();
+    if let Err(e) = collect_sources(&crates_dir, &mut files) {
+        eprintln!("jmlint: {e}");
+        return ExitCode::from(2);
+    }
+    files.sort(); // deterministic report order, naturally
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("jmlint: read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        let src = SourceFile::parse(rel, &text);
+        scanned += 1;
+        rules::hash_iter(&src, &mut findings);
+        rules::wall_clock(&src, &mut findings);
+        rules::hot_unwrap(&src, &mut findings);
+        rules::span_exit(&src, &mut findings);
+    }
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("jmlint: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("jmlint: {} finding(s) in {scanned} files", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Gather every `.rs` file under `crates/<name>/src/`, skipping
+/// [`SKIP_CRATES`].
+fn collect_sources(crates_dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(crates_dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if SKIP_CRATES.contains(&name.as_ref()) {
+            continue;
+        }
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk_rs(&src, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

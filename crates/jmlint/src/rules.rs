@@ -1,0 +1,451 @@
+//! The four lint rules. All operate on lexed [`SourceFile`]s — comment
+//! text and literal contents are already blanked, so plain substring
+//! scans don't trip over prose.
+
+use crate::lexer::SourceFile;
+use crate::Finding;
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Does `code` contain `tok` as a whole word (ident-boundary on both
+/// sides)?
+fn contains_word(code: &str, tok: &str) -> bool {
+    find_word(code, tok, 0).is_some()
+}
+
+/// First occurrence of `tok` at or after `from` with ident boundaries.
+fn find_word(code: &str, tok: &str, from: usize) -> Option<usize> {
+    let mut start = from;
+    while let Some(rel) = code[start..].find(tok) {
+        let pos = start + rel;
+        let before_ok = pos == 0 || !code[..pos].chars().next_back().is_some_and(is_ident_char);
+        let after_ok = !code[pos + tok.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        start = pos + tok.len();
+    }
+    None
+}
+
+/// Extract the trailing identifier of `s` (after trimming whitespace).
+fn trailing_ident(s: &str) -> Option<&str> {
+    let s = s.trim_end();
+    let end = s.len();
+    let start = s
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| is_ident_char(*c))
+        .last()
+        .map(|(i, _)| i)?;
+    let id = &s[start..end];
+    id.chars().next().filter(|c| !c.is_ascii_digit())?;
+    Some(id)
+}
+
+/// The identifier right after a keyword like `let` / `let mut`.
+fn ident_after(code: &str, pos: usize) -> Option<&str> {
+    let rest = code[pos..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let end = rest.find(|c: char| !is_ident_char(c)).unwrap_or(rest.len());
+    (end > 0).then_some(&rest[..end])
+}
+
+// ---------------------------------------------------------------------------
+// hash_iter
+// ---------------------------------------------------------------------------
+
+/// Method calls that iterate a map/set.
+const ITER_TOKENS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+    ".into_iter()",
+];
+
+/// Flag iteration over identifiers declared as `HashMap`/`HashSet`.
+///
+/// Pass 1 collects every identifier in the file bound or typed as a hash
+/// collection (`let x = HashMap::new()`, `x: Mutex<HashMap<..>>`, fn
+/// params). Pass 2 flags lines where such an identifier is iterated —
+/// via an [`ITER_TOKENS`] method call reached from the identifier, or as
+/// the direct sequence of a `for .. in`.
+pub fn hash_iter(src: &SourceFile, out: &mut Vec<Finding>) {
+    let mut idents: Vec<String> = Vec::new();
+    for line in &src.lines {
+        let code = &line.code;
+        for ty in ["HashMap", "HashSet"] {
+            let Some(tpos) = find_word(code, ty, 0) else {
+                continue;
+            };
+            // `let [mut] IDENT ... HashMap` on the same line.
+            if let Some(lpos) = find_word(code, "let", 0) {
+                if lpos < tpos {
+                    if let Some(id) = ident_after(code, lpos + 3) {
+                        push_unique(&mut idents, id);
+                        continue;
+                    }
+                }
+            }
+            // `IDENT: ... HashMap<` (field or parameter).
+            let before = &code[..tpos];
+            if let Some(cpos) = before.rfind(':') {
+                // skip path separators (`std::collections::HashMap`)
+                if !before[..cpos].ends_with(':') && !before[cpos + 1..].contains("::") {
+                    if let Some(id) = trailing_ident(&before[..cpos]) {
+                        push_unique(&mut idents, id);
+                    }
+                }
+            }
+        }
+    }
+    if idents.is_empty() {
+        return;
+    }
+
+    for (n, line) in src.lines.iter().enumerate() {
+        let lineno = n + 1;
+        let code = &line.code;
+        for id in &idents {
+            let flagged = iterates(code, id) || for_in_target(code, id);
+            if flagged && !src.allowed(lineno, "hash_iter") {
+                out.push(Finding {
+                    path: src.path.clone(),
+                    line: lineno,
+                    rule: "hash_iter",
+                    message: format!(
+                        "iteration over hash collection `{id}` — order is \
+                         nondeterministic; use BTreeMap/BTreeSet or collect-and-sort"
+                    ),
+                });
+                break; // one finding per line is enough
+            }
+        }
+    }
+}
+
+fn push_unique(v: &mut Vec<String>, id: &str) {
+    if !v.iter().any(|x| x == id) {
+        v.push(id.to_string());
+    }
+}
+
+/// Is `id` followed (possibly through `.lock()`-style adapters) by an
+/// iterating method call on this line?
+fn iterates(code: &str, id: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = find_word(code, id, from) {
+        let after = &code[pos + id.len()..];
+        // Walk a chain of `.method()` adapters until an iter token or
+        // something else.
+        let mut rest = after;
+        loop {
+            if ITER_TOKENS.iter().any(|t| rest.starts_with(t)) {
+                return true;
+            }
+            // accept `.word()` adapters (lock, borrow, as_ref, ...)
+            let Some(stripped) = rest.strip_prefix('.') else {
+                break;
+            };
+            let end = stripped
+                .find(|c: char| !is_ident_char(c))
+                .unwrap_or(stripped.len());
+            if end == 0 || !stripped[end..].starts_with("()") {
+                break;
+            }
+            rest = &stripped[end + 2..];
+        }
+        from = pos + id.len();
+    }
+    false
+}
+
+/// Is `id` the direct sequence of a `for .. in` on this line
+/// (`for x in map`, `for x in &map`, `for x in self.map`)?
+fn for_in_target(code: &str, id: &str) -> bool {
+    let Some(fpos) = find_word(code, "for", 0) else {
+        return false;
+    };
+    let Some(ipos) = find_word(code, "in", fpos) else {
+        return false;
+    };
+    let rest = code[ipos + 2..].trim_start();
+    let rest = rest.strip_prefix('&').unwrap_or(rest);
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    // a dotted path whose final segment is `id`, with no call after it
+    let path_end = rest
+        .find(|c: char| !is_ident_char(c) && c != '.')
+        .unwrap_or(rest.len());
+    let path = &rest[..path_end];
+    path.rsplit('.').next() == Some(id) && !rest[path_end..].trim_start().starts_with('(')
+}
+
+// ---------------------------------------------------------------------------
+// wall_clock
+// ---------------------------------------------------------------------------
+
+const CLOCK_TOKENS: &[(&str, &str)] = &[
+    ("SystemTime", "host wall clock"),
+    ("Instant::now", "host monotonic clock"),
+    ("thread_rng", "entropy-seeded RNG"),
+    ("from_entropy", "entropy-seeded RNG"),
+    ("rand::random", "entropy-seeded RNG"),
+];
+
+/// Flag host time / entropy sources outside the simulator's virtual
+/// clock. Simulated code reads time from `ctx.now()` and randomness from
+/// seeded generators; anything else diverges between runs.
+pub fn wall_clock(src: &SourceFile, out: &mut Vec<Finding>) {
+    // The one sanctioned home for host-time plumbing.
+    if src.path.to_string_lossy().contains("simkit/src/time") {
+        return;
+    }
+    for (n, line) in src.lines.iter().enumerate() {
+        let lineno = n + 1;
+        for (tok, what) in CLOCK_TOKENS {
+            let hit = if tok.contains("::") {
+                line.code.contains(tok)
+            } else {
+                contains_word(&line.code, tok)
+            };
+            if hit && !src.allowed(lineno, "wall_clock") {
+                out.push(Finding {
+                    path: src.path.clone(),
+                    line: lineno,
+                    rule: "wall_clock",
+                    message: format!(
+                        "`{tok}` is a {what} — simulated code must use \
+                         simkit's virtual time / seeded RNGs"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hot_unwrap
+// ---------------------------------------------------------------------------
+
+/// Files whose non-test code is a protocol hot path: the fault plane can
+/// reach almost every line, and an injected failure must degrade to a
+/// `MigrationOutcome`, not panic.
+const HOT_FILES: &[&str] = &["core/src/runtime.rs", "core/src/bufpool.rs"];
+
+/// Flag `.unwrap()` / `.expect(` in protocol hot paths.
+pub fn hot_unwrap(src: &SourceFile, out: &mut Vec<Finding>) {
+    let p = src.path.to_string_lossy().replace('\\', "/");
+    if !HOT_FILES.iter().any(|f| p.ends_with(f)) {
+        return;
+    }
+    for (n, line) in src.lines.iter().enumerate() {
+        let lineno = n + 1;
+        let code = &line.code;
+        // The unit-test module at the bottom of a file is not a hot path.
+        if code.contains("#[cfg(test)]") {
+            break;
+        }
+        for tok in [".unwrap()", ".expect("] {
+            if code.contains(tok) && !src.allowed(lineno, "hot_unwrap") {
+                out.push(Finding {
+                    path: src.path.clone(),
+                    line: lineno,
+                    rule: "hot_unwrap",
+                    message: format!(
+                        "`{tok}` in a protocol hot path — route the failure \
+                         into a typed error / MigrationOutcome instead"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// span_exit
+// ---------------------------------------------------------------------------
+
+/// Flag trace spans without a matching exit.
+///
+/// A span opened in statement position (`ctx.span_with(...);`) or bound
+/// to `_` is dropped immediately and records zero duration. A named
+/// binding (`let ph = ctx.span(...)`) must reach `ph.end()` /
+/// `ph.end_with(...)` before the name is rebound or the file ends.
+/// Bindings whose name starts with `_` are deliberate drop-guards
+/// (simkit's `Span` ends itself on `Drop`) and are accepted.
+pub fn span_exit(src: &SourceFile, out: &mut Vec<Finding>) {
+    // pending: (ident, line) spans awaiting an `.end()`
+    let mut pending: Vec<(String, usize)> = Vec::new();
+    let flag = |path: &std::path::Path, line: usize, msg: String, out: &mut Vec<Finding>| {
+        if !src.allowed(line, "span_exit") {
+            out.push(Finding {
+                path: path.to_path_buf(),
+                line,
+                rule: "span_exit",
+                message: msg,
+            });
+        }
+    };
+    for (n, line) in src.lines.iter().enumerate() {
+        let lineno = n + 1;
+        let code = &line.code;
+
+        // resolve pending ends first: `ident.end(` / `ident.end_with(`
+        pending.retain(|(id, _)| {
+            !find_word(code, id, 0).is_some_and(|pos| {
+                let after = &code[pos + id.len()..];
+                after.starts_with(".end()") || after.starts_with(".end_with(")
+            })
+        });
+
+        let span_call = code.contains(".span(") || code.contains(".span_with(");
+        if !span_call || code.contains("fn span") {
+            continue;
+        }
+        match find_word(code, "let", 0) {
+            Some(lpos) => {
+                let Some(id) = ident_after(code, lpos + 3) else {
+                    continue;
+                };
+                if id == "_" {
+                    flag(
+                        &src.path,
+                        lineno,
+                        "span bound to `_` is dropped immediately (zero-length span); \
+                         bind it and call .end()"
+                            .into(),
+                        out,
+                    );
+                } else if !id.starts_with('_') {
+                    // rebinding before the old span ended?
+                    if let Some(i) = pending.iter().position(|(p, _)| p == id) {
+                        let (_, opened) = pending.remove(i);
+                        flag(
+                            &src.path,
+                            opened,
+                            format!("span `{id}` is rebound before .end()/.end_with() was called"),
+                            out,
+                        );
+                    }
+                    pending.push((id.to_string(), lineno));
+                }
+            }
+            None => {
+                // statement-position span, dropped at the `;`
+                if code.trim_end().ends_with(';') && !code.contains('=') {
+                    flag(
+                        &src.path,
+                        lineno,
+                        "span created and dropped in the same statement (zero-length \
+                         span); bind it and call .end()"
+                            .into(),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+    for (id, opened) in pending {
+        flag(
+            &src.path,
+            opened,
+            format!("span `{id}` never reaches .end()/.end_with()"),
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(rule: fn(&SourceFile, &mut Vec<Finding>), path: &str, text: &str) -> Vec<Finding> {
+        let src = SourceFile::parse(Path::new(path), text);
+        let mut out = Vec::new();
+        rule(&src, &mut out);
+        out
+    }
+
+    #[test]
+    fn hash_iter_catches_field_and_let_bindings() {
+        let text = "struct S { m: Mutex<HashMap<u32, u64>> }\n\
+                    fn f(s: &S) { for (k, v) in s.m.lock().iter() {} }\n\
+                    fn g() { let mut seen = HashSet::new(); seen.insert(1); }\n\
+                    fn h(seen: &HashSet<u32>) { for x in seen {} }\n";
+        let f = run(hash_iter, "crates/x/src/a.rs", text);
+        assert_eq!(
+            f.len(),
+            2,
+            "{:?}",
+            f.iter().map(|f| f.line).collect::<Vec<_>>()
+        );
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 4);
+    }
+
+    #[test]
+    fn hash_iter_honors_allow_marker() {
+        let text = "let m = HashMap::new();\n\
+                    // jmlint: allow(hash_iter) — sorted right after\n\
+                    let mut v: Vec<_> = m.keys().collect();\n";
+        assert!(run(hash_iter, "a.rs", text).is_empty());
+    }
+
+    #[test]
+    fn hash_iter_ignores_lookups_and_btreemaps() {
+        let text = "let m = HashMap::new(); let b = BTreeMap::new();\n\
+                    m.get(&k); m.insert(k, v); m.remove(&k);\n\
+                    for x in b.values() {}\n";
+        assert!(run(hash_iter, "a.rs", text).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flags_entropy_and_time() {
+        let text =
+            "let t = Instant::now();\nlet r = thread_rng();\nlet ok = StdRng::seed_from_u64(7);\n";
+        let f = run(wall_clock, "crates/core/src/x.rs", text);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn hot_unwrap_scopes_to_hot_files_and_skips_tests() {
+        let text = "fn f() { x.unwrap(); }\n\
+                    fn g() { y.unwrap_or(0); z.expect_err(\"no\"); }\n\
+                    #[cfg(test)]\n\
+                    mod tests { fn t() { q.unwrap(); } }\n";
+        let f = run(hot_unwrap, "crates/core/src/runtime.rs", text);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+        assert!(run(hot_unwrap, "crates/ftb/src/agent.rs", text).is_empty());
+    }
+
+    #[test]
+    fn span_exit_requires_an_end() {
+        let good = "let ph = ctx.span_with(\"p\", \"x\", args);\nph.end();\n";
+        assert!(run(span_exit, "a.rs", good).is_empty());
+        let never = "let ph = ctx.span(\"p\", \"x\");\nwork();\n";
+        let f = run(span_exit, "a.rs", never);
+        assert_eq!(f.len(), 1);
+        let rebound =
+            "let ph = ctx.span(\"p\", \"x\");\nlet ph = ctx.span(\"p\", \"y\");\nph.end();\n";
+        let f = run(span_exit, "a.rs", rebound);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+        let stmt = "ctx.span_with(\"p\", \"x\", args);\n";
+        assert_eq!(run(span_exit, "a.rs", stmt).len(), 1);
+        let guard = "let _ph = ctx.span(\"p\", \"x\");\n"; // Drop-guard: ok
+        assert!(run(span_exit, "a.rs", guard).is_empty());
+    }
+}

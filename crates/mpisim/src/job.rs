@@ -6,7 +6,7 @@ use bytes::Bytes;
 use ibfabric::{IbFabric, NodeId};
 use parking_lot::Mutex;
 use simkit::{Ctx, Gate, SimHandle};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -93,7 +93,9 @@ pub(crate) struct JobInner {
     pub fabric: IbFabric,
     pub cfg: MpiConfig,
     pub size: u32,
-    pub ranks: Mutex<HashMap<u32, Arc<RankShared>>>,
+    // BTreeMap: rollback/purge passes iterate all ranks; rank order keeps
+    // those passes deterministic.
+    pub ranks: Mutex<BTreeMap<u32, Arc<RankShared>>>,
     pub drain: DrainCounter,
     pub stats: Mutex<JobStats>,
 }
@@ -118,7 +120,7 @@ impl MpiJob {
                 fabric,
                 cfg,
                 size,
-                ranks: Mutex::new(HashMap::new()),
+                ranks: Mutex::new(BTreeMap::new()),
                 drain,
                 stats: Mutex::new(JobStats::default()),
             }),

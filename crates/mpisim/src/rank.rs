@@ -7,7 +7,7 @@ use bytes::Bytes;
 use ibfabric::{Mr, NodeId, Qp, QpAddr};
 use parking_lot::Mutex;
 use simkit::{Ctx, Event, Gate, Queue, SimHandle};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,7 +48,9 @@ pub(crate) struct Endpoints {
 pub(crate) struct RankShared {
     pub rank: u32,
     pub node: Mutex<NodeId>,
-    queues: Mutex<HashMap<(u32, u64), Queue<Arrival>>>,
+    // BTreeMap: purge passes iterate the matching queues; (src, tag)
+    // order keeps replay deterministic.
+    queues: Mutex<BTreeMap<(u32, u64), Queue<Arrival>>>,
     /// Open while communication is allowed; closed during a
     /// checkpoint/migration cycle.
     pub gate: Gate,
@@ -68,7 +70,7 @@ impl RankShared {
         RankShared {
             rank,
             node: Mutex::new(node),
-            queues: Mutex::new(HashMap::new()),
+            queues: Mutex::new(BTreeMap::new()),
             gate: Gate::new(handle, false), // closed until endpoints built
             endpoints: Mutex::new(None),
             skip: Mutex::new(0),

@@ -1,0 +1,47 @@
+//! Declarative protocol specification and explicit-state model checking
+//! for the RDMA job-migration framework.
+//!
+//! The paper's four-phase protocol (Job Stall → Migration → Restart →
+//! Resume, §III-A), the per-rank lifecycle, the NLA states
+//! (`MIGRATION_READY` / `MIGRATION_SPARE` / `MIGRATION_INACTIVE`) and the
+//! FTB agent's self-healing uplink are specified here as typed transition
+//! tables ([`spec`]). The live runtime drives its transitions through the
+//! same tables it checks (see `jobmig-core`'s `CycleStepper` use and the
+//! `nla_next` call sites), so the spec cannot drift from the
+//! implementation.
+//!
+//! [`model`] composes the tables with `faultplane`'s fault alphabet, the
+//! spare pool, and the retry budget into one product state machine and
+//! exhaustively explores it, proving:
+//!
+//! * **deadlock-freedom** — every non-terminal state has a successor;
+//! * **no-lost-rank** — no reachable state loses a rank (neither live
+//!   nor recoverable from an image);
+//! * **rollback-restores-source** — every abort leaves the job whole on
+//!   the source with both NLAs restored;
+//! * **complete-or-degrade** — every terminal state is a completed
+//!   migration or a checkpoint-to-store degradation;
+//! * **phase-consistency** — the phase machine never runs ahead of or
+//!   behind the ranks' actual location.
+//!
+//! Violations come back as a minimal trace that lowers to a concrete
+//! [`faultplane::FaultPlan`] for replay in the simulator.
+//!
+//! Run the checker over the shipped tables with
+//! `cargo run -p protoverify`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod model;
+pub mod spec;
+
+pub use model::{
+    check, CheckConfig, CheckReport, CheckStats, Counterexample, EventLabel, Invariant, ModelState,
+    RankSite, TargetNla,
+};
+pub use spec::{
+    fault_edges, link_next, nla_next, rank_next, Action, CycleEvent, CyclePhase, CycleStepper,
+    CycleTransition, FaultEdge, Guard, GuardCtx, LinkEvent, LinkState, MigrationSpec, NlaEvent,
+    NlaState, RankEvent, RankLife, StepError,
+};

@@ -1,0 +1,949 @@
+//! The declarative protocol specification: typed states, events, guards
+//! and actions for every state machine the migration framework runs.
+//!
+//! These tables are the *single source of truth* for protocol structure.
+//! The runtime (`jobmig-core`) and the FTB agent (`ftb`) drive their
+//! transitions through them at execution time (illegal transitions are
+//! trapped), and the model checker in [`crate::model`] exhaustively
+//! explores the same tables offline. A table edit therefore changes both
+//! the running system and the checked model — they cannot drift apart.
+
+use faultplane::{FaultKind, MigPhase};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// NLA state machine (paper §III-A)
+// ---------------------------------------------------------------------------
+
+/// Node Launch Agent states, as named in §III-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NlaState {
+    /// Active compute node participating in the job.
+    MigrationReady,
+    /// Hot spare, standing by to receive processes.
+    MigrationSpare,
+    /// Former source node after its processes have left.
+    MigrationInactive,
+}
+
+impl fmt::Display for NlaState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NlaState::MigrationReady => "MIGRATION_READY",
+            NlaState::MigrationSpare => "MIGRATION_SPARE",
+            NlaState::MigrationInactive => "MIGRATION_INACTIVE",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Events that move an NLA between its states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NlaEvent {
+    /// Source NLA published PIIC: all local images have left (Phase 2).
+    SourceDrained,
+    /// Target NLA restarted every migrated process (end of Phase 3).
+    RestartComplete,
+    /// Cycle abort: the source goes back to hosting its ranks.
+    RollbackSource,
+    /// Cycle abort: a surviving target goes back to being a clean spare.
+    RollbackTarget,
+}
+
+impl NlaEvent {
+    /// Stable lower-snake name (used in traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            NlaEvent::SourceDrained => "source_drained",
+            NlaEvent::RestartComplete => "restart_complete",
+            NlaEvent::RollbackSource => "rollback_source",
+            NlaEvent::RollbackTarget => "rollback_target",
+        }
+    }
+}
+
+/// One row of the NLA transition table.
+#[derive(Debug, Clone, Copy)]
+pub struct NlaTransition {
+    /// State the NLA is in.
+    pub from: NlaState,
+    /// Event applied to it.
+    pub on: NlaEvent,
+    /// State it moves to.
+    pub to: NlaState,
+}
+
+/// The shipped NLA transition table.
+///
+/// `RollbackSource` is legal from both `MigrationReady` (abort before the
+/// source drained) and `MigrationInactive` (abort after PIIC);
+/// `RollbackTarget` from both `MigrationSpare` (abort before Phase 3
+/// completed) and `MigrationReady` (abort after the target went ready).
+pub const NLA_TABLE: &[NlaTransition] = &[
+    NlaTransition {
+        from: NlaState::MigrationReady,
+        on: NlaEvent::SourceDrained,
+        to: NlaState::MigrationInactive,
+    },
+    NlaTransition {
+        from: NlaState::MigrationSpare,
+        on: NlaEvent::RestartComplete,
+        to: NlaState::MigrationReady,
+    },
+    NlaTransition {
+        from: NlaState::MigrationInactive,
+        on: NlaEvent::RollbackSource,
+        to: NlaState::MigrationReady,
+    },
+    NlaTransition {
+        from: NlaState::MigrationReady,
+        on: NlaEvent::RollbackSource,
+        to: NlaState::MigrationReady,
+    },
+    NlaTransition {
+        from: NlaState::MigrationReady,
+        on: NlaEvent::RollbackTarget,
+        to: NlaState::MigrationSpare,
+    },
+    NlaTransition {
+        from: NlaState::MigrationSpare,
+        on: NlaEvent::RollbackTarget,
+        to: NlaState::MigrationSpare,
+    },
+];
+
+/// The state an NLA in `cur` moves to on `ev`, or `None` if the table has
+/// no such transition (a protocol violation at a live call site).
+pub fn nla_next(cur: NlaState, ev: NlaEvent) -> Option<NlaState> {
+    NLA_TABLE
+        .iter()
+        .find(|t| t.from == cur && t.on == ev)
+        .map(|t| t.to)
+}
+
+// ---------------------------------------------------------------------------
+// Per-rank lifecycle
+// ---------------------------------------------------------------------------
+
+/// Lifecycle of one MPI rank through a migration cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RankLife {
+    /// Application thread running normally.
+    Running,
+    /// Suspended and drained (entered the cycle, Phase 1 done locally).
+    Suspended,
+    /// Source rank: C/R metadata captured and the app incarnation killed;
+    /// the rank exists only as captured state / an in-flight image.
+    Captured,
+    /// Restored from an image (on the target in Phase 3, or back on the
+    /// source by an abort's resurrection) but not yet resumed.
+    Restarted,
+}
+
+impl RankLife {
+    /// Stable lower-snake name (used in traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RankLife::Running => "running",
+            RankLife::Suspended => "suspended",
+            RankLife::Captured => "captured",
+            RankLife::Restarted => "restarted",
+        }
+    }
+}
+
+/// Events that move a rank through its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RankEvent {
+    /// The C/R thread suspended and drained the rank (Phase 1).
+    Suspend,
+    /// Source side: metadata captured, app incarnation killed (Phase 2).
+    Capture,
+    /// Restored from its image on the target (Phase 3).
+    Restart,
+    /// Abort path: resurrected on the source from the captured metadata.
+    Resurrect,
+    /// Phase 4: migration barrier passed, endpoints rebuilt, app running.
+    Resume,
+}
+
+impl RankEvent {
+    /// Stable lower-snake name (used in traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RankEvent::Suspend => "suspend",
+            RankEvent::Capture => "capture",
+            RankEvent::Restart => "restart",
+            RankEvent::Resurrect => "resurrect",
+            RankEvent::Resume => "resume",
+        }
+    }
+}
+
+/// One row of the rank lifecycle table.
+#[derive(Debug, Clone, Copy)]
+pub struct RankTransition {
+    /// Lifecycle state the rank is in.
+    pub from: RankLife,
+    /// Event applied to it.
+    pub on: RankEvent,
+    /// State it moves to.
+    pub to: RankLife,
+}
+
+/// The shipped rank lifecycle table. Non-source ranks travel
+/// `Running → Suspended → Running`; source ranks travel
+/// `Running → Suspended → Captured → Restarted → Running`, where the
+/// `Captured → Restarted` edge is either a Phase 3 restart on the target
+/// or an abort's resurrection on the source (`Resurrect`).
+pub const RANK_TABLE: &[RankTransition] = &[
+    RankTransition {
+        from: RankLife::Running,
+        on: RankEvent::Suspend,
+        to: RankLife::Suspended,
+    },
+    RankTransition {
+        from: RankLife::Suspended,
+        on: RankEvent::Capture,
+        to: RankLife::Captured,
+    },
+    RankTransition {
+        from: RankLife::Captured,
+        on: RankEvent::Restart,
+        to: RankLife::Restarted,
+    },
+    RankTransition {
+        from: RankLife::Captured,
+        on: RankEvent::Resurrect,
+        to: RankLife::Restarted,
+    },
+    RankTransition {
+        from: RankLife::Restarted,
+        on: RankEvent::Resume,
+        to: RankLife::Running,
+    },
+    RankTransition {
+        from: RankLife::Suspended,
+        on: RankEvent::Resume,
+        to: RankLife::Running,
+    },
+    // An abort may resurrect a rank that Phase 3 had already restarted on
+    // the (now abandoned) target: the host moves back to the source but
+    // the lifecycle stage is unchanged.
+    RankTransition {
+        from: RankLife::Restarted,
+        on: RankEvent::Resurrect,
+        to: RankLife::Restarted,
+    },
+    // The Phase 4 barrier is tolerant: a rank that resumed before the
+    // cycle aborted re-enters Phase 4 on the retry, so Resume is
+    // idempotent on a running rank.
+    RankTransition {
+        from: RankLife::Running,
+        on: RankEvent::Resume,
+        to: RankLife::Running,
+    },
+];
+
+/// The lifecycle state a rank in `cur` moves to on `ev`, or `None` if the
+/// table has no such transition.
+pub fn rank_next(cur: RankLife, ev: RankEvent) -> Option<RankLife> {
+    RANK_TABLE
+        .iter()
+        .find(|t| t.from == cur && t.on == ev)
+        .map(|t| t.to)
+}
+
+// ---------------------------------------------------------------------------
+// FTB agent parent-link machine
+// ---------------------------------------------------------------------------
+
+/// The state of an FTB agent's uplink into the agent tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkState {
+    /// Tree root: no parent, nothing to lose.
+    Root,
+    /// Attached to a parent; no fallback ancestor known.
+    Attached,
+    /// Attached, and the grandparent is known as a fallback.
+    AttachedWithFallback,
+}
+
+/// Events on the uplink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkEvent {
+    /// `AttachAck` arrived carrying a grandparent.
+    AckGrandparent,
+    /// `AttachAck` arrived with no grandparent (parent is the root).
+    AckNoGrandparent,
+    /// A send to the parent failed (dead parent or transient link error).
+    ParentLost,
+}
+
+/// One row of the uplink table.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkTransition {
+    /// Uplink state.
+    pub from: LinkState,
+    /// Event applied.
+    pub on: LinkEvent,
+    /// Resulting state.
+    pub to: LinkState,
+}
+
+/// The shipped uplink table. The self-healing rule it encodes: on a
+/// failed parent send, adopt the grandparent when one is known (consuming
+/// the fallback), otherwise *keep* the current parent — a transient link
+/// error must never orphan the subtree permanently.
+pub const LINK_TABLE: &[LinkTransition] = &[
+    LinkTransition {
+        from: LinkState::Attached,
+        on: LinkEvent::AckGrandparent,
+        to: LinkState::AttachedWithFallback,
+    },
+    LinkTransition {
+        from: LinkState::AttachedWithFallback,
+        on: LinkEvent::AckGrandparent,
+        to: LinkState::AttachedWithFallback,
+    },
+    LinkTransition {
+        from: LinkState::Attached,
+        on: LinkEvent::AckNoGrandparent,
+        to: LinkState::Attached,
+    },
+    LinkTransition {
+        from: LinkState::AttachedWithFallback,
+        on: LinkEvent::AckNoGrandparent,
+        to: LinkState::Attached,
+    },
+    // Fallback known: the grandparent becomes the parent (fallback
+    // consumed until the next AttachAck repopulates it).
+    LinkTransition {
+        from: LinkState::AttachedWithFallback,
+        on: LinkEvent::ParentLost,
+        to: LinkState::Attached,
+    },
+    // No fallback: keep the parent (flap tolerance).
+    LinkTransition {
+        from: LinkState::Attached,
+        on: LinkEvent::ParentLost,
+        to: LinkState::Attached,
+    },
+];
+
+/// The uplink state reached from `cur` on `ev`, or `None` if illegal
+/// (e.g. any event at the root).
+pub fn link_next(cur: LinkState, ev: LinkEvent) -> Option<LinkState> {
+    LINK_TABLE
+        .iter()
+        .find(|t| t.from == cur && t.on == ev)
+        .map(|t| t.to)
+}
+
+// ---------------------------------------------------------------------------
+// Migration-cycle phase machine (paper §III-A, hardened by recovery)
+// ---------------------------------------------------------------------------
+
+/// The phase of one migration trigger's lifecycle, from the Job Manager's
+/// point of view. `Stall`..`Resume` are the paper's four phases; the rest
+/// are the recovery superstructure PR 2 added around them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CyclePhase {
+    /// Trigger accepted, no attempt started yet.
+    Idle,
+    /// Phase 1 — Job Stall.
+    Stall,
+    /// Phase 2 — Job Migration.
+    Migrate,
+    /// Phase 3 — Restart on the spare.
+    Restart,
+    /// Phase 4 — Resume.
+    Resume,
+    /// An attempt failed; the job has been rolled back to the source.
+    Aborted,
+    /// Terminal: the migration completed.
+    Complete,
+    /// Terminal: degraded to a coordinated checkpoint (CR baseline).
+    Degraded,
+}
+
+impl CyclePhase {
+    /// Whether this phase ends the trigger's lifecycle.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, CyclePhase::Complete | CyclePhase::Degraded)
+    }
+
+    /// The paper phase this corresponds to, when it is one of the four.
+    pub fn mig_phase(&self) -> Option<MigPhase> {
+        match self {
+            CyclePhase::Stall => Some(MigPhase::Stall),
+            CyclePhase::Migrate => Some(MigPhase::Migrate),
+            CyclePhase::Restart => Some(MigPhase::Restart),
+            CyclePhase::Resume => Some(MigPhase::Resume),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-snake name (used in traces and counterexamples).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CyclePhase::Idle => "idle",
+            CyclePhase::Stall => "stall",
+            CyclePhase::Migrate => "migrate",
+            CyclePhase::Restart => "restart",
+            CyclePhase::Resume => "resume",
+            CyclePhase::Aborted => "aborted",
+            CyclePhase::Complete => "complete",
+            CyclePhase::Degraded => "degraded",
+        }
+    }
+}
+
+impl fmt::Display for CyclePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Events that move a trigger between cycle phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CycleEvent {
+    /// First attempt begins (consumes a spare).
+    Trigger,
+    /// Phase 1 completed: every rank suspended and drained.
+    StallDone,
+    /// Phase 2 completed: PIIC published, all images on the target.
+    MigrateDone,
+    /// Phase 3 completed: every migrated process restarted.
+    RestartDone,
+    /// Phase 4 completed: barrier passed, endpoints rebuilt, job running.
+    ResumeDone,
+    /// A phase deadline expired; the attempt is rolled back.
+    PhaseTimeout,
+    /// The target spare died mid-attempt; the attempt is rolled back.
+    SpareCrash,
+    /// A new attempt begins on another spare (consumes it).
+    Retry,
+    /// No recovery path left: checkpoint the job to storage instead.
+    Degrade,
+}
+
+impl CycleEvent {
+    /// Stable lower-snake name (used in traces and counterexamples).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CycleEvent::Trigger => "trigger",
+            CycleEvent::StallDone => "stall_done",
+            CycleEvent::MigrateDone => "migrate_done",
+            CycleEvent::RestartDone => "restart_done",
+            CycleEvent::ResumeDone => "resume_done",
+            CycleEvent::PhaseTimeout => "phase_timeout",
+            CycleEvent::SpareCrash => "spare_crash",
+            CycleEvent::Retry => "retry",
+            CycleEvent::Degrade => "degrade",
+        }
+    }
+}
+
+impl fmt::Display for CycleEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A transition guard, evaluated against the live recovery budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guard {
+    /// Unconditional.
+    Always,
+    /// At least one spare is available *and* the attempt budget has room.
+    RetryPath,
+    /// The negation of [`Guard::RetryPath`]: no way to run an attempt.
+    NoRecoveryPath,
+}
+
+/// The live values guards are evaluated against.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardCtx {
+    /// Spare nodes currently in the pool.
+    pub spares_left: u32,
+    /// Attempts remaining in the retry budget.
+    pub attempts_left: u32,
+}
+
+impl Guard {
+    /// Evaluate against `g`.
+    pub fn eval(&self, g: &GuardCtx) -> bool {
+        let retry_path = g.spares_left > 0 && g.attempts_left > 0;
+        match self {
+            Guard::Always => true,
+            Guard::RetryPath => retry_path,
+            Guard::NoRecoveryPath => !retry_path,
+        }
+    }
+}
+
+/// Declarative effects of a cycle transition. The model checker applies
+/// them to its abstract state; the runtime performs the corresponding
+/// concrete operations (and the conformance assertions in `jobmig-core`
+/// keep the two aligned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Take a spare from the pool as the attempt's target.
+    ConsumeSpare,
+    /// Return a surviving spare to the pool after an aborted attempt.
+    ReturnSpare,
+    /// The target spare died; it never returns to the pool.
+    SpareLost,
+    /// Every rank suspended and drained on the source.
+    SuspendRanks,
+    /// Source images streamed to the target; source NLA drained.
+    StreamImages,
+    /// Ranks restarted from their images on the target; target NLA ready.
+    RestartRanks,
+    /// Ranks pass the migration barrier and run on their current host.
+    ResumeRanks,
+    /// Roll every rank back to a running state on the source and restore
+    /// both NLAs.
+    Rollback,
+    /// Degrade: coordinated checkpoint of the (running) job to storage.
+    CheckpointToStore,
+}
+
+impl Action {
+    /// Stable lower-snake name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Action::ConsumeSpare => "consume_spare",
+            Action::ReturnSpare => "return_spare",
+            Action::SpareLost => "spare_lost",
+            Action::SuspendRanks => "suspend_ranks",
+            Action::StreamImages => "stream_images",
+            Action::RestartRanks => "restart_ranks",
+            Action::ResumeRanks => "resume_ranks",
+            Action::Rollback => "rollback",
+            Action::CheckpointToStore => "checkpoint_to_store",
+        }
+    }
+}
+
+/// One row of the migration-cycle table.
+#[derive(Debug, Clone)]
+pub struct CycleTransition {
+    /// Phase the trigger is in.
+    pub from: CyclePhase,
+    /// Event applied.
+    pub on: CycleEvent,
+    /// Guard that must hold.
+    pub guard: Guard,
+    /// Phase it moves to.
+    pub to: CyclePhase,
+    /// Declarative effects.
+    pub actions: Vec<Action>,
+}
+
+/// The migration-cycle specification: an owned transition table, so tests
+/// can mutate a copy ([`MigrationSpec::without`] /
+/// [`MigrationSpec::with_transition`]) and feed it back to the checker.
+#[derive(Debug, Clone)]
+pub struct MigrationSpec {
+    /// The transition rows, in priority order (first match wins).
+    pub transitions: Vec<CycleTransition>,
+}
+
+impl Default for MigrationSpec {
+    fn default() -> Self {
+        Self::shipped()
+    }
+}
+
+impl MigrationSpec {
+    /// The table the runtime ships with.
+    pub fn shipped() -> Self {
+        use Action::*;
+        use CycleEvent as E;
+        use CyclePhase as P;
+        let t = |from, on, guard, to, actions: &[Action]| CycleTransition {
+            from,
+            on,
+            guard,
+            to,
+            actions: actions.to_vec(),
+        };
+        let mut rows = vec![
+            t(
+                P::Idle,
+                E::Trigger,
+                Guard::RetryPath,
+                P::Stall,
+                &[ConsumeSpare],
+            ),
+            t(
+                P::Idle,
+                E::Degrade,
+                Guard::NoRecoveryPath,
+                P::Degraded,
+                &[CheckpointToStore],
+            ),
+            t(
+                P::Stall,
+                E::StallDone,
+                Guard::Always,
+                P::Migrate,
+                &[SuspendRanks],
+            ),
+            t(
+                P::Migrate,
+                E::MigrateDone,
+                Guard::Always,
+                P::Restart,
+                &[StreamImages],
+            ),
+            t(
+                P::Restart,
+                E::RestartDone,
+                Guard::Always,
+                P::Resume,
+                &[RestartRanks],
+            ),
+            t(
+                P::Resume,
+                E::ResumeDone,
+                Guard::Always,
+                P::Complete,
+                &[ResumeRanks],
+            ),
+            t(
+                P::Aborted,
+                E::Retry,
+                Guard::RetryPath,
+                P::Stall,
+                &[ConsumeSpare],
+            ),
+            t(
+                P::Aborted,
+                E::Degrade,
+                Guard::NoRecoveryPath,
+                P::Degraded,
+                &[CheckpointToStore],
+            ),
+        ];
+        for ph in [P::Stall, P::Migrate, P::Restart, P::Resume] {
+            rows.push(t(
+                ph,
+                E::PhaseTimeout,
+                Guard::Always,
+                P::Aborted,
+                &[Rollback, ReturnSpare],
+            ));
+            rows.push(t(
+                ph,
+                E::SpareCrash,
+                Guard::Always,
+                P::Aborted,
+                &[SpareLost, Rollback],
+            ));
+        }
+        MigrationSpec { transitions: rows }
+    }
+
+    /// The transition `(from, on)` resolves to under `g`, if any.
+    pub fn next(&self, from: CyclePhase, on: CycleEvent, g: &GuardCtx) -> Option<&CycleTransition> {
+        self.transitions
+            .iter()
+            .find(|t| t.from == from && t.on == on && t.guard.eval(g))
+    }
+
+    /// Whether a `(from, on)` row exists at all, guard notwithstanding.
+    pub fn has_row(&self, from: CyclePhase, on: CycleEvent) -> bool {
+        self.transitions
+            .iter()
+            .any(|t| t.from == from && t.on == on)
+    }
+
+    /// A copy with every `(from, on)` row removed (spec mutation for
+    /// negative tests).
+    pub fn without(mut self, from: CyclePhase, on: CycleEvent) -> Self {
+        self.transitions.retain(|t| !(t.from == from && t.on == on));
+        self
+    }
+
+    /// A copy with `t` prepended (it takes priority over shipped rows).
+    pub fn with_transition(mut self, t: CycleTransition) -> Self {
+        self.transitions.insert(0, t);
+        self
+    }
+}
+
+/// Why a [`CycleStepper::step`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepError {
+    /// No `(from, on)` row exists: the driver fired an event the spec
+    /// does not allow in this phase — a protocol bug.
+    NoTransition {
+        /// Phase the stepper was in.
+        from: CyclePhase,
+        /// Event that was fired.
+        on: CycleEvent,
+    },
+    /// Rows exist but every guard rejected: normal control flow (e.g. a
+    /// `Retry` with the budget exhausted).
+    GuardRejected {
+        /// Phase the stepper was in.
+        from: CyclePhase,
+        /// Event that was fired.
+        on: CycleEvent,
+    },
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::NoTransition { from, on } => {
+                write!(f, "no transition from {from} on {on}")
+            }
+            StepError::GuardRejected { from, on } => {
+                write!(f, "guard rejected {on} from {from}")
+            }
+        }
+    }
+}
+
+/// Drives one trigger's lifecycle through a [`MigrationSpec`] at
+/// execution time. The Job Manager owns one per trigger and steps it at
+/// every phase boundary; a [`StepError::NoTransition`] means the runtime
+/// and the spec disagree — the caller traps it.
+#[derive(Debug)]
+pub struct CycleStepper<'a> {
+    spec: &'a MigrationSpec,
+    phase: CyclePhase,
+}
+
+impl<'a> CycleStepper<'a> {
+    /// A stepper at [`CyclePhase::Idle`].
+    pub fn new(spec: &'a MigrationSpec) -> Self {
+        CycleStepper {
+            spec,
+            phase: CyclePhase::Idle,
+        }
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> CyclePhase {
+        self.phase
+    }
+
+    /// Apply `on` under `g`; advances and returns the matched transition.
+    pub fn step(&mut self, on: CycleEvent, g: &GuardCtx) -> Result<&'a CycleTransition, StepError> {
+        match self.spec.next(self.phase, on, g) {
+            Some(t) => {
+                self.phase = t.to;
+                Ok(t)
+            }
+            None if self.spec.has_row(self.phase, on) => Err(StepError::GuardRejected {
+                from: self.phase,
+                on,
+            }),
+            None => Err(StepError::NoTransition {
+                from: self.phase,
+                on,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault edges
+// ---------------------------------------------------------------------------
+
+/// A fault kind that can strike a protocol phase, and the cycle event it
+/// manifests as. This is the bridge between `faultplane`'s fault alphabet
+/// and the phase machine: the model checker turns each edge into a
+/// labelled transition, and [`crate::model::Counterexample::to_fault_plan`]
+/// maps the labels back to concrete [`faultplane::FaultSpec`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultEdge {
+    /// The paper phase the fault strikes.
+    pub phase: MigPhase,
+    /// The fault kind.
+    pub kind: FaultKind,
+    /// How the Job Manager observes it: a phase deadline expiring
+    /// ([`CycleEvent::PhaseTimeout`]) or the spare dying
+    /// ([`CycleEvent::SpareCrash`]).
+    pub effect: CycleEvent,
+}
+
+/// Every fault kind, at every phase it can reach, with its observable
+/// effect. Derived from the injection points the layers expose:
+/// GigE faults starve the FTB fan-in of any phase that waits on events;
+/// RDMA/BLCR/store faults can only strike Phase 2's image streaming (a
+/// chunk that cannot be obtained or staged stalls the pool until the
+/// phase deadline); a spare crash is polled at every phase boundary.
+pub fn fault_edges() -> Vec<FaultEdge> {
+    let mut edges = Vec::new();
+    let timeout_kinds: &[(MigPhase, &[FaultKind])] = &[
+        (MigPhase::Stall, &[FaultKind::NetDrop, FaultKind::LinkFlap]),
+        (
+            MigPhase::Migrate,
+            &[
+                FaultKind::NetDrop,
+                FaultKind::LinkFlap,
+                FaultKind::RdmaCqError,
+                FaultKind::RdmaCorrupt,
+                FaultKind::BlcrWriteError,
+                FaultKind::StoreWrite,
+            ],
+        ),
+        (
+            MigPhase::Restart,
+            &[FaultKind::NetDrop, FaultKind::LinkFlap],
+        ),
+    ];
+    for &(phase, kinds) in timeout_kinds {
+        for &kind in kinds {
+            edges.push(FaultEdge {
+                phase,
+                kind,
+                effect: CycleEvent::PhaseTimeout,
+            });
+        }
+    }
+    for phase in MigPhase::ALL {
+        edges.push(FaultEdge {
+            phase,
+            kind: FaultKind::SpareCrash,
+            effect: CycleEvent::SpareCrash,
+        });
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nla_names_match_paper() {
+        assert_eq!(NlaState::MigrationReady.to_string(), "MIGRATION_READY");
+        assert_eq!(NlaState::MigrationSpare.to_string(), "MIGRATION_SPARE");
+        assert_eq!(
+            NlaState::MigrationInactive.to_string(),
+            "MIGRATION_INACTIVE"
+        );
+    }
+
+    #[test]
+    fn nla_table_covers_runtime_call_sites() {
+        use NlaEvent::*;
+        use NlaState::*;
+        assert_eq!(
+            nla_next(MigrationReady, SourceDrained),
+            Some(MigrationInactive)
+        );
+        assert_eq!(
+            nla_next(MigrationSpare, RestartComplete),
+            Some(MigrationReady)
+        );
+        assert_eq!(
+            nla_next(MigrationInactive, RollbackSource),
+            Some(MigrationReady)
+        );
+        assert_eq!(
+            nla_next(MigrationReady, RollbackSource),
+            Some(MigrationReady)
+        );
+        assert_eq!(
+            nla_next(MigrationReady, RollbackTarget),
+            Some(MigrationSpare)
+        );
+        assert_eq!(
+            nla_next(MigrationSpare, RollbackTarget),
+            Some(MigrationSpare)
+        );
+        // A spare never drains; an inactive node never completes a restart.
+        assert_eq!(nla_next(MigrationSpare, SourceDrained), None);
+        assert_eq!(nla_next(MigrationInactive, RestartComplete), None);
+    }
+
+    #[test]
+    fn rank_paths_close() {
+        use RankEvent::*;
+        use RankLife::*;
+        // Source rank, successful migration.
+        let mut s = Running;
+        for ev in [Suspend, Capture, Restart, Resume] {
+            s = rank_next(s, ev).unwrap();
+        }
+        assert_eq!(s, Running);
+        // Source rank, aborted after capture: resurrection path.
+        let mut s = Running;
+        for ev in [Suspend, Capture, Resurrect, Resume] {
+            s = rank_next(s, ev).unwrap();
+        }
+        assert_eq!(s, Running);
+        // Non-source rank.
+        let mut s = Running;
+        for ev in [Suspend, Resume] {
+            s = rank_next(s, ev).unwrap();
+        }
+        assert_eq!(s, Running);
+        // A running rank cannot be captured or restarted.
+        assert_eq!(rank_next(Running, Capture), None);
+        assert_eq!(rank_next(Running, Restart), None);
+    }
+
+    #[test]
+    fn link_machine_prefers_grandparent_and_tolerates_flaps() {
+        use LinkEvent::*;
+        use LinkState::*;
+        assert_eq!(
+            link_next(Attached, AckGrandparent),
+            Some(AttachedWithFallback)
+        );
+        // Fallback consumed on parent loss.
+        assert_eq!(link_next(AttachedWithFallback, ParentLost), Some(Attached));
+        // No fallback: keep the parent (transient flap must not orphan).
+        assert_eq!(link_next(Attached, ParentLost), Some(Attached));
+        // The root reacts to nothing.
+        assert_eq!(link_next(Root, ParentLost), None);
+    }
+
+    #[test]
+    fn stepper_walks_happy_path() {
+        let spec = MigrationSpec::shipped();
+        let mut st = CycleStepper::new(&spec);
+        let g = GuardCtx {
+            spares_left: 1,
+            attempts_left: 3,
+        };
+        use CycleEvent::*;
+        for ev in [Trigger, StallDone, MigrateDone, RestartDone, ResumeDone] {
+            st.step(ev, &g).unwrap();
+        }
+        assert_eq!(st.phase(), CyclePhase::Complete);
+        assert!(st.phase().is_terminal());
+    }
+
+    #[test]
+    fn stepper_distinguishes_guard_rejection_from_missing_row() {
+        let spec = MigrationSpec::shipped();
+        let mut st = CycleStepper::new(&spec);
+        let none = GuardCtx {
+            spares_left: 0,
+            attempts_left: 3,
+        };
+        // Trigger with no spare: row exists, guard rejects.
+        assert!(matches!(
+            st.step(CycleEvent::Trigger, &none),
+            Err(StepError::GuardRejected { .. })
+        ));
+        // Degrade from Idle is the legal continuation.
+        st.step(CycleEvent::Degrade, &none).unwrap();
+        assert_eq!(st.phase(), CyclePhase::Degraded);
+        // ResumeDone from Degraded: no such row at all.
+        assert!(matches!(
+            st.step(CycleEvent::ResumeDone, &none),
+            Err(StepError::NoTransition { .. })
+        ));
+    }
+}

@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
@@ -90,7 +90,9 @@ pub(crate) struct KState {
     next_seq: u64,
     next_pid: u32,
     heap: BinaryHeap<Reverse<Timer>>,
-    procs: HashMap<u32, Slot>,
+    // BTreeMap: deadlock reports iterate this map; pid order keeps the
+    // blocked-process listing (and thus error text) deterministic.
+    procs: BTreeMap<u32, Slot>,
     rng: StdRng,
 }
 
@@ -439,7 +441,7 @@ impl Simulation {
                 next_seq: 0,
                 next_pid: 0,
                 heap: BinaryHeap::new(),
-                procs: HashMap::new(),
+                procs: BTreeMap::new(),
                 rng: StdRng::seed_from_u64(seed),
             }),
             yield_tx,

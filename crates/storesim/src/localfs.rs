@@ -6,7 +6,7 @@ use crate::CkptStore;
 use ibfabric::DataSlice;
 use parking_lot::Mutex;
 use simkit::Ctx;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -20,7 +20,9 @@ struct StoredFile {
 }
 
 struct Inner {
-    files: HashMap<String, StoredFile>,
+    // BTreeMap: `paths()` and cache drops iterate the namespace; path
+    // order keeps listings deterministic.
+    files: BTreeMap<String, StoredFile>,
 }
 
 /// A local filesystem: files live on one disk, metadata ops are cheap,
@@ -41,7 +43,7 @@ impl LocalFs {
         LocalFs {
             disk,
             inner: Arc::new(Mutex::new(Inner {
-                files: HashMap::new(),
+                files: BTreeMap::new(),
             })),
             meta_latency: Duration::from_micros(150),
             written: Arc::new(AtomicU64::new(0)),

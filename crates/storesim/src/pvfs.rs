@@ -13,7 +13,7 @@ use crate::CkptStore;
 use ibfabric::{DataSlice, Net, NodeId};
 use parking_lot::Mutex;
 use simkit::{Ctx, SimHandle};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -52,7 +52,9 @@ struct StoredFile {
 }
 
 struct Inner {
-    files: HashMap<String, StoredFile>,
+    // BTreeMap: cache drops iterate the namespace; path order keeps the
+    // pass deterministic.
+    files: BTreeMap<String, StoredFile>,
     next_start: usize,
 }
 
@@ -85,7 +87,7 @@ impl Pvfs {
             server_disks: Arc::new(disks),
             transport: None,
             inner: Arc::new(Mutex::new(Inner {
-                files: HashMap::new(),
+                files: BTreeMap::new(),
                 next_start: 0,
             })),
             written: Arc::new(AtomicU64::new(0)),

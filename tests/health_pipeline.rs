@@ -103,9 +103,5 @@ fn two_sick_nodes_one_spare_degrades_gracefully() {
     assert_eq!(outcomes.migrated, 1);
     assert!(outcomes.fell_back_to_cr >= 1);
     assert_eq!(rt.cr_reports().len() as u64, outcomes.fell_back_to_cr);
-    #[allow(deprecated)]
-    {
-        assert!(rt.failed_triggers() >= 1);
-    }
     assert_eq!(rt.spares_left(), 0);
 }
