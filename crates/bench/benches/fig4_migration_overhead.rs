@@ -10,7 +10,8 @@
 //! (file-based restart); Phase 4 roughly constant (~1 s); totals ≈
 //! 6.3 s (LU) to ~11 s (BT).
 
-use jobmig_bench::{fig4_migration, secs, APPS};
+use jobmig_bench::{fig4_migration, migration_report_json, secs, write_bench_json, APPS};
+use telemetry::Json;
 
 fn main() {
     println!("Figure 4: Process Migration Overhead (64 ranks, 8 nodes, 1 spare)");
@@ -18,8 +19,13 @@ fn main() {
         "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "app", "stall(s)", "migr(s)", "restart", "resume", "total(s)"
     );
+    let mut rows = Vec::new();
     for app in APPS {
         let r = fig4_migration(app);
+        rows.push(migration_report_json(&r).set(
+            "app",
+            npbsim::Workload::new(app, npbsim::NpbClass::C, 64).name(),
+        ));
         println!(
             "{:<10} {} {} {} {} {}",
             npbsim::Workload::new(app, npbsim::NpbClass::C, 64).name(),
@@ -36,6 +42,9 @@ fn main() {
             "phase 2 in/near the 0.4-0.8 s band"
         );
         assert!(r.restart > r.migrate + r.resume, "phase 3 dominates");
+    }
+    if let Some(p) = write_bench_json("fig4", &Json::obj().set("rows", rows), false) {
+        println!("wrote {}", p.display());
     }
     println!("\npaper: LU 6.3 s total; stall ~tens of ms; migrate 0.4-0.8 s; restart dominant");
 }

@@ -4,7 +4,8 @@
 //! migration and with one mid-run migration. Paper: +3.9 % (LU), +6.7 %
 //! (BT), +4.6 % (SP).
 
-use jobmig_bench::{fig5_app_overhead, APPS};
+use jobmig_bench::{fig5_app_overhead, write_bench_json, APPS};
+use telemetry::Json;
 
 fn main() {
     println!("Figure 5: Application Execution Time with/without Migration");
@@ -12,8 +13,16 @@ fn main() {
         "{:<10} {:>12} {:>14} {:>10}",
         "app", "no mig (s)", "1 mig (s)", "overhead"
     );
+    let mut rows = Vec::new();
     for app in APPS {
         let row = fig5_app_overhead(app);
+        rows.push(
+            Json::obj()
+                .set("app", row.name.as_str())
+                .set("base_ms", row.base.as_millis() as u64)
+                .set("with_migration_ms", row.with_migration.as_millis() as u64)
+                .set("overhead_frac", row.overhead()),
+        );
         println!(
             "{:<10} {:>12.1} {:>14.1} {:>9.1}%",
             row.name,
@@ -26,6 +35,9 @@ fn main() {
             "one migration should cost a few percent, got {:.1}%",
             row.overhead() * 100.0
         );
+    }
+    if let Some(p) = write_bench_json("fig5", &Json::obj().set("rows", rows), false) {
+        println!("wrote {}", p.display());
     }
     println!("\npaper: LU +3.9%  BT +6.7%  SP +4.6%");
 }

@@ -5,7 +5,8 @@
 //! (RDMA migration) stays low throughout; Phase 3 (file-based restart)
 //! grows with the per-node load and dominates at scale.
 
-use jobmig_bench::{fig6_point, secs};
+use jobmig_bench::{fig6_point, migration_report_json, secs, write_bench_json};
+use telemetry::Json;
 
 fn main() {
     println!("Figure 6: Migration Scalability (LU.C, 8 compute nodes)");
@@ -14,8 +15,10 @@ fn main() {
         "ppn", "np", "stall(s)", "migr(s)", "restart", "resume", "total(s)"
     );
     let mut totals = Vec::new();
+    let mut rows = Vec::new();
     for ppn in [1u32, 2, 4, 8] {
         let r = fig6_point(ppn);
+        rows.push(migration_report_json(&r).set("ppn", ppn).set("np", 8 * ppn));
         println!(
             "{:<6} {:>5} {} {} {} {} {}",
             ppn,
@@ -36,5 +39,8 @@ fn main() {
         totals.windows(2).all(|w| w[0] < w[1]),
         "total migration time grows with processes per node"
     );
+    if let Some(p) = write_bench_json("fig6", &Json::obj().set("rows", rows), false) {
+        println!("wrote {}", p.display());
+    }
     println!("\npaper: totals grow from ~2.5 s (1 ppn) to ~6.3 s (8 ppn); phase 2 stays low");
 }

@@ -1,0 +1,42 @@
+//! Fleet soak — multi-job orchestration under the migration policy engine.
+//!
+//! Runs the reference fleet scenario (8 concurrent LU jobs on 64 compute
+//! nodes, 4 shared spares, 12 scheduled node failures over 2 simulated
+//! hours) once per built-in policy against the *same* seeded failure
+//! schedule, prints the comparison table, and writes the machine-readable
+//! `BENCH_fleet.json` artifact (cf. Cappello et al.'s taxonomy of
+//! reactive vs proactive fault tolerance).
+
+use jobmig_bench::{fleet_soak, write_bench_json};
+
+fn main() {
+    println!("Fleet soak: 8 jobs x LU.A.8, 64 compute nodes, 4 spares, 12 dooms / 2 h");
+    let report = fleet_soak();
+    print!("{}", report.render_table());
+
+    let cr = report.policy("periodic_cr").expect("baseline row");
+    let proactive = report.policy("proactive").expect("proactive row");
+    let utility = report.policy("utility").expect("utility row");
+    assert!(
+        proactive.work_lost < cr.work_lost,
+        "proactive migration must lose less work than checkpoint-only"
+    );
+    assert!(
+        utility.work_lost < cr.work_lost,
+        "utility policy must lose less work than checkpoint-only"
+    );
+
+    let path = write_bench_json("fleet", &report.to_json(), true).expect("always written");
+    println!("\nwrote {}", path.display());
+    println!(
+        "work lost: periodic_cr {:.0}s, reactive {:.0}s, proactive {:.0}s, utility {:.0}s",
+        cr.work_lost.as_secs_f64(),
+        report
+            .policy("reactive")
+            .expect("reactive row")
+            .work_lost
+            .as_secs_f64(),
+        proactive.work_lost.as_secs_f64(),
+        utility.work_lost.as_secs_f64(),
+    );
+}

@@ -300,3 +300,51 @@ pub fn secs(d: Duration) -> String {
 pub fn mb(b: u64) -> String {
     format!("{:8.1}", b as f64 / 1e6)
 }
+
+// ---------------------------------------------------------------------------
+// Fleet soak — multi-job orchestration under the policy engine
+// ---------------------------------------------------------------------------
+
+/// The reference fleet soak (see `fleetsched::FleetConfig::soak`): 8
+/// concurrent LU jobs on 64 compute nodes, 4 shared spares, 12 node
+/// failures over 2 simulated hours, each built-in policy compared
+/// against the same failure schedule.
+pub fn fleet_soak() -> fleetsched::SoakReport {
+    fleetsched::run_soak(
+        &fleetsched::FleetConfig::soak(SEED),
+        &fleetsched::PolicyKind::ALL,
+    )
+}
+
+/// Write `doc` as `BENCH_<name>.json`. Emission is opt-in through the
+/// `BENCH_JSON` environment variable unless `always` is set (the fleet
+/// soak's report is always written — it is the machine-readable
+/// artifact CI archives). `BENCH_JSON_DIR` overrides the target
+/// directory (default: current directory). Returns the path written.
+pub fn write_bench_json(
+    name: &str,
+    doc: &telemetry::Json,
+    always: bool,
+) -> Option<std::path::PathBuf> {
+    if !always && std::env::var_os("BENCH_JSON").is_none() {
+        return None;
+    }
+    let dir = std::env::var_os("BENCH_JSON_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, doc.render_pretty()).expect("write bench JSON artifact");
+    Some(path)
+}
+
+/// A Figure 4/6-style migration report as a JSON object (millisecond
+/// durations, byte-stable).
+pub fn migration_report_json(r: &jobmig_core::report::MigrationReport) -> telemetry::Json {
+    telemetry::Json::obj()
+        .set("stall_ms", r.stall.as_millis() as u64)
+        .set("migrate_ms", r.migrate.as_millis() as u64)
+        .set("restart_ms", r.restart.as_millis() as u64)
+        .set("resume_ms", r.resume.as_millis() as u64)
+        .set("total_ms", r.total().as_millis() as u64)
+        .set("ranks_moved", r.ranks_moved as u64)
+}

@@ -7,6 +7,7 @@
 //! deployment reachable over the InfiniBand network.
 
 use crate::calib;
+use crate::spare::SparePool;
 use blcrsim::Blcr;
 use faultplane::{FaultPlan, FaultPlane};
 use ftb::{FtbBackplane, FtbConfig};
@@ -28,6 +29,10 @@ pub struct ClusterSpec {
     pub with_pvfs: bool,
     /// InfiniBand fabric parameters.
     pub ib: IbConfig,
+    /// FTB backplane parameters (heartbeat cadence, retry budget).
+    /// Fleet-scale soaks stretch the heartbeat: failure detection
+    /// latency matters less than simulating hundreds of node-hours.
+    pub ftb: FtbConfig,
 }
 
 impl ClusterSpec {
@@ -38,6 +43,7 @@ impl ClusterSpec {
             spare_nodes: 1,
             with_pvfs: true,
             ib: IbConfig::default(),
+            ftb: FtbConfig::default(),
         }
     }
 
@@ -48,6 +54,7 @@ impl ClusterSpec {
             spare_nodes: 1,
             with_pvfs: false,
             ib: IbConfig::default(),
+            ftb: FtbConfig::default(),
         }
     }
 
@@ -58,6 +65,7 @@ impl ClusterSpec {
             spare_nodes: s,
             with_pvfs: false,
             ib: IbConfig::default(),
+            ftb: FtbConfig::default(),
         }
     }
 }
@@ -86,6 +94,9 @@ struct ClusterInner {
     nodes: BTreeMap<NodeId, NodeResources>,
     pvfs: Option<Pvfs>,
     fault_plane: Mutex<Option<FaultPlane>>,
+    /// The shared hot-spare pool, seeded with the spare nodes. Every job
+    /// launched on this cluster leases migration targets from it.
+    spare_pool: SparePool,
 }
 
 /// The built cluster. Cloning shares it.
@@ -100,7 +111,7 @@ impl Cluster {
     pub fn build(handle: &SimHandle, spec: ClusterSpec) -> Cluster {
         let fabric = IbFabric::new(handle, spec.ib.clone());
         let gige = Net::new(handle, NetConfig::gige());
-        let ftb = FtbBackplane::new(handle, gige.clone(), FtbConfig::default());
+        let ftb = FtbBackplane::new(handle, gige.clone(), spec.ftb.clone());
 
         let login = NodeId(0);
         gige.add_node(login);
@@ -152,6 +163,7 @@ impl Cluster {
             None
         };
 
+        let spare_pool = SparePool::new(spares.clone());
         Cluster {
             inner: Arc::new(ClusterInner {
                 handle: handle.clone(),
@@ -165,6 +177,7 @@ impl Cluster {
                 nodes,
                 pvfs,
                 fault_plane: Mutex::new(None),
+                spare_pool,
             }),
         }
     }
@@ -233,9 +246,16 @@ impl Cluster {
         &self.inner.compute
     }
 
-    /// Hot-spare nodes in id order.
+    /// Hot-spare nodes in id order (the pool's initial contents; see
+    /// [`Cluster::spare_pool`] for the live allocation state).
     pub fn spare_nodes(&self) -> &[NodeId] {
         &self.inner.spares
+    }
+
+    /// The shared hot-spare pool: lease/settle/reclaim API for migration
+    /// targets, shared by every job on the cluster.
+    pub fn spare_pool(&self) -> &SparePool {
+        &self.inner.spare_pool
     }
 
     /// Local resources of `node`.

@@ -45,6 +45,7 @@ pub mod cr_baseline;
 pub mod msgs;
 pub mod report;
 pub mod runtime;
+pub mod spare;
 
 /// Common imports for examples and tests.
 pub mod prelude {
@@ -55,7 +56,8 @@ pub mod prelude {
         CrReport, CrStoreKind, MigrationOutcome, MigrationReport, OutcomeCounts,
     };
     pub use crate::runtime::{
-        AppBody, CheckpointRequest, Control, JobRuntime, JobSpec, MigrationRequest,
+        AppBody, CheckpointRequest, Control, JobRuntime, JobSpec, MigrationRequest, Placement,
     };
+    pub use crate::spare::{SparePool, SparePoolStats};
     pub use faultplane::{FaultPlan, FaultPlane, FaultSpec, MigPhase, NetSel, StoreFault};
 }

@@ -40,8 +40,8 @@ impl fmt::Display for MigrationOutcome {
     }
 }
 
-/// Per-outcome migration counters (replaces the old single
-/// `failed_triggers` count).
+/// Per-outcome migration counters (the typed replacement for the
+/// removed single failed-trigger count).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OutcomeCounts {
     /// First-attempt successes.

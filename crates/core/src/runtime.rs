@@ -26,6 +26,7 @@ use crate::cluster::Cluster;
 use crate::cr_baseline;
 use crate::msgs::*;
 use crate::report::{CrReport, CrStoreKind, MigrationOutcome, MigrationReport, OutcomeCounts};
+use crate::spare::SparePool;
 use blcrsim::{ProcessImage, StoreSource};
 use bytes::Bytes;
 use faultplane::{FaultPlane, MigPhase};
@@ -385,11 +386,16 @@ pub(crate) struct RtInner {
     pub cluster: Cluster,
     pub spec: JobSpec,
     pub job: MpiJob,
+    /// This job's identity on the cluster. Cycle ids are drawn from the
+    /// namespace `job_id << 32`, so cycles of concurrently-running jobs
+    /// never collide and foreign FTB events miss every cycle lookup.
+    pub job_id: u64,
     /// NLA registry, keyed by node id. A `BTreeMap` so that any iteration
     /// (source auto-selection, launch order) is in node-id order — the
     /// deterministic-replay guarantee forbids `HashMap` iteration here.
     pub nlas: Mutex<BTreeMap<NodeId, Arc<NlaShared>>>,
-    pub spares: Mutex<Vec<NodeId>>,
+    /// The cluster's shared spare pool (leases are keyed by `job_id`).
+    pub pool: SparePool,
     pub triggers: Queue<Trigger>,
     pub pending_sources: Mutex<HashSet<NodeId>>,
     pub next_cycle: Mutex<u64>,
@@ -409,6 +415,38 @@ pub(crate) struct RtInner {
     pub rank_life: Mutex<BTreeMap<u32, RankLife>>,
 }
 
+/// Where a job sits on the cluster: its identity and (optionally) an
+/// explicit list of home nodes. Fleet orchestrators launching many jobs
+/// side by side give each a distinct `job_id` and a disjoint node block;
+/// the default placement reproduces the classic single-job launch.
+#[derive(Debug, Clone, Default)]
+pub struct Placement {
+    /// Job identity; must be unique among concurrently-running jobs on
+    /// one cluster. Cycle ids (migration and checkpoint) are drawn from
+    /// the namespace `job_id << 32`, and spare-pool leases are keyed by
+    /// it.
+    pub job_id: u64,
+    /// Home nodes for the ranks, `ppn` per node in order. `None` places
+    /// ranks on the cluster's compute nodes from the front.
+    pub nodes: Option<Vec<NodeId>>,
+}
+
+impl Placement {
+    /// Placement for `job_id` on the default (front) compute nodes.
+    pub fn job(job_id: u64) -> Placement {
+        Placement {
+            job_id,
+            nodes: None,
+        }
+    }
+
+    /// Place the ranks on exactly `nodes`.
+    pub fn on_nodes(mut self, nodes: Vec<NodeId>) -> Placement {
+        self.nodes = Some(nodes);
+        self
+    }
+}
+
 /// A launched job: handles for triggering migrations/checkpoints and
 /// reading reports. Cloning shares the runtime.
 #[derive(Clone)]
@@ -422,13 +460,23 @@ impl JobRuntime {
     /// Manager. Endpoints are built untimed (startup cost is not part of
     /// any measured figure).
     pub fn launch(cluster: &Cluster, spec: JobSpec) -> JobRuntime {
+        Self::launch_placed(cluster, spec, Placement::default())
+    }
+
+    /// [`JobRuntime::launch`] with an explicit [`Placement`] — the entry
+    /// point for fleet orchestrators running several jobs on one cluster.
+    pub fn launch_placed(cluster: &Cluster, spec: JobSpec, placement: Placement) -> JobRuntime {
         let handle = cluster.handle().clone();
         let spec_nranks = spec.nranks;
+        let job_id = placement.job_id;
+        let home: Vec<NodeId> = placement
+            .nodes
+            .unwrap_or_else(|| cluster.compute_nodes().to_vec());
         let nodes_needed = spec.nranks.div_ceil(spec.ppn);
         assert!(
-            nodes_needed as usize <= cluster.compute_nodes().len(),
-            "need {nodes_needed} compute nodes, have {}",
-            cluster.compute_nodes().len()
+            nodes_needed as usize <= home.len(),
+            "need {nodes_needed} home nodes, have {}",
+            home.len()
         );
         let job = MpiJob::new(
             &handle,
@@ -439,7 +487,7 @@ impl JobRuntime {
         let mut nlas = BTreeMap::new();
         let mut used_nodes = Vec::new();
         for r in 0..spec.nranks {
-            let node = cluster.compute_nodes()[(r / spec.ppn) as usize];
+            let node = home[(r / spec.ppn) as usize];
             job.init_rank(r, node, Bytes::new());
             let nla = nlas.entry(node).or_insert_with(|| {
                 used_nodes.push(node);
@@ -451,11 +499,14 @@ impl JobRuntime {
             });
             nla.ranks.lock().push(r);
         }
-        for spare in cluster.spare_nodes() {
+        // Spare-state NLAs on every node currently free in the shared
+        // pool; nodes leased or reclaimed later are adopted on demand
+        // (`adopt_spare`).
+        for spare in cluster.spare_pool().free_nodes() {
             nlas.insert(
-                *spare,
+                spare,
                 Arc::new(NlaShared {
-                    node: *spare,
+                    node: spare,
                     state: Mutex::new(NlaState::MigrationSpare),
                     ranks: Mutex::new(Vec::new()),
                 }),
@@ -466,11 +517,12 @@ impl JobRuntime {
                 cluster: cluster.clone(),
                 spec,
                 job,
-                spares: Mutex::new(cluster.spare_nodes().to_vec()),
+                job_id,
+                pool: cluster.spare_pool().clone(),
                 nlas: Mutex::new(nlas),
                 triggers: Queue::new(&handle),
                 pending_sources: Mutex::new(HashSet::new()),
-                next_cycle: Mutex::new(1),
+                next_cycle: Mutex::new((job_id << 32) + 1),
                 mig_cycles: Mutex::new(HashMap::new()),
                 ckpt_cycles: Mutex::new(HashMap::new()),
                 mig_reports: Mutex::new(Vec::new()),
@@ -499,19 +551,40 @@ impl JobRuntime {
         };
         for node in all_nla_nodes {
             let rt2 = rt.clone();
-            let ph =
-                handle.spawn_daemon(&format!("nla@{node}"), move |ctx| nla_proc(ctx, rt2, node));
+            let ph = handle.spawn_daemon(&rt.proc_name("nla", &node.to_string()), move |ctx| {
+                nla_proc(ctx, rt2, node)
+            });
             rt.inner.nla_procs.lock().insert(node, ph);
         }
         // Job Manager on the login node.
         let rt2 = rt.clone();
-        handle.spawn_daemon("job-manager", move |ctx| jm_proc(ctx, rt2));
+        handle.spawn_daemon(&rt.proc_name("job-manager", ""), move |ctx| {
+            jm_proc(ctx, rt2)
+        });
         // Health-event bridge.
         if rt.inner.spec.auto_migrate_on_health {
             let rt2 = rt.clone();
-            handle.spawn_daemon("health-bridge", move |ctx| health_bridge(ctx, rt2));
+            handle.spawn_daemon(&rt.proc_name("health-bridge", ""), move |ctx| {
+                health_bridge(ctx, rt2)
+            });
         }
         rt
+    }
+
+    /// Daemon names: identical to the historical single-job names for
+    /// job 0 (keeping existing traces byte-stable), prefixed with the
+    /// job id otherwise.
+    fn proc_name(&self, kind: &str, node: &str) -> String {
+        let at = if node.is_empty() {
+            String::new()
+        } else {
+            format!("@{node}")
+        };
+        if self.inner.job_id == 0 {
+            format!("{kind}{at}")
+        } else {
+            format!("j{}-{kind}{at}", self.inner.job_id)
+        }
     }
 
     /// The MPI job.
@@ -532,48 +605,6 @@ impl JobRuntime {
     /// The typed control plane: migration/checkpoint/restart requests.
     pub fn control(&self) -> Control {
         Control { rt: self.clone() }
-    }
-
-    /// Request a migration (source `None` = first ready node hosting
-    /// ranks). This is the paper's user-level Migration Trigger.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `control().migrate(MigrationRequest::new())`"
-    )]
-    pub fn trigger_migration(&self, source: Option<NodeId>) {
-        let req = match source {
-            Some(n) => MigrationRequest::new().from_node(n),
-            None => MigrationRequest::new(),
-        };
-        self.control().migrate(req);
-    }
-
-    /// Fire a migration trigger after `d` of virtual time.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `control().migrate_after(d, MigrationRequest::new())`"
-    )]
-    pub fn trigger_migration_after(&self, d: Duration) {
-        self.control().migrate_after(d, MigrationRequest::new());
-    }
-
-    /// Request a coordinated checkpoint of the whole job.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `control().checkpoint(CheckpointRequest::to(store))`"
-    )]
-    pub fn trigger_checkpoint(&self, store: CrStoreKind) {
-        self.control().checkpoint(CheckpointRequest::to(store));
-    }
-
-    /// Request a restart-from-checkpoint of cycle `cycle` (simulates the
-    /// failure/recovery path whose cost Figure 7 reports as "Restart").
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `control().restart_from_checkpoint(cycle)`"
-    )]
-    pub fn trigger_restart_from(&self, cycle: u64) {
-        self.control().restart_from_checkpoint(cycle);
     }
 
     /// Completed migration reports, in order.
@@ -601,19 +632,57 @@ impl JobRuntime {
         self.inner.nlas.lock().get(&node).map(|n| *n.state.lock())
     }
 
-    /// Spare nodes still available.
+    /// Spare nodes still available in the cluster's shared pool.
     pub fn spares_left(&self) -> usize {
-        self.inner.spares.lock().len()
+        self.inner.pool.available()
     }
 
-    /// Migrations that could not complete and degraded to the CR
-    /// baseline (historically: triggers that ran out of spares).
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `migration_outcomes()` — typed per-outcome counters"
-    )]
-    pub fn failed_triggers(&self) -> u64 {
-        self.inner.outcomes.lock().fell_back_to_cr
+    /// The job identity this runtime was launched under.
+    pub fn job_id(&self) -> u64 {
+        self.inner.job_id
+    }
+
+    /// Whether `node` currently hosts any of this job's ranks.
+    pub fn hosts_ranks_on(&self, node: NodeId) -> bool {
+        self.inner
+            .nlas
+            .lock()
+            .get(&node)
+            .map(|n| !n.ranks.lock().is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Nodes currently hosting at least one rank, in id order.
+    pub fn rank_nodes(&self) -> Vec<NodeId> {
+        self.inner
+            .nlas
+            .lock()
+            .values()
+            .filter(|n| !n.ranks.lock().is_empty())
+            .map(|n| n.node)
+            .collect()
+    }
+
+    /// Tear down the job's simulated processes (NLA daemons, C/R and app
+    /// threads). For fleet orchestrators recycling a completed job's node
+    /// block: the stale daemons would otherwise keep waking on every FTB
+    /// event forever. Reports and outcome counters stay readable.
+    pub fn shutdown(&self) {
+        // Collect-and-sort before killing: the registries are HashMaps
+        // and kill order must not depend on hash order.
+        // jmlint: allow(hash_iter)
+        let mut nlas: Vec<(NodeId, ProcHandle)> = self.inner.nla_procs.lock().drain().collect();
+        nlas.sort_by_key(|(n, _)| *n);
+        for (_, ph) in nlas {
+            ph.kill();
+        }
+        for registry in [&self.inner.cr_threads, &self.inner.app_threads] {
+            let mut procs: Vec<(u32, ProcHandle)> = registry.lock().drain().collect();
+            procs.sort_by_key(|(r, _)| *r);
+            for (_, ph) in procs {
+                ph.kill();
+            }
+        }
     }
 
     /// Per-outcome migration counters: first-attempt successes, retried
@@ -630,7 +699,7 @@ impl JobRuntime {
 
     /// Simulate an abrupt whole-job failure: every application process
     /// dies immediately and communication gates close. The job makes no
-    /// further progress until [`JobRuntime::trigger_restart_from`]
+    /// further progress until [`Control::restart_from_checkpoint`]
     /// recovers it from a checkpoint.
     pub fn simulate_failure(&self) {
         for rank in 0..self.inner.spec.nranks {
@@ -660,6 +729,48 @@ impl JobRuntime {
         let id = *c;
         *c += 1;
         id
+    }
+
+    /// Make a freshly leased pool node usable as this job's migration
+    /// target. Nodes reclaimed into the shared pool after this job
+    /// launched have no NLA here yet — register one in spare state and
+    /// start its daemon; a node this job itself vacated earlier re-enters
+    /// service by reprovisioning its inactive NLA. Returns `true` when a
+    /// new daemon was spawned: the caller must then let a little virtual
+    /// time pass so the daemon subscribes to the FTB before the attempt's
+    /// `FTB_MIGRATE` is published.
+    pub(crate) fn adopt_spare(&self, ctx: &Ctx, node: NodeId) -> bool {
+        {
+            let nlas = self.inner.nlas.lock();
+            if let Some(nla) = nlas.get(&node) {
+                let st = *nla.state.lock();
+                match st {
+                    NlaState::MigrationSpare => {}
+                    NlaState::MigrationInactive => nla_apply(ctx, nla, NlaEvent::Reprovision),
+                    NlaState::MigrationReady => panic!(
+                        "spare pool corrupt: leased {node} still hosts ranks of job {}",
+                        self.inner.job_id
+                    ),
+                }
+                return false;
+            }
+        }
+        let nla = Arc::new(NlaShared {
+            node,
+            state: Mutex::new(NlaState::MigrationSpare),
+            ranks: Mutex::new(Vec::new()),
+        });
+        self.inner.nlas.lock().insert(node, nla);
+        let rt2 = self.clone();
+        let ph = self
+            .inner
+            .cluster
+            .handle()
+            .spawn_daemon(&self.proc_name("nla", &node.to_string()), move |ctx| {
+                nla_proc(ctx, rt2, node)
+            });
+        self.inner.nla_procs.lock().insert(node, ph);
+        true
     }
 
     pub(crate) fn spawn_app(&self, rank: u32) {
@@ -1026,11 +1137,11 @@ fn run_migration(
         return;
     }
 
-    // Self-healing attempt loop: each attempt consumes a spare from the
-    // front of the pool; a spare that survives its failed attempt is
-    // returned for reuse. When the retry budget or the spare pool is
-    // exhausted, degrade to a coordinated checkpoint so the job remains
-    // recoverable (§III-A's failure handling, hardened).
+    // Self-healing attempt loop: each attempt leases a spare from the
+    // front of the cluster's shared pool; a spare that survives its
+    // failed attempt is returned for reuse. When the retry budget or the
+    // spare pool is exhausted, degrade to a coordinated checkpoint so the
+    // job remains recoverable (§III-A's failure handling, hardened).
     //
     // Control flow is driven through the declarative cycle table: every
     // attempt starts by stepping `Trigger`/`Retry` (whose `RetryPath`
@@ -1047,23 +1158,43 @@ fn run_migration(
         } else {
             CycleEvent::Retry
         };
+        // Lease before stepping: with several jobs migrating concurrently
+        // the pool may drain between a check and a take, so the guard's
+        // "spare available" answer must come from one atomic pool
+        // operation. `spares_left` reports the pre-lease count.
+        let attempts_left = rec.max_attempts.saturating_sub(attempt);
+        let lease = if attempts_left > 0 {
+            inner.pool.lease(inner.job_id)
+        } else {
+            None
+        };
         let g = GuardCtx {
-            spares_left: inner.spares.lock().len() as u32,
-            attempts_left: rec.max_attempts.saturating_sub(attempt),
+            spares_left: match lease {
+                Some(_) => inner.pool.available() as u32 + 1,
+                None => 0,
+            },
+            attempts_left,
         };
         if proto_step(ctx, &mut stepper, begin, &g).is_err() {
             // RetryPath rejected: no spare or no budget — degrade below.
+            if let Some(n) = lease {
+                inner.pool.release_front(n, inner.job_id);
+            }
             break;
         }
+        let Some(target) = lease else {
+            // Unreachable: the guard admits only with a lease in hand.
+            break;
+        };
         attempt += 1;
         if attempt > 1 {
             ctx.sleep(backoff_delay(&rec, attempt));
         }
-        let target = {
-            let mut spares = inner.spares.lock();
-            debug_assert!(!spares.is_empty(), "RetryPath guard admitted an empty pool");
-            spares.remove(0) // FIFO: spares are consumed in id order
-        };
+        if rt.adopt_spare(ctx, target) {
+            // Freshly spawned NLA daemon: give it a moment of virtual
+            // time to connect and subscribe before FTB_MIGRATE goes out.
+            ctx.sleep(Duration::from_millis(1));
+        }
         match run_attempt(
             ctx,
             rt,
@@ -1079,6 +1210,7 @@ fn run_migration(
             &mut stepper,
         ) {
             Ok(times) => {
+                inner.pool.consume(target, inner.job_id);
                 let outcome = if attempt == 1 {
                     MigrationOutcome::Migrated
                 } else {
@@ -1108,7 +1240,7 @@ fn run_migration(
     // Degraded path: no spare (or every attempt failed). Checkpoint the
     // whole job to storage so it can be recovered off the ailing node.
     let g = GuardCtx {
-        spares_left: inner.spares.lock().len() as u32,
+        spares_left: inner.pool.available() as u32,
         attempts_left: rec.max_attempts.saturating_sub(attempt),
     };
     proto_step(ctx, &mut stepper, CycleEvent::Degrade, &g) // jmlint: allow(hot_unwrap) — spec invariant trap
@@ -1216,14 +1348,16 @@ fn run_attempt(
 
     // Abort this attempt: `$event` is the cycle-table fault effect
     // ([`CycleEvent::PhaseTimeout`] or [`CycleEvent::SpareCrash`]) and
-    // `$spare_alive` decides whether the spare goes back to the pool for
-    // the next attempt.
+    // `$spare_alive` decides whether the lease settles as a return to
+    // the pool's front (retry reuses it) or a discard (the spare died).
     macro_rules! fail {
         ($event:expr, $reason:expr, $spare_alive:expr) => {{
             let _ = proto_step(ctx, stepper, $event, &always);
             abort_cycle(ctx, rt, &cycle, $reason, tree_adjusted);
             if $spare_alive {
-                inner.spares.lock().insert(0, target);
+                inner.pool.release_front(target, inner.job_id);
+            } else {
+                inner.pool.discard(target, inner.job_id);
             }
             return Err(());
         }};

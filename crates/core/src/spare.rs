@@ -1,0 +1,233 @@
+//! The cluster-wide hot-spare pool.
+//!
+//! One pool per [`Cluster`](crate::cluster::Cluster), shared by every job
+//! launched on it. A migration attempt *leases* a node (removing it from
+//! the free list under one lock acquisition, so two jobs can never claim
+//! the same spare), then settles the lease exactly one way:
+//!
+//! * [`SparePool::consume`] — the attempt succeeded; the node now hosts
+//!   ranks and leaves the pool for good. The vacated source node is *not*
+//!   returned here: reclamation is a fleet-level decision (the node is
+//!   usually sick — that is why the job left it), made by an orchestrator
+//!   via [`SparePool::reclaim`] once the node is repaired.
+//! * [`SparePool::release_front`] — the attempt aborted but the spare
+//!   survived; it goes back to the *front* of the free list so the retry
+//!   reuses it (preserving the single-job retry order the tier-1 tests
+//!   pin down).
+//! * [`SparePool::discard`] — the spare died mid-attempt; it never
+//!   returns.
+//!
+//! Leases are keyed by job id, and every settle call asserts the caller
+//! actually holds the lease — the runtime-side half of the spare-pool
+//! invariant `protoverify::fleet` proves over the abstract model: no node
+//! leased to two jobs at once, and every settled attempt accounts for
+//! exactly one node.
+
+use ibfabric::NodeId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Lifetime counters of one pool. Monotonic; snapshot via
+/// [`SparePool::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SparePoolStats {
+    /// Leases granted.
+    pub leases: u64,
+    /// Lease requests denied because the free list was empty.
+    pub denials: u64,
+    /// Leases settled by a successful migration (node left the pool).
+    pub consumed: u64,
+    /// Leases settled by an abort with the spare surviving.
+    pub returned: u64,
+    /// Leases settled by the spare dying mid-attempt.
+    pub discarded: u64,
+    /// Nodes reclaimed into the free list by an orchestrator.
+    pub reclaimed: u64,
+}
+
+struct PoolState {
+    /// Free nodes; the front is the next lease (FIFO in node-id order at
+    /// build time, matching the pre-pool `Vec<NodeId>` semantics).
+    free: Vec<NodeId>,
+    /// Outstanding leases: node → job id holding it.
+    leased: BTreeMap<NodeId, u64>,
+    stats: SparePoolStats,
+}
+
+/// The shared spare pool. Cloning shares the pool.
+#[derive(Clone)]
+pub struct SparePool {
+    inner: Arc<Mutex<PoolState>>,
+}
+
+impl SparePool {
+    /// A pool whose free list starts as `nodes`, in order.
+    pub fn new(nodes: Vec<NodeId>) -> SparePool {
+        SparePool {
+            inner: Arc::new(Mutex::new(PoolState {
+                free: nodes,
+                leased: BTreeMap::new(),
+                stats: SparePoolStats::default(),
+            })),
+        }
+    }
+
+    /// Number of free (leasable) nodes right now.
+    pub fn available(&self) -> usize {
+        self.inner.lock().free.len()
+    }
+
+    /// Snapshot of the free list, front (next lease) first.
+    pub fn free_nodes(&self) -> Vec<NodeId> {
+        self.inner.lock().free.clone()
+    }
+
+    /// Outstanding leases as `(node, job)` pairs in node-id order.
+    pub fn leases(&self) -> Vec<(NodeId, u64)> {
+        self.inner
+            .lock()
+            .leased
+            .iter()
+            .map(|(n, j)| (*n, *j))
+            .collect()
+    }
+
+    /// The job holding a lease on `node`, if any.
+    pub fn leased_to(&self, node: NodeId) -> Option<u64> {
+        self.inner.lock().leased.get(&node).copied()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> SparePoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Lease the front free node to `job`. `None` (recorded as a denial)
+    /// when the free list is empty — the caller degrades or queues.
+    pub fn lease(&self, job: u64) -> Option<NodeId> {
+        let mut st = self.inner.lock();
+        if st.free.is_empty() {
+            st.stats.denials += 1;
+            return None;
+        }
+        let node = st.free.remove(0);
+        let prev = st.leased.insert(node, job);
+        assert!(
+            prev.is_none(),
+            "spare pool corrupt: {node} was free while leased to job {prev:?}"
+        );
+        st.stats.leases += 1;
+        Some(node)
+    }
+
+    /// Settle a lease: the migration succeeded, `node` now hosts ranks
+    /// and permanently leaves the pool.
+    pub fn consume(&self, node: NodeId, job: u64) {
+        let mut st = self.inner.lock();
+        st.settle(node, job, "consume");
+        st.stats.consumed += 1;
+    }
+
+    /// Settle a lease: the attempt aborted but `node` survived; it goes
+    /// back to the front of the free list for the retry.
+    pub fn release_front(&self, node: NodeId, job: u64) {
+        let mut st = self.inner.lock();
+        st.settle(node, job, "release");
+        st.free.insert(0, node);
+        st.stats.returned += 1;
+    }
+
+    /// Settle a lease: `node` died mid-attempt and never returns.
+    pub fn discard(&self, node: NodeId, job: u64) {
+        let mut st = self.inner.lock();
+        st.settle(node, job, "discard");
+        st.stats.discarded += 1;
+    }
+
+    /// Return a repaired (or vacated-and-verified) node to the back of
+    /// the free list. Orchestrator-level: the pool itself never reclaims.
+    pub fn reclaim(&self, node: NodeId) {
+        let mut st = self.inner.lock();
+        assert!(
+            !st.free.contains(&node),
+            "spare pool corrupt: reclaiming {node} which is already free"
+        );
+        assert!(
+            !st.leased.contains_key(&node),
+            "spare pool corrupt: reclaiming {node} which is leased"
+        );
+        st.free.push(node);
+        st.stats.reclaimed += 1;
+    }
+}
+
+impl PoolState {
+    fn settle(&mut self, node: NodeId, job: u64, op: &str) {
+        match self.leased.remove(&node) {
+            Some(holder) if holder == job => {}
+            Some(holder) => panic!(
+                "spare pool corrupt: job {job} tried to {op} {node}, \
+                 which job {holder} holds"
+            ),
+            None => panic!("spare pool corrupt: job {job} tried to {op} unleased {node}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|i| NodeId(*i)).collect()
+    }
+
+    #[test]
+    fn lease_is_fifo_and_release_goes_to_front() {
+        let pool = SparePool::new(nodes(&[9, 10, 11]));
+        assert_eq!(pool.lease(1), Some(NodeId(9)));
+        assert_eq!(pool.lease(2), Some(NodeId(10)));
+        assert_eq!(pool.leased_to(NodeId(9)), Some(1));
+        pool.release_front(NodeId(9), 1);
+        // The survivor is reused before the untouched tail.
+        assert_eq!(pool.lease(1), Some(NodeId(9)));
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn exhaustion_denies_and_counts() {
+        let pool = SparePool::new(nodes(&[5]));
+        assert_eq!(pool.lease(1), Some(NodeId(5)));
+        assert_eq!(pool.lease(2), None);
+        assert_eq!(pool.stats().denials, 1);
+        pool.consume(NodeId(5), 1);
+        assert_eq!(pool.lease(2), None);
+        pool.reclaim(NodeId(5));
+        assert_eq!(pool.lease(2), Some(NodeId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "which job 1 holds")]
+    fn cross_job_settle_is_trapped() {
+        let pool = SparePool::new(nodes(&[5]));
+        pool.lease(1);
+        pool.consume(NodeId(5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unleased")]
+    fn double_release_is_trapped() {
+        let pool = SparePool::new(nodes(&[5]));
+        pool.lease(1);
+        pool.release_front(NodeId(5), 1);
+        pool.release_front(NodeId(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already free")]
+    fn reclaim_of_free_node_is_trapped() {
+        let pool = SparePool::new(nodes(&[5]));
+        pool.reclaim(NodeId(5));
+    }
+}

@@ -12,9 +12,6 @@ use simkit::dur::*;
 use simkit::{SimTime, Simulation};
 use std::time::Duration;
 
-// Deliberately drives the migration through the deprecated shim so every
-// run of this suite re-verifies the old `trigger_*` surface still works.
-#[allow(deprecated)]
 fn run_with_pool(mut f: impl FnMut(&mut JobSpec)) -> jobmig_core::report::MigrationReport {
     let mut sim = Simulation::new(21);
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
@@ -22,7 +19,8 @@ fn run_with_pool(mut f: impl FnMut(&mut JobSpec)) -> jobmig_core::report::Migrat
     let mut spec = JobSpec::npb(wl, 2);
     f(&mut spec);
     let rt = JobRuntime::launch(&cluster, spec);
-    rt.trigger_migration_after(secs(30));
+    rt.control()
+        .migrate_after(secs(30), MigrationRequest::new());
     sim.run_until_set(rt.completion(), SimTime::MAX).unwrap();
     rt.migration_reports()[0].clone()
 }

@@ -138,10 +138,6 @@ fn migration_without_spare_fails_gracefully() {
     assert_eq!(crs[0].store, CrStoreKind::LocalExt3);
     assert!(crs[0].bytes_written > 0);
     assert_eq!(rt.migration_outcomes().fell_back_to_cr, 1);
-    #[allow(deprecated)]
-    {
-        assert_eq!(rt.failed_triggers(), 1);
-    }
 }
 
 #[test]

@@ -1,0 +1,172 @@
+//! Fleet-scale doom schedules: seeded, long-horizon node deterioration
+//! plans for soak runs.
+//!
+//! A [`DoomPlan`] names which nodes will fail over a multi-hour simulated
+//! horizon, when each one's deterioration begins, whether the failure is
+//! *predictable* (a slow sensor ramp healthmon can forecast, giving
+//! proactive policies a head start) or a silent instant crash, and how
+//! long the node stays down before the site repairs it and the
+//! orchestrator may reclaim it as a spare. The schedule is a pure
+//! function of its seed, so a fleet soak replays byte-identically.
+
+use ibfabric::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::time::Duration;
+
+/// One node's scheduled demise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDoom {
+    /// The doomed node.
+    pub node: NodeId,
+    /// Virtual-time offset at which deterioration (or the crash) begins.
+    pub onset: Duration,
+    /// `true`: a slow sensor ramp precedes the failure, so health
+    /// monitoring can predict it. `false`: the node dies with no warning.
+    pub predictable: bool,
+    /// Downtime after the node dies before it is repaired and may be
+    /// reclaimed into the spare pool.
+    pub repair_after: Duration,
+}
+
+impl fmt::Display for NodeDoom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} at {:?} (repair {:?})",
+            self.node,
+            if self.predictable {
+                "deteriorates"
+            } else {
+                "crashes"
+            },
+            self.onset,
+            self.repair_after,
+        )
+    }
+}
+
+/// A seeded fleet-wide failure schedule, sorted by onset.
+#[derive(Debug, Clone)]
+pub struct DoomPlan {
+    /// The seed the schedule was generated from.
+    pub seed: u64,
+    /// Scheduled failures, ascending by onset; nodes are distinct.
+    pub dooms: Vec<NodeDoom>,
+}
+
+impl DoomPlan {
+    /// Generate a schedule dooming `count` distinct nodes drawn from
+    /// `candidates`, with onsets spread uniformly over the middle of
+    /// `[horizon/20, 3·horizon/4]` (so every failure leaves room for the
+    /// recovery to play out inside the soak), a `predictable_frac`
+    /// fraction of slow-ramp failures, and repair times of 60–180 s.
+    ///
+    /// Deterministic in `(seed, candidates, count, horizon,
+    /// predictable_frac)`. Panics if `count > candidates.len()`.
+    pub fn generate(
+        seed: u64,
+        candidates: &[NodeId],
+        count: usize,
+        horizon: Duration,
+        predictable_frac: f64,
+    ) -> DoomPlan {
+        assert!(
+            count <= candidates.len(),
+            "cannot doom {count} of {} candidate nodes",
+            candidates.len()
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Partial Fisher-Yates: draw `count` distinct victims.
+        let mut pool: Vec<NodeId> = candidates.to_vec();
+        let mut dooms = Vec::with_capacity(count);
+        let lo = horizon.as_millis() as u64 / 20;
+        let hi = (horizon.as_millis() as u64) * 3 / 4;
+        for _ in 0..count {
+            let pick = rng.gen_range(0usize..pool.len());
+            let node = pool.swap_remove(pick);
+            let onset = Duration::from_millis(rng.gen_range(lo..hi.max(lo + 1)));
+            let predictable = rng.gen_bool(predictable_frac);
+            let repair_after = Duration::from_secs(rng.gen_range(60u64..=180));
+            dooms.push(NodeDoom {
+                node,
+                onset,
+                predictable,
+                repair_after,
+            });
+        }
+        dooms.sort_by_key(|d| (d.onset, d.node.0));
+        DoomPlan { seed, dooms }
+    }
+
+    /// Failures whose ramp (or crash) begins at or before `t`.
+    pub fn onset_by(&self, t: Duration) -> impl Iterator<Item = &NodeDoom> {
+        self.dooms.iter().filter(move |d| d.onset <= t)
+    }
+}
+
+impl fmt::Display for DoomPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doom seed {}", self.seed)?;
+        for d in &self.dooms {
+            write!(f, "; {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (1..=n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let h = Duration::from_secs(7200);
+        let a = DoomPlan::generate(42, &nodes(64), 12, h, 0.75);
+        let b = DoomPlan::generate(42, &nodes(64), 12, h, 0.75);
+        assert_eq!(a.dooms, b.dooms);
+        let c = DoomPlan::generate(43, &nodes(64), 12, h, 0.75);
+        assert_ne!(a.dooms, c.dooms);
+    }
+
+    #[test]
+    fn victims_distinct_sorted_and_in_window() {
+        let h = Duration::from_secs(7200);
+        let plan = DoomPlan::generate(7, &nodes(64), 20, h, 0.5);
+        assert_eq!(plan.dooms.len(), 20);
+        let mut seen: Vec<u32> = plan.dooms.iter().map(|d| d.node.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 20, "victims must be distinct");
+        for w in plan.dooms.windows(2) {
+            assert!(w[0].onset <= w[1].onset, "sorted by onset");
+        }
+        for d in &plan.dooms {
+            assert!(d.onset >= h / 20 && d.onset <= h * 3 / 4, "{d}");
+            assert!((60..=180).contains(&d.repair_after.as_secs()));
+        }
+    }
+
+    #[test]
+    fn predictable_fraction_is_respected_roughly() {
+        let h = Duration::from_secs(7200);
+        let plan = DoomPlan::generate(11, &nodes(64), 40, h, 1.0);
+        assert!(plan.dooms.iter().all(|d| d.predictable));
+        let none = DoomPlan::generate(11, &nodes(64), 40, h, 0.0);
+        assert!(none.dooms.iter().all(|d| !d.predictable));
+    }
+
+    #[test]
+    fn onset_by_filters() {
+        let h = Duration::from_secs(1000);
+        let plan = DoomPlan::generate(3, &nodes(16), 8, h, 0.5);
+        let mid = plan.dooms[3].onset;
+        assert_eq!(plan.onset_by(mid).count(), 4);
+        assert_eq!(plan.onset_by(h).count(), 8);
+    }
+}

@@ -22,6 +22,9 @@
 //! so an exported trace shows fault and recovery timelines side by side.
 //! Same simulation seed + same plan ⇒ byte-identical traces.
 
+pub mod doom;
+pub use doom::{DoomPlan, NodeDoom};
+
 use blcrsim::BlcrFaultHook;
 use ibfabric::{FaultHook, NodeId, ReadFault, SendVerdict};
 use parking_lot::Mutex;

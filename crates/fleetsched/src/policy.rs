@@ -1,0 +1,281 @@
+//! The migration policy engine: pluggable strategies deciding what to do
+//! with a health alert.
+//!
+//! The orchestrator feeds every fleet-wide health alert through one
+//! [`FleetPolicy`]; the policy sees a snapshot of the fleet ([`FleetView`])
+//! and answers with a [`PolicyAction`]. Four built-ins cover the design
+//! space the literature spans (cf. Cappello et al. on proactive vs
+//! reactive fault tolerance):
+//!
+//! * [`PeriodicCr`] — the paper's Figure 7 baseline: never migrate, rely
+//!   on periodic coordinated checkpoints alone.
+//! * [`Reactive`] — migrate only on `HEALTH_CRITICAL`, when the node is
+//!   already at the cliff edge.
+//! * [`Proactive`] — migrate on `HEALTH_PREDICT` (with a critical
+//!   backstop), the paper's headline mode.
+//! * [`Utility`] — weigh the predicted time-to-failure against the
+//!   fleet's *measured* migration cost (from telemetry of completed
+//!   cycles): migrate when the move comfortably fits before the predicted
+//!   failure, otherwise cut an immediate checkpoint so the coming crash
+//!   loses almost nothing.
+
+use ibfabric::NodeId;
+use std::fmt;
+use std::time::Duration;
+
+/// How urgent an alert is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertLevel {
+    /// `HEALTH_PREDICT`: trend analysis projects a critical crossing in
+    /// `eta`.
+    Predict {
+        /// Projected time until the critical threshold.
+        eta: Duration,
+    },
+    /// `HEALTH_CRITICAL`: the critical threshold has been crossed.
+    Critical,
+}
+
+/// One health alert, as the policy engine sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetAlert {
+    /// The deteriorating node.
+    pub node: NodeId,
+    /// Alert urgency.
+    pub level: AlertLevel,
+}
+
+/// Fleet snapshot handed to the policy alongside each alert.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetView {
+    /// Spares in the pool not already committed to an in-flight
+    /// migration — how many migrations could start right now.
+    pub uncommitted_spares: usize,
+    /// Mean whole-cycle duration of the fleet's completed migrations
+    /// (a configured prior until the first cycle completes).
+    pub est_migration_cost: Duration,
+}
+
+/// What the policy wants done about an alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// Migrate the affected job away from the node (queued under
+    /// admission control when no spare is free).
+    Migrate,
+    /// Cut an immediate coordinated checkpoint of the affected job so the
+    /// expected crash loses almost no work.
+    CheckpointNow,
+    /// Do nothing for this alert.
+    Ignore,
+}
+
+/// A migration policy: maps alerts to actions.
+pub trait FleetPolicy: Send {
+    /// Stable policy name (used in reports and trace labels).
+    fn name(&self) -> &'static str;
+    /// Decide what to do about `alert` given the current `view`.
+    fn on_alert(&mut self, alert: &FleetAlert, view: &FleetView) -> PolicyAction;
+}
+
+/// Never migrate; periodic checkpoints are the only fault tolerance.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PeriodicCr;
+
+impl FleetPolicy for PeriodicCr {
+    fn name(&self) -> &'static str {
+        "periodic_cr"
+    }
+    fn on_alert(&mut self, _alert: &FleetAlert, _view: &FleetView) -> PolicyAction {
+        PolicyAction::Ignore
+    }
+}
+
+/// Migrate only once a node turns critical.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Reactive;
+
+impl FleetPolicy for Reactive {
+    fn name(&self) -> &'static str {
+        "reactive"
+    }
+    fn on_alert(&mut self, alert: &FleetAlert, _view: &FleetView) -> PolicyAction {
+        match alert.level {
+            AlertLevel::Critical => PolicyAction::Migrate,
+            AlertLevel::Predict { .. } => PolicyAction::Ignore,
+        }
+    }
+}
+
+/// Migrate on prediction; critical alerts are a backstop for nodes whose
+/// prediction never fired.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Proactive;
+
+impl FleetPolicy for Proactive {
+    fn name(&self) -> &'static str {
+        "proactive"
+    }
+    fn on_alert(&mut self, _alert: &FleetAlert, _view: &FleetView) -> PolicyAction {
+        PolicyAction::Migrate
+    }
+}
+
+/// Cost-aware: migrate when `safety ×` the measured migration cost fits
+/// inside the predicted time-to-failure *and* a spare is actually
+/// available; otherwise checkpoint immediately rather than gamble on the
+/// queue.
+#[derive(Debug, Clone, Copy)]
+pub struct Utility {
+    /// Multiplier on the measured migration cost; the migration must fit
+    /// `safety ×` its estimate inside the prediction horizon.
+    pub safety: f64,
+}
+
+impl Default for Utility {
+    fn default() -> Self {
+        Utility { safety: 2.0 }
+    }
+}
+
+impl FleetPolicy for Utility {
+    fn name(&self) -> &'static str {
+        "utility"
+    }
+    fn on_alert(&mut self, alert: &FleetAlert, view: &FleetView) -> PolicyAction {
+        if view.uncommitted_spares == 0 {
+            return PolicyAction::CheckpointNow;
+        }
+        match alert.level {
+            AlertLevel::Critical => PolicyAction::Migrate,
+            AlertLevel::Predict { eta } => {
+                let budget = view.est_migration_cost.as_secs_f64() * self.safety;
+                if budget < eta.as_secs_f64() {
+                    PolicyAction::Migrate
+                } else {
+                    PolicyAction::CheckpointNow
+                }
+            }
+        }
+    }
+}
+
+/// Built-in policy selector (the soak driver's axis of comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`PeriodicCr`].
+    PeriodicCr,
+    /// [`Reactive`].
+    Reactive,
+    /// [`Proactive`].
+    Proactive,
+    /// [`Utility`] with its default safety factor.
+    Utility,
+}
+
+impl PolicyKind {
+    /// Every built-in policy, baseline first.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::PeriodicCr,
+        PolicyKind::Reactive,
+        PolicyKind::Proactive,
+        PolicyKind::Utility,
+    ];
+
+    /// Stable lower-snake name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::PeriodicCr => "periodic_cr",
+            PolicyKind::Reactive => "reactive",
+            PolicyKind::Proactive => "proactive",
+            PolicyKind::Utility => "utility",
+        }
+    }
+
+    /// Instantiate the policy.
+    pub fn build(&self) -> Box<dyn FleetPolicy> {
+        match self {
+            PolicyKind::PeriodicCr => Box::new(PeriodicCr),
+            PolicyKind::Reactive => Box::new(Reactive),
+            PolicyKind::Proactive => Box::new(Proactive),
+            PolicyKind::Utility => Box::new(Utility::default()),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(spares: usize, cost_s: u64) -> FleetView {
+        FleetView {
+            uncommitted_spares: spares,
+            est_migration_cost: Duration::from_secs(cost_s),
+        }
+    }
+
+    fn predict(eta_s: u64) -> FleetAlert {
+        FleetAlert {
+            node: NodeId(3),
+            level: AlertLevel::Predict {
+                eta: Duration::from_secs(eta_s),
+            },
+        }
+    }
+
+    fn critical() -> FleetAlert {
+        FleetAlert {
+            node: NodeId(3),
+            level: AlertLevel::Critical,
+        }
+    }
+
+    #[test]
+    fn baseline_ignores_everything() {
+        let mut p = PeriodicCr;
+        assert_eq!(p.on_alert(&predict(60), &view(4, 10)), PolicyAction::Ignore);
+        assert_eq!(p.on_alert(&critical(), &view(4, 10)), PolicyAction::Ignore);
+    }
+
+    #[test]
+    fn reactive_waits_for_critical() {
+        let mut p = Reactive;
+        assert_eq!(p.on_alert(&predict(60), &view(4, 10)), PolicyAction::Ignore);
+        assert_eq!(p.on_alert(&critical(), &view(0, 10)), PolicyAction::Migrate);
+    }
+
+    #[test]
+    fn proactive_migrates_on_prediction() {
+        let mut p = Proactive;
+        assert_eq!(
+            p.on_alert(&predict(60), &view(4, 10)),
+            PolicyAction::Migrate
+        );
+        assert_eq!(p.on_alert(&critical(), &view(4, 10)), PolicyAction::Migrate);
+    }
+
+    #[test]
+    fn utility_weighs_cost_against_eta() {
+        let mut p = Utility { safety: 2.0 };
+        // 2 × 10 s fits inside 60 s → migrate
+        assert_eq!(
+            p.on_alert(&predict(60), &view(4, 10)),
+            PolicyAction::Migrate
+        );
+        // 2 × 40 s does not fit inside 60 s → checkpoint instead
+        assert_eq!(
+            p.on_alert(&predict(60), &view(4, 40)),
+            PolicyAction::CheckpointNow
+        );
+        // dry pool → checkpoint rather than queue
+        assert_eq!(
+            p.on_alert(&predict(600), &view(0, 10)),
+            PolicyAction::CheckpointNow
+        );
+    }
+}

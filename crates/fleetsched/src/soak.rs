@@ -1,0 +1,136 @@
+//! The fleet soak driver: one seeded failure schedule, every policy.
+//!
+//! [`run_soak`] replays the *same* deterministic fleet scenario — cluster
+//! size, doom schedule, sensor ramps, daemon cadence — once per policy,
+//! so the resulting [`SoakReport`] is a controlled comparison: the only
+//! independent variable across rows is the migration policy. The report
+//! renders to the machine-readable `BENCH_fleet.json` via
+//! [`telemetry::Json`], and a same-seed rerun reproduces that document
+//! byte for byte.
+
+use crate::orchestrator::{run_policy, FleetConfig, PolicyStats};
+use crate::policy::PolicyKind;
+use telemetry::Json;
+
+/// Results of one fleet soak: the shared scenario plus one
+/// [`PolicyStats`] row per policy.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Configuration the soak ran under.
+    pub cfg: FleetConfig,
+    /// Per-policy results, in the order requested.
+    pub policies: Vec<PolicyStats>,
+}
+
+/// Run the fleet soak under each of `kinds` (same seed, same dooms) and
+/// collect the comparison.
+pub fn run_soak(cfg: &FleetConfig, kinds: &[PolicyKind]) -> SoakReport {
+    SoakReport {
+        cfg: cfg.clone(),
+        policies: kinds.iter().map(|k| run_policy(cfg, *k)).collect(),
+    }
+}
+
+impl SoakReport {
+    /// The named policy's row, if it ran.
+    pub fn policy(&self, name: &str) -> Option<&PolicyStats> {
+        self.policies.iter().find(|p| p.policy == name)
+    }
+
+    /// The full report as a JSON document (the `BENCH_fleet.json`
+    /// schema). Durations are integral milliseconds so the rendering is
+    /// byte-stable across runs.
+    pub fn to_json(&self) -> Json {
+        let cfg = &self.cfg;
+        let doom = cfg.doom_plan();
+        let mut dooms = Vec::new();
+        for d in &doom.dooms {
+            dooms.push(
+                Json::obj()
+                    .set("node", u64::from(d.node.0))
+                    .set("onset_ms", d.onset.as_millis() as u64)
+                    .set("predictable", d.predictable)
+                    .set("repair_ms", d.repair_after.as_millis() as u64),
+            );
+        }
+        let mut policies = Vec::new();
+        for p in &self.policies {
+            policies.push(
+                Json::obj()
+                    .set("policy", p.policy.as_str())
+                    .set("jobs_completed", p.jobs_completed)
+                    .set("throughput_per_hour", p.throughput_per_hour)
+                    .set("work_lost_ms", p.work_lost.as_millis() as u64)
+                    .set("crashes", p.crashes)
+                    .set("restarts", p.restarts)
+                    .set("scratch_restarts", p.scratch_restarts)
+                    .set("migrated", p.outcomes.migrated)
+                    .set("migrated_after_retry", p.outcomes.migrated_after_retry)
+                    .set("fell_back_to_cr", p.outcomes.fell_back_to_cr)
+                    .set("migrations_lost", p.outcomes.lost)
+                    .set("checkpoints", p.checkpoints)
+                    .set("alert_checkpoints", p.alert_checkpoints)
+                    .set("queued_orders", p.queued_orders)
+                    .set("degraded_orders", p.degraded_orders)
+                    .set("alerts", p.alerts)
+                    .set("reclaimed", p.reclaimed)
+                    .set(
+                        "pool",
+                        Json::obj()
+                            .set("leases", p.pool.leases)
+                            .set("denials", p.pool.denials)
+                            .set("consumed", p.pool.consumed)
+                            .set("returned", p.pool.returned)
+                            .set("discarded", p.pool.discarded)
+                            .set("reclaimed", p.pool.reclaimed),
+                    ),
+            );
+        }
+        Json::obj()
+            .set(
+                "config",
+                Json::obj()
+                    .set("seed", cfg.seed)
+                    .set("slots", cfg.slots)
+                    .set("nodes_per_slot", cfg.nodes_per_slot)
+                    .set("ppn", cfg.ppn)
+                    .set("spares", cfg.spares)
+                    .set("workload", format!("{:?}", cfg.workload.app))
+                    .set("np", cfg.workload.np)
+                    .set("horizon_s", cfg.horizon.as_secs())
+                    .set("ckpt_period_s", cfg.ckpt_period.as_secs())
+                    .set("doom_count", cfg.doom_count)
+                    .set("predictable_frac", cfg.predictable_frac),
+            )
+            .set("dooms", dooms)
+            .set("policies", policies)
+    }
+
+    /// Pretty-rendered `BENCH_fleet.json` content.
+    pub fn render(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// A human-readable comparison table (one row per policy).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>5} {:>9} {:>12} {:>8} {:>9} {:>9} {:>9}\n",
+            "policy", "jobs", "jobs/h", "work_lost_s", "crashes", "migrated", "ckpts", "degraded"
+        ));
+        for p in &self.policies {
+            out.push_str(&format!(
+                "{:<12} {:>5} {:>9.2} {:>12.1} {:>8} {:>9} {:>9} {:>9}\n",
+                p.policy,
+                p.jobs_completed,
+                p.throughput_per_hour,
+                p.work_lost.as_secs_f64(),
+                p.crashes,
+                p.outcomes.migrated + p.outcomes.migrated_after_retry,
+                p.checkpoints,
+                p.degraded_orders,
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,121 @@
+//! Spare exhaustion under a simultaneous HEALTH_PREDICT storm.
+//!
+//! Three jobs turn sick with only two spares in the pool. The two
+//! first-come orders migrate immediately; the third queues under
+//! admission control and, deterministically:
+//!
+//! * with patience longer than the pool's refill time, it *waits and
+//!   migrates* once the vacated sources are repaired and reclaimed, and
+//!   dodges its death entirely;
+//! * with short patience it *degrades* to an immediate coordinated
+//!   checkpoint and rides out the crash through restart.
+
+use faultplane::{DoomPlan, NodeDoom};
+use fleetsched::{run_policy_with_plan, FleetConfig, PolicyKind, PolicyStats};
+use ibfabric::NodeId;
+use std::time::Duration;
+
+/// 4 jobs × 4 nodes, 2 spares. Slots own nodes 1-4, 5-8, 9-12, 13-16.
+fn storm_config(patience_s: u64) -> FleetConfig {
+    let mut cfg = FleetConfig::soak(77);
+    cfg.slots = 4;
+    cfg.nodes_per_slot = 4;
+    cfg.spares = 2;
+    cfg.workload = npbsim::Workload::new(npbsim::NpbApp::Lu, npbsim::NpbClass::A, 4);
+    cfg.workload.iters = 32;
+    cfg.horizon = Duration::from_secs(900);
+    cfg.doom_count = 3;
+    // Slow ramps: predictions fire ~52-60 s after onset, deaths much
+    // later, so the queue dynamics play out fully.
+    cfg.death_after = Duration::from_secs(400);
+    cfg.queue_delay = Duration::from_secs(60);
+    cfg.queue_patience = Duration::from_secs(patience_s);
+    cfg
+}
+
+/// Slots 0 and 1 sicken together at t=100 (the simultaneous storm) and
+/// consume both spares; slot 2 sickens at t=200 into a dry pool. The
+/// first two deaths land at t=500 on vacated nodes, which are repaired
+/// and reclaimed at t=560 — that is when the pool refills.
+fn storm_plan() -> DoomPlan {
+    DoomPlan {
+        seed: 0,
+        dooms: vec![
+            NodeDoom {
+                node: NodeId(1),
+                onset: Duration::from_secs(100),
+                predictable: true,
+                repair_after: Duration::from_secs(60),
+            },
+            NodeDoom {
+                node: NodeId(5),
+                onset: Duration::from_secs(100),
+                predictable: true,
+                repair_after: Duration::from_secs(60),
+            },
+            NodeDoom {
+                node: NodeId(9),
+                onset: Duration::from_secs(200),
+                predictable: true,
+                repair_after: Duration::from_secs(60),
+            },
+        ],
+    }
+}
+
+fn run_twice(cfg: &FleetConfig) -> (PolicyStats, PolicyStats) {
+    let plan = storm_plan();
+    let a = run_policy_with_plan(cfg, PolicyKind::Proactive, &plan);
+    let b = run_policy_with_plan(cfg, PolicyKind::Proactive, &plan);
+    (a, b)
+}
+
+#[test]
+fn queued_job_waits_and_migrates_when_pool_refills() {
+    // Patience 400 s: deadline ~t=660, pool refills at t=560 — the
+    // queued order dispatches and the job dodges its t=600 death.
+    let cfg = storm_config(400);
+    let (a, b) = run_twice(&cfg);
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "storm must be deterministic"
+    );
+
+    assert_eq!(a.queued_orders, 1, "third job must queue on the dry pool");
+    assert_eq!(a.degraded_orders, 0);
+    assert_eq!(
+        a.outcomes.migrated + a.outcomes.migrated_after_retry,
+        3,
+        "all three sick jobs must migrate: {a:?}"
+    );
+    assert_eq!(a.crashes, 0, "every death must land on a vacated node");
+    assert!(a.reclaimed >= 2, "vacated sources must re-enter the pool");
+    assert_eq!(a.pool.leases, 3);
+    assert_eq!(a.pool.consumed, 3);
+}
+
+#[test]
+fn queued_job_degrades_to_checkpoint_when_patience_expires() {
+    // Patience 50 s: deadline ~t=310, pool refills only at t=560 — the
+    // queued order degrades to an immediate checkpoint and the job takes
+    // the crash-and-restart path.
+    let cfg = storm_config(50);
+    let (a, b) = run_twice(&cfg);
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "storm must be deterministic"
+    );
+
+    assert_eq!(a.queued_orders, 1);
+    assert_eq!(a.degraded_orders, 1, "the starved order must degrade to CR");
+    assert_eq!(
+        a.outcomes.migrated + a.outcomes.migrated_after_retry,
+        2,
+        "only the two admitted jobs migrate: {a:?}"
+    );
+    assert_eq!(a.crashes, 1, "the degraded job rides out its death");
+    assert_eq!(a.restarts, 1, "and recovers from its checkpoint");
+    assert_eq!(a.pool.leases, 2);
+}

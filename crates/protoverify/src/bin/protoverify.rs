@@ -2,7 +2,7 @@
 //! a grid of spare-pool sizes and retry budgets. Exits nonzero (with a
 //! minimal counterexample trace on stderr) if any invariant fails.
 
-use protoverify::{check, CheckConfig, MigrationSpec};
+use protoverify::{check, check_fleet, CheckConfig, FleetConfig, MigrationSpec};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -40,6 +40,33 @@ fn main() -> ExitCode {
         }
     }
 
+    println!("protoverify: checking fleet spare-pool accounting");
+    for jobs in 1..=3u8 {
+        for spares in 1..=3u8 {
+            let report = check_fleet(&FleetConfig {
+                jobs,
+                spares,
+                mutation: None,
+            });
+            total_states += report.states;
+            total_transitions += report.transitions;
+            match &report.violation {
+                None => {
+                    println!(
+                        "  jobs={jobs} spares={spares}: {} states, {} transitions — \
+                         lease exclusivity and pool conservation hold",
+                        report.states, report.transitions
+                    );
+                }
+                Some(v) => {
+                    failed = true;
+                    eprintln!("  jobs={jobs} spares={spares}: VIOLATION");
+                    eprintln!("{v}");
+                }
+            }
+        }
+    }
+
     println!("protoverify: explored {total_states} states / {total_transitions} transitions total");
     if failed {
         eprintln!("protoverify: FAILED");
@@ -47,7 +74,8 @@ fn main() -> ExitCode {
     } else {
         println!(
             "protoverify: deadlock-freedom, no-lost-rank, rollback-restores-source, \
-             complete-or-degrade, phase-consistency all proven"
+             complete-or-degrade, phase-consistency, lease-exclusivity, \
+             pool-conservation all proven"
         );
         ExitCode::SUCCESS
     }

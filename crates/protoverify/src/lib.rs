@@ -33,9 +33,20 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+//! [`fleet`] lifts the check one level up: many jobs sharing one spare
+//! pool. It proves **lease exclusivity** (no spare leased to two jobs at
+//! once) and **pool conservation** (every completed or aborted cycle
+//! returns exactly one node; a spare death is the sole, accounted
+//! zero-return settle).
+
+pub mod fleet;
 pub mod model;
 pub mod spec;
 
+pub use fleet::{
+    check_fleet, FleetConfig, FleetEvent, FleetJob, FleetMutation, FleetNode, FleetReport,
+    FleetState, FleetViolation,
+};
 pub use model::{
     check, CheckConfig, CheckReport, CheckStats, Counterexample, EventLabel, Invariant, ModelState,
     RankSite, TargetNla,

@@ -48,6 +48,9 @@ pub enum NlaEvent {
     RollbackSource,
     /// Cycle abort: a surviving target goes back to being a clean spare.
     RollbackTarget,
+    /// A vacated (inactive) node leased back out of the shared spare pool
+    /// re-enters service as a clean spare.
+    Reprovision,
 }
 
 impl NlaEvent {
@@ -58,6 +61,7 @@ impl NlaEvent {
             NlaEvent::RestartComplete => "restart_complete",
             NlaEvent::RollbackSource => "rollback_source",
             NlaEvent::RollbackTarget => "rollback_target",
+            NlaEvent::Reprovision => "reprovision",
         }
     }
 }
@@ -108,6 +112,13 @@ pub const NLA_TABLE: &[NlaTransition] = &[
     NlaTransition {
         from: NlaState::MigrationSpare,
         on: NlaEvent::RollbackTarget,
+        to: NlaState::MigrationSpare,
+    },
+    // Fleet reclamation: an inactive node returned to the shared pool and
+    // leased back out becomes a clean spare again.
+    NlaTransition {
+        from: NlaState::MigrationInactive,
+        on: NlaEvent::Reprovision,
         to: NlaState::MigrationSpare,
     },
 ];
@@ -863,6 +874,13 @@ mod tests {
         // A spare never drains; an inactive node never completes a restart.
         assert_eq!(nla_next(MigrationSpare, SourceDrained), None);
         assert_eq!(nla_next(MigrationInactive, RestartComplete), None);
+        // Reprovisioning is only legal from the inactive (vacated) state.
+        assert_eq!(
+            nla_next(MigrationInactive, Reprovision),
+            Some(MigrationSpare)
+        );
+        assert_eq!(nla_next(MigrationReady, Reprovision), None);
+        assert_eq!(nla_next(MigrationSpare, Reprovision), None);
     }
 
     #[test]

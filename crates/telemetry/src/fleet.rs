@@ -1,0 +1,143 @@
+//! Fleet timeline: per-job phase timelines out of one shared trace.
+//!
+//! A fleet run multiplexes many jobs' daemons onto one simulation and one
+//! trace bus. Job daemons carry a `j{id}-` process-name prefix (job 0
+//! keeps the historical unprefixed names), so the combined event stream
+//! can be demultiplexed back into per-job [`Timeline`]s — each the same
+//! Figure 4-style phase decomposition [`timeline`](crate::timeline)
+//! produces for a single-job run.
+
+use crate::timeline::Timeline;
+use simkit::TraceEvent;
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-job phase timelines for a whole fleet run.
+#[derive(Debug, Clone, Default)]
+pub struct FleetTimeline {
+    jobs: BTreeMap<u64, Timeline>,
+}
+
+/// Job id encoded in a daemon process name: `j{id}-…` → `id`, anything
+/// else (including the historical unprefixed job-0 names) → 0.
+fn job_of(proc_name: &str) -> u64 {
+    let Some(rest) = proc_name.strip_prefix('j') else {
+        return 0;
+    };
+    let digits: &str = &rest[..rest.bytes().take_while(u8::is_ascii_digit).count()];
+    if digits.is_empty() || !rest[digits.len()..].starts_with('-') {
+        return 0;
+    }
+    digits.parse().unwrap_or(0)
+}
+
+impl FleetTimeline {
+    /// Demultiplex `events` into per-job timelines. `proc_names` comes
+    /// from [`simkit::Tracer::proc_names`]; events from unnamed or
+    /// unprefixed processes are attributed to job 0.
+    pub fn from_events(events: &[TraceEvent], proc_names: &HashMap<u32, String>) -> FleetTimeline {
+        let mut per_job: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+        for ev in events {
+            let job = ev
+                .pid
+                .and_then(|p| proc_names.get(&p.0))
+                .map(|n| job_of(n))
+                .unwrap_or(0);
+            per_job.entry(job).or_default().push(ev.clone());
+        }
+        FleetTimeline {
+            jobs: per_job
+                .into_iter()
+                .map(|(job, evs)| (job, Timeline::from_events(&evs)))
+                .filter(|(_, tl)| !tl.is_empty())
+                .collect(),
+        }
+    }
+
+    /// The timeline for `job`, if it traced any phases.
+    pub fn job(&self, job: u64) -> Option<&Timeline> {
+        self.jobs.get(&job)
+    }
+
+    /// All jobs with traced phases, in id order.
+    pub fn jobs(&self) -> impl Iterator<Item = (u64, &Timeline)> {
+        self.jobs.iter().map(|(id, tl)| (*id, tl))
+    }
+
+    /// Number of jobs with traced phases.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no job traced any phase.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Render every job's Figure 4-style breakdown, job header first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (id, tl) in &self.jobs {
+            out.push_str(&format!("job {id}\n"));
+            for line in tl.render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::{ArgValue, EventKind, ProcId, SimTime};
+
+    fn ev(t: u64, pid: u32, name: &str, kind: EventKind, cycle: Option<u64>) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_nanos(t),
+            pid: Some(ProcId(pid)),
+            cat: "phase",
+            name: name.to_string(),
+            kind,
+            args: cycle
+                .map(|c| vec![("cycle", ArgValue::U64(c))])
+                .unwrap_or_default(),
+        }
+    }
+
+    #[test]
+    fn job_prefix_parsing() {
+        assert_eq!(job_of("j3-nla@n7"), 3);
+        assert_eq!(job_of("j12-job-manager"), 12);
+        assert_eq!(job_of("nla@n7"), 0);
+        assert_eq!(job_of("job-manager"), 0);
+        assert_eq!(job_of("jx-weird"), 0);
+        assert_eq!(job_of("j5nodash"), 0);
+    }
+
+    #[test]
+    fn demultiplexes_by_job() {
+        let names: HashMap<u32, String> = [
+            (1, "job-manager".to_string()),
+            (2, "j2-job-manager".to_string()),
+        ]
+        .into();
+        let events = vec![
+            ev(0, 1, "stall", EventKind::Begin, Some(1)),
+            ev(10, 1, "stall", EventKind::End, None),
+            ev(0, 2, "stall", EventKind::Begin, Some(1)),
+            ev(30, 2, "stall", EventKind::End, None),
+        ];
+        let fleet = FleetTimeline::from_events(&events, &names);
+        assert_eq!(fleet.len(), 2);
+        let d0 = fleet.job(0).unwrap().cycle(1).unwrap().phase("stall");
+        let d2 = fleet.job(2).unwrap().cycle(1).unwrap().phase("stall");
+        assert_eq!(d0, Some(std::time::Duration::from_nanos(10)));
+        assert_eq!(d2, Some(std::time::Duration::from_nanos(30)));
+        assert!(fleet.job(1).is_none());
+        let rendered = fleet.render();
+        assert!(rendered.contains("job 0"));
+        assert!(rendered.contains("job 2"));
+    }
+}

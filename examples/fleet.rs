@@ -1,0 +1,81 @@
+//! Fleet orchestration: four concurrent LU jobs on 16 compute nodes share
+//! a two-deep spare pool while three scheduled node failures roll through
+//! the cluster. The `fleetsched` policy engine decides, per alert, whether
+//! to migrate the sick job to a spare, queue it behind a dry pool, or
+//! degrade to an immediate coordinated checkpoint.
+//!
+//! Run with: `cargo run --example fleet [policy]`
+//!
+//! `policy` is one of `periodic_cr`, `reactive`, `proactive`, `utility`
+//! (default: all four, printed as a comparison table). The scenario is
+//! deterministic — same seed, same failure schedule, same table, every run.
+//!
+//! The full-scale version of this scenario (8 jobs, 64 compute nodes,
+//! 12 failures over 2 simulated hours) runs as
+//! `cargo bench -p jobmig-bench --bench fleet` or `jobmig fleet`, and
+//! writes the machine-readable `BENCH_fleet.json` artifact.
+
+use rdma_jobmig::prelude::*;
+use std::time::Duration;
+
+/// A scaled-down fleet that finishes in seconds in a debug build:
+/// 4 jobs x LU.A.4, 16 compute nodes, 2 spares, 3 failures in 15 minutes.
+fn demo_config() -> FleetConfig {
+    let mut cfg = FleetConfig::soak(42);
+    cfg.slots = 4;
+    cfg.nodes_per_slot = 4;
+    cfg.spares = 2;
+    cfg.workload = npbsim::Workload::new(npbsim::NpbApp::Lu, npbsim::NpbClass::A, 4);
+    // Shrink the job so several complete inside the 15-minute horizon
+    // (`iters` is granularity; `base_runtime` is the actual length).
+    cfg.workload.base_runtime = Duration::from_secs(240);
+    cfg.workload.iters = 48;
+    cfg.horizon = Duration::from_secs(900);
+    cfg.doom_count = 3;
+    cfg.ckpt_period = Duration::from_secs(60);
+    cfg
+}
+
+fn main() {
+    let arg: Option<String> = std::env::args().nth(1);
+    let kinds: Vec<PolicyKind> = match arg.as_deref() {
+        None => PolicyKind::ALL.to_vec(),
+        Some(name) => match PolicyKind::ALL.iter().find(|k| k.name() == name) {
+            Some(k) => vec![*k],
+            None => {
+                eprintln!("usage: fleet [periodic_cr|reactive|proactive|utility]");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let cfg = demo_config();
+    println!(
+        "fleet demo: {} jobs x {}, {} compute nodes, {} spares, {} failures / {:.0} min\n",
+        cfg.slots,
+        cfg.workload.name(),
+        cfg.slots * cfg.nodes_per_slot as usize,
+        cfg.spares,
+        cfg.doom_count,
+        cfg.horizon.as_secs_f64() / 60.0
+    );
+
+    let report = fleetsched::run_soak(&cfg, &kinds);
+    print!("{}", report.render_table());
+
+    if kinds.len() > 1 {
+        let cr = report.policy("periodic_cr").expect("baseline row");
+        let best = report
+            .policies
+            .iter()
+            .min_by_key(|p| p.work_lost)
+            .expect("at least one policy");
+        println!(
+            "\ncheckpoint-only loses {:.0}s of work; `{}` loses {:.0}s by moving \
+             sick jobs to spares before their nodes die",
+            cr.work_lost.as_secs_f64(),
+            best.policy,
+            best.work_lost.as_secs_f64()
+        );
+    }
+}

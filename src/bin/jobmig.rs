@@ -7,6 +7,7 @@
 //! jobmig fig4|fig5|fig6|fig7|table1 regenerate a paper figure/table
 //! jobmig ablations                  restart-mode / transport / pool sweeps
 //! jobmig ftpolicy                   checkpoint-interval policy study
+//! jobmig fleet                      multi-job fleet soak, policy comparison
 //! ```
 
 use jobmig_bench as bench;
@@ -104,6 +105,7 @@ fn usage() -> String {
      \x20 checkpoint [ext3|pvfs]      one coordinated CR cycle with restart\n\
      \x20 fig4 | fig5 | fig6 | fig7 | table1 | ablations | ftpolicy\n\
      \x20                             regenerate evaluation artifacts\n\
+     \x20 fleet                       multi-job fleet soak; writes BENCH_fleet.json\n\
      (figures also exist as `cargo bench` targets; see README)"
         .to_string()
 }
@@ -221,6 +223,14 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                     o.rollbacks
                 );
             }
+            Ok(())
+        }
+        Some("fleet") => {
+            let report = bench::fleet_soak();
+            print!("{}", report.render_table());
+            let path = bench::write_bench_json("fleet", &report.to_json(), true)
+                .ok_or("failed to write BENCH_fleet.json")?;
+            println!("\nwrote {}", path.display());
             Ok(())
         }
         Some("help") | None => Err(usage()),

@@ -8,6 +8,7 @@
 
 pub use blcrsim;
 pub use faultplane;
+pub use fleetsched;
 pub use ftb;
 pub use healthmon;
 pub use ibfabric;
@@ -24,6 +25,7 @@ pub use telemetry;
 /// definitions, and the telemetry surface.
 pub mod prelude {
     pub use faultplane::{FaultPlan, FaultPlane, FaultSpec, MigPhase, NetSel, StoreFault};
+    pub use fleetsched::{FleetConfig, FleetPolicy, PolicyKind, SoakReport};
     pub use jobmig_core::bufpool::{PoolConfig, RestartMode, Transport};
     pub use jobmig_core::cluster::{Cluster, ClusterSpec};
     pub use jobmig_core::report::{
