@@ -10,7 +10,10 @@
 //! (file-based restart); Phase 4 roughly constant (~1 s); totals ≈
 //! 6.3 s (LU) to ~11 s (BT).
 
-use jobmig_bench::{fig4_migration, migration_report_json, secs, write_bench_json, APPS};
+use jobmig_bench::{
+    fig4_migration, fig_migration_with, migration_report_json, secs, write_bench_json, APPS,
+};
+use jobmig_core::prelude::PoolConfig;
 use telemetry::Json;
 
 fn main() {
@@ -43,7 +46,58 @@ fn main() {
         );
         assert!(r.restart > r.migrate + r.resume, "phase 3 dominates");
     }
-    if let Some(p) = write_bench_json("fig4", &Json::obj().set("rows", rows), false) {
+    // Barrier vs pipelined data path on the LU.C.64 reference config:
+    // the pipelined TransferSession overlaps the RDMA pull with per-rank
+    // restart and staggers the restart disk reads, at 1, 2 and 4 lanes.
+    println!("\nPipelined data path (LU.C.64 reference config):");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "mode", "stall(s)", "migr(s)", "restart", "resume", "total(s)"
+    );
+    let barrier = fig_migration_with(npbsim::NpbApp::Lu, 64, 8, PoolConfig::default());
+    let mut pipe_rows = vec![migration_report_json(&barrier).set("mode", "barrier")];
+    let print_row = |mode: &str, r: &jobmig_core::report::MigrationReport| {
+        println!(
+            "{:<22} {} {} {} {} {}",
+            mode,
+            secs(r.stall),
+            secs(r.migrate),
+            secs(r.restart),
+            secs(r.resume),
+            secs(r.total()),
+        );
+    };
+    print_row("barrier", &barrier);
+    let mut pipelined_total = None;
+    for lanes in [1u32, 2, 4] {
+        let pool = PoolConfig {
+            lanes,
+            overlap: true,
+            restart_admission: 2,
+            ..PoolConfig::default()
+        };
+        let r = fig_migration_with(npbsim::NpbApp::Lu, 64, 8, pool);
+        let mode = format!("pipelined lanes={lanes}");
+        print_row(&mode, &r);
+        pipe_rows.push(migration_report_json(&r).set("mode", mode.as_str()));
+        if lanes == 2 {
+            pipelined_total = Some(r.total());
+        }
+    }
+    let pipelined = pipelined_total.expect("lanes=2 row");
+    let improvement = 100.0 * (1.0 - pipelined.as_secs_f64() / barrier.total().as_secs_f64());
+    println!("pipelined (lanes=2) vs barrier: {improvement:.1}% faster end to end");
+    assert!(
+        improvement >= 10.0,
+        "pipelined mode must cut migration time by >=10% (got {improvement:.1}%)"
+    );
+    let doc = Json::obj()
+        .set("rows", rows)
+        .set("pipeline_rows", pipe_rows)
+        .set("barrier_total_ms", barrier.total().as_millis() as u64)
+        .set("pipelined_total_ms", pipelined.as_millis() as u64)
+        .set("improvement_pct", format!("{improvement:.1}").as_str());
+    if let Some(p) = write_bench_json("fig4", &doc, false) {
         println!("wrote {}", p.display());
     }
     println!("\npaper: LU 6.3 s total; stall ~tens of ms; migrate 0.4-0.8 s; restart dominant");

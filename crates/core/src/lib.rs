@@ -49,14 +49,17 @@ pub mod spare;
 
 /// Common imports for examples and tests.
 pub mod prelude {
-    pub use crate::bufpool::{PoolConfig, RestartMode, Transport};
+    pub use crate::bufpool::{
+        PoolConfig, RestartMode, TransferSession, TransferSessionBuilder, Transport,
+    };
     pub use crate::cluster::{Cluster, ClusterSpec};
     pub use crate::cr_baseline::{CrRunner, CrStore};
     pub use crate::report::{
         CrReport, CrStoreKind, MigrationOutcome, MigrationReport, OutcomeCounts,
     };
     pub use crate::runtime::{
-        AppBody, CheckpointRequest, Control, JobRuntime, JobSpec, MigrationRequest, Placement,
+        AppBody, CheckpointRequest, Control, JobRuntime, JobSpec, MigrationRequest,
+        MigrationTuning, Placement,
     };
     pub use crate::spare::{SparePool, SparePoolStats};
     pub use faultplane::{FaultPlan, FaultPlane, FaultSpec, MigPhase, NetSel, StoreFault};

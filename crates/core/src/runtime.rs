@@ -19,7 +19,8 @@
 //!   rebuild, resume).
 
 use crate::bufpool::{
-    AssembledImage, PoolConfig, PoolRendezvous, RestartMode, SourcePool, Transport,
+    AssembledImage, PoolConfig, PoolRendezvous, RestartMode, SourcePool, TargetHooks,
+    TransferSession, Transport,
 };
 use crate::calib;
 use crate::cluster::Cluster;
@@ -38,7 +39,7 @@ use protoverify::{
     nla_next, rank_next, CycleEvent, CycleStepper, GuardCtx, MigrationSpec, NlaEvent, RankEvent,
     RankLife, StepError,
 };
-use simkit::{Countdown, Ctx, Event, ProcHandle, Queue, SimTime};
+use simkit::{Countdown, Ctx, Event, ProcHandle, Queue, Semaphore, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -118,6 +119,85 @@ impl JobSpec {
     }
 }
 
+/// Every tunable of one migration in a single struct: the buffer-pool /
+/// data-path geometry ([`PoolConfig`]) and the self-healing policy
+/// ([`calib::RecoveryConfig`]) that used to be configured separately.
+/// Reachable per-request through [`MigrationRequest::tuning`] and job-wide
+/// through [`JobSpec::pool`] / [`JobSpec::recovery`].
+///
+/// ```ignore
+/// rt.control().migrate(
+///     MigrationRequest::new().tuning(MigrationTuning::pipelined()),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MigrationTuning {
+    /// Buffer pool geometry and data-path options.
+    pub pool: PoolConfig,
+    /// Per-phase deadlines, retry budget, backoff.
+    pub recovery: calib::RecoveryConfig,
+}
+
+impl MigrationTuning {
+    /// The paper's engine: sequential pulls, whole-pull restart barrier.
+    pub fn barrier() -> Self {
+        Self::default()
+    }
+
+    /// The pipelined data path: two RDMA lanes, per-rank restart overlap,
+    /// and restart admission bounded to two concurrent cold reads (the
+    /// sweet spot on the paper testbed's ext3 disk — see EXPERIMENTS.md).
+    pub fn pipelined() -> Self {
+        let mut t = Self::default();
+        t.pool.lanes = 2;
+        t.pool.overlap = true;
+        t.pool.restart_admission = 2;
+        t
+    }
+
+    /// Set the parallel RDMA pull lane count.
+    pub fn lanes(mut self, lanes: u32) -> Self {
+        self.pool.lanes = lanes.max(1);
+        self
+    }
+
+    /// Toggle per-rank restart overlap.
+    pub fn overlap(mut self, on: bool) -> Self {
+        self.pool.overlap = on;
+        self
+    }
+
+    /// Bound concurrent restarts in overlap mode (0 = unbounded).
+    pub fn restart_admission(mut self, n: u32) -> Self {
+        self.pool.restart_admission = n;
+        self
+    }
+
+    /// Set the chunk wire transport.
+    pub fn transport(mut self, t: Transport) -> Self {
+        self.pool.transport = t;
+        self
+    }
+
+    /// Set the Phase 3 restart strategy.
+    pub fn restart_mode(mut self, m: RestartMode) -> Self {
+        self.pool.restart_mode = m;
+        self
+    }
+
+    /// Replace the whole pool geometry.
+    pub fn pool(mut self, p: PoolConfig) -> Self {
+        self.pool = p;
+        self
+    }
+
+    /// Replace the self-healing policy.
+    pub fn recovery(mut self, r: calib::RecoveryConfig) -> Self {
+        self.recovery = r;
+        self
+    }
+}
+
 /// A typed migration request — the paper's user-level Migration Trigger
 /// with per-request knobs.
 ///
@@ -140,6 +220,7 @@ pub struct MigrationRequest {
     pub(crate) transport: Option<Transport>,
     pub(crate) restart_mode: Option<RestartMode>,
     pub(crate) pool: Option<PoolConfig>,
+    pub(crate) recovery: Option<calib::RecoveryConfig>,
     pub(crate) label: Option<String>,
 }
 
@@ -174,6 +255,14 @@ impl MigrationRequest {
         self
     }
 
+    /// Override every migration tunable at once (pool geometry, data-path
+    /// options, and the self-healing policy) for this cycle.
+    pub fn tuning(mut self, t: MigrationTuning) -> Self {
+        self.pool = Some(t.pool);
+        self.recovery = Some(t.recovery);
+        self
+    }
+
     /// Attach a diagnostic label; it rides the cycle's `"phase"` telemetry
     /// spans as a `label` argument.
     pub fn label(mut self, label: impl Into<String>) -> Self {
@@ -191,6 +280,11 @@ impl MigrationRequest {
             p.restart_mode = m;
         }
         p
+    }
+
+    /// The self-healing policy this request resolves to on top of `base`.
+    pub(crate) fn effective_recovery(&self, base: calib::RecoveryConfig) -> calib::RecoveryConfig {
+        self.recovery.unwrap_or(base)
     }
 }
 
@@ -282,6 +376,12 @@ pub(crate) struct MigCycle {
     pub piic_bytes: Mutex<u64>,
     pub images: Mutex<HashMap<u32, AssembledImage>>,
     pub images_ready: Event,
+    /// Per-rank image readiness, set by the target pull the moment that
+    /// rank's stream is fully staged and verified — the pipelined restart
+    /// path starts a rank's restart on its own event instead of the
+    /// whole-pull `images_ready` barrier. `BTreeMap` keeps any iteration
+    /// deterministic.
+    pub rank_ready: BTreeMap<u32, Event>,
     pub restart_done: Event,
     pub barrier: Countdown,
     pub resumed: Countdown,
@@ -1147,7 +1247,7 @@ fn run_migration(
     // attempt starts by stepping `Trigger`/`Retry` (whose `RetryPath`
     // guard owns the "spare available AND budget left" decision), and the
     // degrade path below is reached exactly when that guard rejects.
-    let rec = inner.spec.recovery;
+    let rec = req.effective_recovery(inner.spec.recovery);
     let plane = inner.cluster.fault_plane();
     let spec = MigrationSpec::shipped();
     let mut stepper = CycleStepper::new(&spec);
@@ -1324,6 +1424,10 @@ fn run_attempt(
         piic_bytes: Mutex::new(0),
         images: Mutex::new(HashMap::new()),
         images_ready: Event::new(handle, "images-ready"),
+        rank_ready: ranks
+            .iter()
+            .map(|&r| (r, Event::new(handle, "image-ready")))
+            .collect(),
         restart_done: Event::new(handle, "restart-done"),
         barrier: Countdown::new(handle, "mig-barrier", n),
         resumed: Countdown::new(handle, "mig-resumed", n),
@@ -1419,6 +1523,38 @@ fn run_attempt(
         fail!(CycleEvent::SpareCrash, "spare_crash", false);
     }
     let ph = ctx.span_with("phase", "migrate", phase_args(req));
+    // Pipelined data path: Phase 3 is kicked off *now*, overlapping the
+    // pull — the spawn tree is adjusted and FTB_RESTART goes out while
+    // chunks are still streaming, and the target's restart workers start
+    // per rank on its `image_ready` event. The cycle-table event order
+    // (MigrateDone before RestartDone) is unchanged: PIIC still closes
+    // Phase 2 below, and Phase 3's *tail* beyond that point is what the
+    // report attributes to restart. The overlapping `"phase"` spans are
+    // rendered by `telemetry::Timeline` (sum vs wall).
+    let restart_ph = if cycle.pool.overlap {
+        ctx.sleep(calib::SPAWN_TREE_ADJUST);
+        inner.spawn_tree.lock().replace(source, target);
+        tree_adjusted = true;
+        // Moved into `restart_ph` and ended at Phase 3's `ph.end()`.
+        let p = ctx.span_with("phase", "restart", phase_args(req)); // jmlint: allow(span_exit)
+        ftb.publish(
+            ctx,
+            FtbEvent::with_payload(
+                MPI_SPACE,
+                FTB_RESTART,
+                Severity::Error,
+                inner.cluster.login(),
+                RestartMsg {
+                    cycle: id,
+                    target,
+                    ranks: ranks.to_vec(),
+                },
+            ),
+        );
+        Some(p)
+    } else {
+        None
+    };
     let deadline = t1 + rec.migrate_timeout;
     let ok = wait_named_until(ctx, sub, FTB_MIGRATE_PIIC, id, deadline)
         && wait_event_until(ctx, &cycle.piic, deadline);
@@ -1429,29 +1565,39 @@ fn run_attempt(
     let _ = proto_step(ctx, stepper, CycleEvent::MigrateDone, &always);
     let t2 = ctx.now();
 
-    // Phase 3 — Restart on the spare.
+    // Phase 3 — Restart on the spare (already underway in overlap mode).
     if crash(MigPhase::Restart) {
         kill_spare(ctx, rt, target);
         fail!(CycleEvent::SpareCrash, "spare_crash", false);
     }
-    let ph = ctx.span_with("phase", "restart", phase_args(req));
-    ctx.sleep(calib::SPAWN_TREE_ADJUST);
-    inner.spawn_tree.lock().replace(source, target);
-    tree_adjusted = true;
-    ftb.publish(
-        ctx,
-        FtbEvent::with_payload(
-            MPI_SPACE,
-            FTB_RESTART,
-            Severity::Error,
-            inner.cluster.login(),
-            RestartMsg {
-                cycle: id,
-                target,
-                ranks: ranks.to_vec(),
-            },
-        ),
-    );
+    let ph = match restart_ph {
+        Some(p) => p,
+        None => {
+            // Moved out as `ph` and ended at Phase 3's `ph.end()`.
+            let p = ctx.span_with("phase", "restart", phase_args(req)); // jmlint: allow(span_exit)
+            ctx.sleep(calib::SPAWN_TREE_ADJUST);
+            inner.spawn_tree.lock().replace(source, target);
+            tree_adjusted = true;
+            ftb.publish(
+                ctx,
+                FtbEvent::with_payload(
+                    MPI_SPACE,
+                    FTB_RESTART,
+                    Severity::Error,
+                    inner.cluster.login(),
+                    RestartMsg {
+                        cycle: id,
+                        target,
+                        ranks: ranks.to_vec(),
+                    },
+                ),
+            );
+            p
+        }
+    };
+    // The restart deadline runs from Phase 3's protocol start (t2): in
+    // overlap mode the work began earlier, so the deadline only bounds
+    // the tail that remains once the pull has drained.
     let deadline = t2 + rec.restart_timeout;
     let ok = wait_named_until(ctx, sub, FTB_RESTART_DONE, id, deadline)
         && wait_event_until(ctx, &cycle.restart_done, deadline);
@@ -1726,7 +1872,8 @@ fn source_side_phase2(
     };
     let nlocal = nla.ranks.lock().len() as u32;
     let hca = inner.cluster.fabric().attach(m.source);
-    let (pool, ackloop) = SourcePool::setup(ctx, &hca, cycle.pool, nlocal, &cycle.rendezvous);
+    let (pool, ackloop) =
+        TransferSession::from_config(cycle.pool).source(ctx, &hca, nlocal, &cycle.rendezvous);
     cycle.track(ackloop);
     cycle.set_source_pool(pool.clone());
     pool.finished().wait(ctx);
@@ -1759,13 +1906,34 @@ fn target_side_pull(ctx: &Ctx, rt: &JobRuntime, m: MigrateMsg) {
     };
     let hca = inner.cluster.fabric().attach(m.target);
     let store: Arc<dyn storesim::CkptStore> = Arc::new(inner.cluster.node(m.target).fs.clone());
-    match crate::bufpool::run_target_pool(
+    // As each rank's image finishes assembly the pool hands it over here,
+    // and the per-rank `rank_ready` event releases that rank's restart
+    // worker — in overlap mode, while other ranks are still streaming.
+    let hooks = TargetHooks {
+        on_rank_ready: Some(Arc::new({
+            let cycle = cycle.clone();
+            move |ctx: &Ctx, rank: u32, image: AssembledImage| {
+                cycle.images.lock().insert(rank, image);
+                if let Some(ev) = cycle.rank_ready.get(&rank) {
+                    ev.set();
+                }
+                ctx.instant_with("pool", "rank_image_ready", || {
+                    vec![("cycle", cycle.id.into()), ("rank", rank.into())]
+                });
+            }
+        })),
+        on_spawn: Some(Arc::new({
+            let cycle = cycle.clone();
+            move |ph| cycle.track(ph)
+        })),
+    };
+    match TransferSession::from_config(cycle.pool).target_with(
         ctx,
         &hca,
-        cycle.pool,
         &cycle.rendezvous,
         store,
         &format!("mig.{}", m.cycle),
+        hooks,
     ) {
         Ok(result) => {
             *cycle.images.lock() = result.images;
@@ -1775,7 +1943,13 @@ fn target_side_pull(ctx: &Ctx, rt: &JobRuntime, m: MigrateMsg) {
             // Leave `images_ready` unset: the Job Manager's Phase 2/3
             // deadline aborts the cycle and retries or degrades.
             ctx.instant_with("pool", "pull_aborted", || {
-                vec![("cycle", m.cycle.into()), ("reason", abort.reason.into())]
+                vec![
+                    ("cycle", m.cycle.into()),
+                    ("reason", abort.reason.into()),
+                    ("rank", abort.rank.map(u64::from).unwrap_or(u64::MAX).into()),
+                    ("lane", u64::from(abort.lane).into()),
+                    ("bytes_pulled", abort.bytes_pulled.into()),
+                ]
             });
         }
     }
@@ -1793,12 +1967,26 @@ fn target_side_restart(
     let Some(cycle) = rt.mig_cycle(r.cycle) else {
         return;
     };
-    cycle.images_ready.wait(ctx);
+    let overlap = cycle.pool.overlap;
+    if !overlap {
+        // Barrier mode (the paper's protocol): no rank restarts until the
+        // whole pull has landed.
+        cycle.images_ready.wait(ctx);
+    }
     let res = inner.cluster.node(r.target);
-    if calib::RESTART_READS_COLD && cycle.pool.restart_mode == RestartMode::FileBased {
+    let cold = calib::RESTART_READS_COLD && cycle.pool.restart_mode == RestartMode::FileBased;
+    if cold && !overlap {
         use storesim::CkptStore;
         res.fs.drop_caches();
     }
+    // Restart admission throttles how many ranks hit the local disk at
+    // once: with all images behind one degraded-sharing spindle, a full
+    // fan-out of cold readers is slower end-to-end than a small window.
+    let admission = match cycle.pool.restart_admission {
+        0 => r.ranks.len() as u32,
+        n => n,
+    };
+    let gate = Semaphore::new(&ctx.handle(), admission.into());
     let done = Countdown::new(&ctx.handle(), "restart-workers", r.ranks.len() as u64);
     let failures = Arc::new(AtomicU64::new(0));
     for rank in r.ranks.clone() {
@@ -1806,8 +1994,35 @@ fn target_side_restart(
         let cycle2 = cycle.clone();
         let done2 = done.clone();
         let failures2 = failures.clone();
+        let gate2 = gate.clone();
+        let fs2 = res.fs.clone();
         let target = r.target;
         let ph = ctx.spawn_daemon(&format!("restart-r{rank}"), move |ctx| {
+            if overlap {
+                // Start the moment *this* rank's image is assembled,
+                // while other ranks are still streaming.
+                if let Some(ev) = cycle2.rank_ready.get(&rank) {
+                    ev.wait(ctx);
+                }
+            }
+            gate2.acquire(ctx, 1);
+            if cold && overlap {
+                // Evict only this rank's image right before its read, so
+                // every restart read is cold (matching barrier-mode
+                // semantics) without flushing files still being staged.
+                use storesim::CkptStore;
+                let path = cycle2
+                    .images
+                    .lock()
+                    .get(&rank)
+                    .and_then(|i| i.slices.is_none().then(|| i.path.clone()));
+                if let Some(path) = path {
+                    fs2.evict(&path);
+                }
+            }
+            ctx.instant_with("pool", "restart_begin", || {
+                vec![("cycle", cycle2.id.into()), ("rank", rank.into())]
+            });
             if let Err(e) = restart_one_rank(ctx, &rt2, &cycle2, rank, target) {
                 ctx.instant_with("log", "restart_rank_failed", || {
                     vec![
@@ -1818,6 +2033,7 @@ fn target_side_restart(
                 });
                 failures2.fetch_add(1, Ordering::Relaxed);
             }
+            gate2.release(1);
             done2.arrive();
         });
         cycle.track(ph);

@@ -12,29 +12,35 @@ fn main() -> ExitCode {
     let mut failed = false;
 
     println!("protoverify: checking shipped migration spec");
-    for spares in 0..=3u32 {
-        for max_attempts in 1..=4u32 {
-            let cfg = CheckConfig {
-                spares,
-                max_attempts,
-            };
-            let report = check(&spec, &cfg);
-            total_states += report.stats.states;
-            total_transitions += report.stats.transitions;
-            match &report.violation {
-                None => {
-                    println!(
-                        "  spares={spares} max_attempts={max_attempts}: \
-                         {} states, {} transitions, {} terminals — all invariants hold",
-                        report.stats.states, report.stats.transitions, report.stats.terminals
-                    );
-                }
-                Some(cx) => {
-                    failed = true;
-                    eprintln!("  spares={spares} max_attempts={max_attempts}: VIOLATION");
-                    eprintln!("{cx}");
-                    let plan = cx.to_fault_plan(0);
-                    eprintln!("  replay plan: {plan:?}");
+    for pipelined in [false, true] {
+        let mode = if pipelined { "pipelined" } else { "barrier" };
+        for spares in 0..=3u32 {
+            for max_attempts in 1..=4u32 {
+                let cfg = CheckConfig {
+                    spares,
+                    max_attempts,
+                    pipelined,
+                };
+                let report = check(&spec, &cfg);
+                total_states += report.stats.states;
+                total_transitions += report.stats.transitions;
+                match &report.violation {
+                    None => {
+                        println!(
+                            "  {mode} spares={spares} max_attempts={max_attempts}: \
+                             {} states, {} transitions, {} terminals — all invariants hold",
+                            report.stats.states, report.stats.transitions, report.stats.terminals
+                        );
+                    }
+                    Some(cx) => {
+                        failed = true;
+                        eprintln!(
+                            "  {mode} spares={spares} max_attempts={max_attempts}: VIOLATION"
+                        );
+                        eprintln!("{cx}");
+                        let plan = cx.to_fault_plan(0);
+                        eprintln!("  replay plan: {plan:?}");
+                    }
                 }
             }
         }

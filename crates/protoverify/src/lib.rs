@@ -49,7 +49,7 @@ pub use fleet::{
 };
 pub use model::{
     check, CheckConfig, CheckReport, CheckStats, Counterexample, EventLabel, Invariant, ModelState,
-    RankSite, TargetNla,
+    RankSite, TargetNla, PIPELINE_RANKS,
 };
 pub use spec::{
     fault_edges, link_next, nla_next, rank_next, Action, CycleEvent, CyclePhase, CycleStepper,

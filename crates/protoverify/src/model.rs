@@ -64,6 +64,12 @@ pub enum TargetNla {
     Dead,
 }
 
+/// Ranks tracked individually by the pipelined refinement. Two is the
+/// smallest count that distinguishes "some ranks restarted while others
+/// still stream" from the barrier protocol; more ranks multiply states
+/// without enabling new interleavings of the counters.
+pub const PIPELINE_RANKS: u8 = 2;
+
 /// One state of the composed model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ModelState {
@@ -81,6 +87,13 @@ pub struct ModelState {
     pub ranks: RankSite,
     /// Whether a degrade checkpoint has been written.
     pub checkpointed: bool,
+    /// Pipelined refinement: ranks whose images finished assembly on the
+    /// target this attempt (0 when the refinement is off).
+    pub staged: u8,
+    /// Pipelined refinement: ranks restarted on the target this attempt.
+    /// Must never exceed `staged` — a restart without a staged image
+    /// reads garbage.
+    pub restarted: u8,
 }
 
 impl ModelState {
@@ -94,6 +107,8 @@ impl ModelState {
             target: TargetNla::None,
             ranks: RankSite::RunningOnSource,
             checkpointed: false,
+            staged: 0,
+            restarted: 0,
         }
     }
 }
@@ -115,7 +130,11 @@ impl fmt::Display for ModelState {
             target,
             self.ranks.name(),
             if self.checkpointed { " ckpt" } else { "" }
-        )
+        )?;
+        if self.staged > 0 || self.restarted > 0 {
+            write!(f, " staged={} restarted={}", self.staged, self.restarted)?;
+        }
+        Ok(())
     }
 }
 
@@ -289,6 +308,11 @@ pub struct CheckConfig {
     pub spares: u32,
     /// Attempt budget (mirrors `calib::RecoveryConfig::max_attempts`).
     pub max_attempts: u32,
+    /// Enable the pipelined-data-path refinement: [`PIPELINE_RANKS`]
+    /// ranks stage and restart individually, with restarts allowed while
+    /// the pull is still in flight (the `overlap` pool mode). Off, the
+    /// model is the barrier protocol and `staged`/`restarted` stay 0.
+    pub pipelined: bool,
 }
 
 impl Default for CheckConfig {
@@ -296,6 +320,7 @@ impl Default for CheckConfig {
         CheckConfig {
             spares: 1,
             max_attempts: 3,
+            pipelined: false,
         }
     }
 }
@@ -373,6 +398,11 @@ fn apply(s: &ModelState, to: CyclePhase, actions: &[Action]) -> ModelState {
             }
             TargetNla::None => {}
         }
+        // Rollback wipes the attempt's per-rank pipeline progress: any
+        // rank already restarted on the abandoned target is pulled back
+        // to the source, staged images are discarded with the target.
+        n.staged = 0;
+        n.restarted = 0;
     }
     n
 }
@@ -401,6 +431,18 @@ fn successors(
     let g = guard_ctx(s, cfg);
     let mut out = Vec::new();
     for &ev in protocol_events(s.phase) {
+        if cfg.pipelined {
+            // Completion gates of the pipelined refinement: a phase
+            // cannot close while per-rank work is outstanding.
+            let gated = match (s.phase, ev) {
+                (CyclePhase::Migrate, CycleEvent::MigrateDone) => s.staged < PIPELINE_RANKS,
+                (CyclePhase::Restart, CycleEvent::RestartDone) => s.restarted < PIPELINE_RANKS,
+                _ => false,
+            };
+            if gated {
+                continue;
+            }
+        }
         if let Some(t) = spec.next(s.phase, ev, &g) {
             out.push((
                 EventLabel {
@@ -409,6 +451,37 @@ fn successors(
                     attempt: s.attempt,
                 },
                 apply(s, t.to, &t.actions),
+            ));
+        }
+    }
+    if cfg.pipelined {
+        // Micro-events of the pipelined data path. A rank's image lands
+        // (`RankStaged`) only while the pull is in flight; a *staged*
+        // rank may restart (`RankRestarted`) during Migrate — the
+        // overlap — or during Restart, never ahead of its image. The
+        // coarse `ranks` site keeps tracking the trailing rank.
+        if s.phase == CyclePhase::Migrate && s.staged < PIPELINE_RANKS {
+            let mut n = *s;
+            n.staged += 1;
+            out.push((
+                EventLabel {
+                    event: CycleEvent::RankStaged,
+                    fault: None,
+                    attempt: s.attempt,
+                },
+                n,
+            ));
+        }
+        if matches!(s.phase, CyclePhase::Migrate | CyclePhase::Restart) && s.restarted < s.staged {
+            let mut n = *s;
+            n.restarted += 1;
+            out.push((
+                EventLabel {
+                    event: CycleEvent::RankRestarted,
+                    fault: None,
+                    attempt: s.attempt,
+                },
+                n,
             ));
         }
     }
@@ -431,11 +504,41 @@ fn successors(
 
 /// Check one state against every invariant except deadlock-freedom
 /// (which needs the successor set and is handled in the search loop).
-fn violated(s: &ModelState) -> Option<(Invariant, String)> {
+fn violated(s: &ModelState, cfg: &CheckConfig) -> Option<(Invariant, String)> {
     if s.ranks == RankSite::Lost {
         return Some((
             Invariant::NoLostRank,
             "ranks neither live anywhere nor recoverable from an image".into(),
+        ));
+    }
+    // Pipelined refinement: a restart may never run ahead of its staged
+    // image — there is nothing to restart from.
+    if s.restarted > s.staged {
+        return Some((
+            Invariant::NoLostRank,
+            format!(
+                "{} ranks restarted but only {} images staged",
+                s.restarted, s.staged
+            ),
+        ));
+    }
+    if cfg.pipelined && s.phase == CyclePhase::Complete && s.restarted != PIPELINE_RANKS {
+        return Some((
+            Invariant::CompleteOrDegrade,
+            format!(
+                "complete with only {} of {} ranks restarted",
+                s.restarted, PIPELINE_RANKS
+            ),
+        ));
+    }
+    if s.phase == CyclePhase::Aborted && (s.staged != 0 || s.restarted != 0) {
+        return Some((
+            Invariant::RollbackRestoresSource,
+            format!(
+                "aborted with pipeline progress not rolled back \
+                 (staged={} restarted={})",
+                s.staged, s.restarted
+            ),
         ));
     }
     if s.phase == CyclePhase::Aborted {
@@ -549,7 +652,7 @@ pub fn check(spec: &MigrationSpec, cfg: &CheckConfig) -> CheckReport {
 
     while let Some(s) = queue.pop_front() {
         stats.states += 1;
-        if let Some((invariant, reason)) = violated(&s) {
+        if let Some((invariant, reason)) = violated(&s, cfg) {
             let (states, labels) = rebuild_trace(&parents, s);
             return CheckReport {
                 stats,
@@ -601,19 +704,67 @@ mod tests {
     fn shipped_spec_holds_across_pool_sizes() {
         for spares in 0..=3 {
             for max_attempts in 1..=4 {
-                let cfg = CheckConfig {
-                    spares,
-                    max_attempts,
-                };
-                let report = check(&MigrationSpec::shipped(), &cfg);
-                assert!(
-                    report.holds(),
-                    "spares={spares} attempts={max_attempts}: {}",
-                    report.violation.unwrap()
-                );
-                assert!(report.stats.terminals > 0);
+                for pipelined in [false, true] {
+                    let cfg = CheckConfig {
+                        spares,
+                        max_attempts,
+                        pipelined,
+                    };
+                    let report = check(&MigrationSpec::shipped(), &cfg);
+                    assert!(
+                        report.holds(),
+                        "spares={spares} attempts={max_attempts} pipelined={pipelined}: {}",
+                        report.violation.unwrap()
+                    );
+                    assert!(report.stats.terminals > 0);
+                }
             }
         }
+    }
+
+    #[test]
+    fn pipelined_refinement_enlarges_the_state_space() {
+        let barrier = check(&MigrationSpec::shipped(), &CheckConfig::default());
+        let pipelined = check(
+            &MigrationSpec::shipped(),
+            &CheckConfig {
+                pipelined: true,
+                ..CheckConfig::default()
+            },
+        );
+        assert!(barrier.holds() && pipelined.holds());
+        // The per-rank counters genuinely refine the model: more states,
+        // including interleavings where a rank restarts mid-pull.
+        assert!(pipelined.stats.states > barrier.stats.states);
+    }
+
+    #[test]
+    fn restart_ahead_of_staged_image_is_a_lost_rank() {
+        let mut s = ModelState::initial(1);
+        s.phase = CyclePhase::Migrate;
+        s.ranks = RankSite::SuspendedOnSource;
+        s.staged = 1;
+        s.restarted = 2;
+        let cfg = CheckConfig {
+            pipelined: true,
+            ..CheckConfig::default()
+        };
+        let (inv, _) = violated(&s, &cfg).expect("must be flagged");
+        assert_eq!(inv, Invariant::NoLostRank);
+    }
+
+    #[test]
+    fn abort_must_clear_pipeline_progress() {
+        let mut s = ModelState::initial(1);
+        s.phase = CyclePhase::Aborted;
+        s.staged = 2;
+        s.restarted = 1;
+        let cfg = CheckConfig {
+            pipelined: true,
+            ..CheckConfig::default()
+        };
+        let (inv, _) = violated(&s, &cfg).expect("must be flagged");
+        assert_eq!(inv, Invariant::RollbackRestoresSource);
     }
 
     #[test]

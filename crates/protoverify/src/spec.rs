@@ -437,6 +437,13 @@ pub enum CycleEvent {
     Retry,
     /// No recovery path left: checkpoint the job to storage instead.
     Degrade,
+    /// Pipelined refinement: one more rank's image finished assembly on
+    /// the target (its `image_ready` event fired). Model-level
+    /// micro-event; not a row in the shipped phase table.
+    RankStaged,
+    /// Pipelined refinement: one more *staged* rank restarted on the
+    /// target, possibly while other ranks are still streaming.
+    RankRestarted,
 }
 
 impl CycleEvent {
@@ -452,6 +459,8 @@ impl CycleEvent {
             CycleEvent::SpareCrash => "spare_crash",
             CycleEvent::Retry => "retry",
             CycleEvent::Degrade => "degrade",
+            CycleEvent::RankStaged => "rank_staged",
+            CycleEvent::RankRestarted => "rank_restarted",
         }
     }
 }

@@ -74,6 +74,16 @@ pub trait CkptStore: Send + Sync {
     /// elapsed eviction window before a cold restart).
     fn drop_caches(&self);
 
+    /// Evict one file's page-cache state, leaving every other file's
+    /// cache intact (`posix_fadvise(DONTNEED)` semantics). The pipelined
+    /// restart path uses this to make each rank's restart read cold
+    /// without flushing images still being staged. The default
+    /// implementation falls back to [`CkptStore::drop_caches`].
+    fn evict(&self, path: &str) {
+        let _ = path;
+        self.drop_caches();
+    }
+
     /// Total bytes ever written through this store (for Table I style
     /// accounting).
     fn bytes_written(&self) -> u64;

@@ -147,6 +147,12 @@ impl CkptStore for LocalFs {
         }
     }
 
+    fn evict(&self, path: &str) {
+        if let Some(f) = self.inner.lock().files.get_mut(path) {
+            f.cached = 0;
+        }
+    }
+
     fn bytes_written(&self) -> u64 {
         self.written.load(Ordering::Relaxed)
     }

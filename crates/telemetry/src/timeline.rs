@@ -19,6 +19,10 @@ use std::time::Duration;
 #[derive(Debug, Clone, Default)]
 pub struct PhaseStack {
     phases: Vec<(String, Duration)>,
+    /// Wall-clock extent of the cycle: earliest phase Begin and latest
+    /// phase End. With the pipelined data path Phase 2 and Phase 3 spans
+    /// overlap, so the extent is shorter than the phase sum.
+    extent: Option<(simkit::SimTime, simkit::SimTime)>,
 }
 
 impl PhaseStack {
@@ -32,17 +36,37 @@ impl PhaseStack {
         &self.phases
     }
 
-    /// Sum of all phases (the cycle's wall time when phases are
-    /// contiguous, as the migration protocol's are).
+    /// Sum of all phases. Equals the cycle's wall time only when phases
+    /// are contiguous and non-overlapping (the barrier-mode protocol);
+    /// under the pipelined data path prefer [`PhaseStack::wall`].
     pub fn total(&self) -> Duration {
         self.phases.iter().map(|(_, d)| *d).sum()
     }
 
-    fn add(&mut self, name: &str, d: Duration) {
+    /// Wall-clock time from the first phase's Begin to the last phase's
+    /// End — the cycle's real duration even when phases overlap.
+    pub fn wall(&self) -> Duration {
+        self.extent
+            .map(|(t0, t1)| Duration::from_nanos(t1.as_nanos().saturating_sub(t0.as_nanos())))
+            .unwrap_or_default()
+    }
+
+    /// Phase time hidden by pipelining: how much of the phase sum ran
+    /// concurrently with another phase (zero for a barrier-mode cycle).
+    pub fn overlapped(&self) -> Duration {
+        self.total().saturating_sub(self.wall())
+    }
+
+    fn add(&mut self, name: &str, t0: simkit::SimTime, t1: simkit::SimTime) {
+        let d = Duration::from_nanos(t1.as_nanos() - t0.as_nanos());
         match self.phases.iter_mut().find(|(n, _)| n == name) {
             Some((_, acc)) => *acc += d,
             None => self.phases.push((name.to_string(), d)),
         }
+        self.extent = Some(match self.extent {
+            Some((lo, hi)) => (lo.min(t0), hi.max(t1)),
+            None => (t0, t1),
+        });
     }
 }
 
@@ -88,8 +112,10 @@ impl Timeline {
                     if let Some((t0, cycle)) =
                         open.get_mut(&(ev.pid, ev.name.as_str())).and_then(Vec::pop)
                     {
-                        let d = Duration::from_nanos(ev.time.as_nanos() - t0.as_nanos());
-                        tl.cycles.entry(cycle).or_default().add(&ev.name, d);
+                        tl.cycles
+                            .entry(cycle)
+                            .or_default()
+                            .add(&ev.name, t0, ev.time);
                     }
                 }
                 _ => {}
@@ -124,7 +150,16 @@ impl Timeline {
         let mut out = String::new();
         for (id, stack) in &self.cycles {
             let total = stack.total();
-            let _ = writeln!(out, "cycle #{id}  total {total:.1?}");
+            let overlapped = stack.overlapped();
+            if overlapped > Duration::ZERO {
+                let _ = writeln!(
+                    out,
+                    "cycle #{id}  wall {:.1?}  (phase sum {total:.1?}, {overlapped:.1?} pipelined away)",
+                    stack.wall(),
+                );
+            } else {
+                let _ = writeln!(out, "cycle #{id}  total {total:.1?}");
+            }
             for (name, d) in &stack.phases {
                 let frac = if total.is_zero() {
                     0.0
@@ -234,6 +269,81 @@ mod tests {
         });
         let tl = Timeline::from_events(&events);
         assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn overlapping_phases_report_wall_and_overlap() {
+        // Pipelined cycle: restart begins at t=100 while migrate is still
+        // open (migrate 0..400, restart 100..600).
+        let events = vec![
+            ev(
+                0,
+                Some(simkit::ProcId(1)),
+                "migrate",
+                EventKind::Begin,
+                Some(1),
+            ),
+            ev(
+                100,
+                Some(simkit::ProcId(1)),
+                "restart",
+                EventKind::Begin,
+                Some(1),
+            ),
+            ev(
+                400,
+                Some(simkit::ProcId(1)),
+                "migrate",
+                EventKind::End,
+                None,
+            ),
+            ev(
+                600,
+                Some(simkit::ProcId(1)),
+                "restart",
+                EventKind::End,
+                None,
+            ),
+        ];
+        let tl = Timeline::from_events(&events);
+        let c = tl.cycle(1).unwrap();
+        assert_eq!(c.total(), Duration::from_nanos(900));
+        assert_eq!(c.wall(), Duration::from_nanos(600));
+        assert_eq!(c.overlapped(), Duration::from_nanos(300));
+        let out = tl.render();
+        assert!(out.contains("pipelined away"), "render was:\n{out}");
+    }
+
+    #[test]
+    fn barrier_phases_have_zero_overlap() {
+        let events = vec![
+            ev(
+                0,
+                Some(simkit::ProcId(1)),
+                "stall",
+                EventKind::Begin,
+                Some(1),
+            ),
+            ev(30, Some(simkit::ProcId(1)), "stall", EventKind::End, None),
+            ev(
+                30,
+                Some(simkit::ProcId(1)),
+                "migrate",
+                EventKind::Begin,
+                Some(1),
+            ),
+            ev(
+                480,
+                Some(simkit::ProcId(1)),
+                "migrate",
+                EventKind::End,
+                None,
+            ),
+        ];
+        let c = Timeline::from_events(&events);
+        let c = c.cycle(1).unwrap();
+        assert_eq!(c.wall(), c.total());
+        assert_eq!(c.overlapped(), Duration::ZERO);
     }
 
     #[test]

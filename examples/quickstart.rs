@@ -9,6 +9,11 @@
 //! (<https://ui.perfetto.dev>) to see the four migration phases, per-chunk
 //! RDMA Reads, and checkpoint stream progress on a zoomable timeline.
 //!
+//! Pass `--pipelined` to run the migration on the pipelined data path
+//! (striped RDMA lanes + per-rank restart overlap via
+//! [`MigrationTuning::pipelined`]) instead of the default barrier mode —
+//! compare the phase breakdowns between the two runs.
+//!
 //! Pass `--faults <preset>` to drive the run through a deterministic
 //! fault plan and watch the protocol heal itself:
 //!   spare-crash  the spare dies at the Phase 3 (Restart) boundary; the
@@ -22,7 +27,9 @@
 use rdma_jobmig::prelude::*;
 
 fn usage() -> ! {
-    eprintln!("usage: quickstart [--trace OUT.json] [--faults spare-crash|rdma|flaky-net]");
+    eprintln!(
+        "usage: quickstart [--trace OUT.json] [--pipelined] [--faults spare-crash|rdma|flaky-net]"
+    );
     std::process::exit(2);
 }
 
@@ -50,10 +57,12 @@ fn fault_preset(name: &str) -> FaultPlan {
 fn main() {
     let mut trace_path = None;
     let mut fault_plan = None;
+    let mut tuning = MigrationTuning::barrier();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--pipelined" => tuning = MigrationTuning::pipelined(),
             "--faults" => fault_plan = Some(fault_preset(&args.next().unwrap_or_else(|| usage()))),
             _ => usage(),
         }
@@ -81,8 +90,16 @@ fn main() {
     // A user-initiated migration trigger 30 s into the run, as in §IV
     // ("we simulate the migration trigger by firing a user signal to the
     // Job Manager").
-    rt.control()
-        .migrate_after(dur::secs(30), MigrationRequest::new().label("quickstart"));
+    if tuning.pool.overlap {
+        println!(
+            "pipelined data path: {} RDMA lanes, restart admission {}",
+            tuning.pool.lanes, tuning.pool.restart_admission
+        );
+    }
+    rt.control().migrate_after(
+        dur::secs(30),
+        MigrationRequest::new().label("quickstart").tuning(tuning),
+    );
 
     sim.run_until_set(rt.completion(), SimTime::MAX)
         .expect("simulation");

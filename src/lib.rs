@@ -26,13 +26,15 @@ pub use telemetry;
 pub mod prelude {
     pub use faultplane::{FaultPlan, FaultPlane, FaultSpec, MigPhase, NetSel, StoreFault};
     pub use fleetsched::{FleetConfig, FleetPolicy, PolicyKind, SoakReport};
-    pub use jobmig_core::bufpool::{PoolConfig, RestartMode, Transport};
+    pub use jobmig_core::bufpool::{
+        PoolConfig, RestartMode, TransferSession, TransferSessionBuilder, Transport,
+    };
     pub use jobmig_core::cluster::{Cluster, ClusterSpec};
     pub use jobmig_core::report::{
         CrReport, CrStoreKind, MigrationOutcome, MigrationReport, OutcomeCounts,
     };
     pub use jobmig_core::runtime::{
-        AppBody, CheckpointRequest, Control, JobRuntime, JobSpec, MigrationRequest,
+        AppBody, CheckpointRequest, Control, JobRuntime, JobSpec, MigrationRequest, MigrationTuning,
     };
     pub use npbsim::{NpbApp, NpbClass, Workload};
     pub use simkit::{dur, SimTime, Simulation};
