@@ -406,19 +406,6 @@ pub struct SourcePool {
 }
 
 impl SourcePool {
-    /// Deprecated entry point kept for one release; use
-    /// [`TransferSession::source`].
-    #[deprecated(since = "0.6.0", note = "use TransferSession::source")]
-    pub fn setup(
-        ctx: &Ctx,
-        hca: &Hca,
-        cfg: PoolConfig,
-        nranks: u32,
-        rendezvous: &PoolRendezvous,
-    ) -> (Arc<SourcePool>, simkit::ProcHandle) {
-        Self::setup_inner(ctx, hca, cfg, nranks, rendezvous)
-    }
-
     fn setup_inner(
         ctx: &Ctx,
         hca: &Hca,
@@ -749,20 +736,6 @@ impl PullAbort {
         self.bytes_pulled = bytes;
         self
     }
-}
-
-/// Deprecated entry point kept for one release; use
-/// [`TransferSession::target`].
-#[deprecated(since = "0.6.0", note = "use TransferSession::target")]
-pub fn run_target_pool(
-    ctx: &Ctx,
-    hca: &Hca,
-    cfg: PoolConfig,
-    rendezvous: &PoolRendezvous,
-    store: Arc<dyn CkptStore>,
-    file_prefix: &str,
-) -> Result<TargetResult, PullAbort> {
-    TransferSession::from_config(cfg).target(ctx, hca, rendezvous, store, file_prefix)
 }
 
 /// Pull one chunk with the per-chunk re-issue budget. Adds every pull

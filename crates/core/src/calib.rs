@@ -111,6 +111,11 @@ pub const SPAWN_TREE_ADJUST: Duration = Duration::from_millis(2);
 /// Node Launch Agent process-spawn cost (fork/exec of one MPI process).
 pub const NLA_SPAWN: Duration = Duration::from_millis(8);
 
+/// How long the standby coordinator waits after observing the Job
+/// Manager's death before starting takeover — models the failure-detector
+/// confirmation delay (a missed heartbeat window on the launch node).
+pub const TAKEOVER_DETECT: Duration = Duration::from_millis(5);
+
 /// Recovery policy for the self-healing migration protocol: per-phase
 /// virtual-time deadlines, the migration retry budget, and the per-chunk
 /// RDMA re-issue budget. Defaults are deliberately generous relative to
@@ -129,12 +134,35 @@ pub struct RecoveryConfig {
     /// Whole-migration attempt budget (each attempt consumes a spare
     /// unless the previous attempt's spare survived).
     pub max_attempts: u32,
-    /// Base of the exponential inter-attempt backoff
-    /// (`base * 2^(attempt-1)`).
+    /// Base of the exponential inter-attempt backoff: the first retry
+    /// (attempt 2) waits `base`, doubling on each further retry. A zero
+    /// base is clamped to 1 ms — see [`RecoveryConfig::backoff_delay`].
     pub backoff_base: Duration,
     /// Per-chunk RDMA Read re-issue budget on CQ error or checksum
     /// mismatch.
     pub chunk_retries: u32,
+}
+
+impl RecoveryConfig {
+    /// Backoff charged *before* (1-based) `attempt` starts.
+    ///
+    /// Two edge cases are load-bearing guarantees, not accidents:
+    ///
+    /// * **Attempt 1 never backs off** — with `max_attempts = 1` the
+    ///   attempt loop runs exactly once and pays zero backoff.
+    /// * **`backoff_base = 0` is clamped to 1 ms**, never zero: between
+    ///   attempts the aborted cycle's C/R threads are killed and
+    ///   respawned, and they must get a scheduling slot to re-subscribe
+    ///   to FTB before the retry's `FTB_MIGRATE` publish. A zero delay
+    ///   would re-trigger into deaf threads — the virtual-time analogue
+    ///   of a busy-spin that starves its own recovery.
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let base = self.backoff_base.max(Duration::from_millis(1));
+        base * 2u32.saturating_pow(attempt - 2)
+    }
 }
 
 impl Default for RecoveryConfig {
@@ -179,6 +207,34 @@ mod tests {
         let per = c.disk.bandwidth / (1.0 + c.disk.alpha * 15.0);
         let t = 1363.2e6 / (per * 4.0);
         assert!((15.0..17.5).contains(&t), "PVFS checkpoint estimate {t}s");
+    }
+
+    #[test]
+    fn zero_backoff_base_cannot_busy_spin() {
+        let rec = RecoveryConfig {
+            backoff_base: Duration::ZERO,
+            ..recovery()
+        };
+        // Every retry still advances virtual time by at least 1 ms, and
+        // the exponential shape is preserved over the clamped base.
+        assert_eq!(rec.backoff_delay(2), Duration::from_millis(1));
+        assert_eq!(rec.backoff_delay(3), Duration::from_millis(2));
+        assert_eq!(rec.backoff_delay(4), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn single_attempt_budget_skips_backoff_entirely() {
+        let rec = RecoveryConfig {
+            max_attempts: 1,
+            ..recovery()
+        };
+        // The attempt loop only ever charges backoff for attempt > 1, so
+        // a one-attempt budget pays none at all.
+        assert_eq!(rec.backoff_delay(1), Duration::ZERO);
+        // And the normal base doubles from the first retry on.
+        let rec = recovery();
+        assert_eq!(rec.backoff_delay(2), rec.backoff_base);
+        assert_eq!(rec.backoff_delay(3), rec.backoff_base * 2);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod msgs;
 pub mod report;
 pub mod runtime;
 pub mod spare;
+pub mod wal;
 
 /// Common imports for examples and tests.
 pub mod prelude {
@@ -62,5 +63,8 @@ pub mod prelude {
         MigrationTuning, Placement,
     };
     pub use crate::spare::{SparePool, SparePoolStats};
-    pub use faultplane::{FaultPlan, FaultPlane, FaultSpec, MigPhase, NetSel, StoreFault};
+    pub use crate::wal::{CycleJournal, InFlight, WalEntry, WalRecord};
+    pub use faultplane::{
+        FaultPlan, FaultPlane, FaultSpec, MigPhase, NetSel, StoreFault, WalPoint,
+    };
 }

@@ -37,6 +37,12 @@ pub struct MigrateMsg {
     pub target: NodeId,
     /// Migration cycle sequence number (supports repeated migrations).
     pub cycle: u64,
+    /// Coordinator fencing epoch the publish was issued under. After a
+    /// standby takeover bumps the job's epoch, receivers drop stale
+    /// publishes — a deposed ("zombie") coordinator cannot drive the
+    /// protocol. `FtbEvent` wire size is payload-independent, so the
+    /// extra field cannot perturb virtual-time schedules.
+    pub epoch: u64,
 }
 
 /// Payload of [`FTB_MIGRATE_PIIC`].
@@ -59,6 +65,8 @@ pub struct RestartMsg {
     pub target: NodeId,
     /// Ranks to restart there.
     pub ranks: Vec<u32>,
+    /// Coordinator fencing epoch (see [`MigrateMsg::epoch`]).
+    pub epoch: u64,
 }
 
 /// Payload of [`FTB_CHECKPOINT`].

@@ -20,6 +20,12 @@ pub enum MigrationOutcome {
     /// degradation ladder always ends in a local-disk checkpoint, so this
     /// is never expected in practice.
     Lost,
+    /// The Job Manager died mid-cycle and the standby coordinator carried
+    /// the in-flight cycle to completion from the WAL journal.
+    ResumedByStandby,
+    /// The Job Manager died mid-cycle before the commit point; the
+    /// standby coordinator rolled the cycle back to the source.
+    RolledBackByStandby,
 }
 
 impl MigrationOutcome {
@@ -30,6 +36,8 @@ impl MigrationOutcome {
             MigrationOutcome::MigratedAfterRetry => "migrated_after_retry",
             MigrationOutcome::FellBackToCr => "fell_back_to_cr",
             MigrationOutcome::Lost => "lost",
+            MigrationOutcome::ResumedByStandby => "resumed_by_standby",
+            MigrationOutcome::RolledBackByStandby => "rolled_back_by_standby",
         }
     }
 }
@@ -52,12 +60,21 @@ pub struct OutcomeCounts {
     pub fell_back_to_cr: u64,
     /// Triggers with no recovery path (defensive; expected 0).
     pub lost: u64,
+    /// Cycles completed by the standby after a coordinator crash.
+    pub resumed_by_standby: u64,
+    /// Cycles rolled back by the standby after a coordinator crash.
+    pub rolled_back_by_standby: u64,
 }
 
 impl OutcomeCounts {
     /// Total triggers accounted for.
     pub fn total(&self) -> u64 {
-        self.migrated + self.migrated_after_retry + self.fell_back_to_cr + self.lost
+        self.migrated
+            + self.migrated_after_retry
+            + self.fell_back_to_cr
+            + self.lost
+            + self.resumed_by_standby
+            + self.rolled_back_by_standby
     }
 
     /// Bump the counter for `outcome`.
@@ -67,6 +84,8 @@ impl OutcomeCounts {
             MigrationOutcome::MigratedAfterRetry => self.migrated_after_retry += 1,
             MigrationOutcome::FellBackToCr => self.fell_back_to_cr += 1,
             MigrationOutcome::Lost => self.lost += 1,
+            MigrationOutcome::ResumedByStandby => self.resumed_by_standby += 1,
+            MigrationOutcome::RolledBackByStandby => self.rolled_back_by_standby += 1,
         }
     }
 }

@@ -28,6 +28,7 @@ use crate::cr_baseline;
 use crate::msgs::*;
 use crate::report::{CrReport, CrStoreKind, MigrationOutcome, MigrationReport, OutcomeCounts};
 use crate::spare::SparePool;
+use crate::wal::{CycleJournal, InFlight, WalRecord};
 use blcrsim::{ProcessImage, StoreSource};
 use bytes::Bytes;
 use faultplane::{FaultPlane, MigPhase};
@@ -82,6 +83,12 @@ pub struct JobSpec {
     pub auto_migrate_on_health: bool,
     /// Self-healing policy: per-phase deadlines, retry budget, backoff.
     pub recovery: calib::RecoveryConfig,
+    /// Run a standby coordinator on the login node: if the Job Manager
+    /// dies mid-cycle (the `CoordinatorCrash` fault), the standby fences
+    /// the deposed epoch and recovers the in-flight cycle from the WAL
+    /// journal (resume-from-point or rollback). Off by default — the
+    /// journal itself is always on and free of scheduling effects.
+    pub standby: bool,
 }
 
 impl JobSpec {
@@ -101,6 +108,7 @@ impl JobSpec {
             seed,
             auto_migrate_on_health: false,
             recovery: calib::recovery(),
+            standby: false,
         }
     }
 
@@ -115,6 +123,7 @@ impl JobSpec {
             seed: 42,
             auto_migrate_on_health: false,
             recovery: calib::recovery(),
+            standby: false,
         }
     }
 }
@@ -394,6 +403,11 @@ pub(crate) struct MigCycle {
     /// Worker processes owned by this cycle (pool managers, ack loop,
     /// restart workers) — killed wholesale on abort.
     procs: Mutex<Vec<ProcHandle>>,
+    /// Claim flag for the Phase 3 `FTB_RESTART` reaction: the standby
+    /// re-publishes the restart broadcast when the WAL cannot prove the
+    /// original went out, so the target NLA must react to exactly one of
+    /// the (at most two) publishes.
+    restart_claim: Mutex<bool>,
 }
 
 #[derive(Default)]
@@ -441,6 +455,14 @@ impl MigCycle {
             self.procs.lock().push(ph);
         }
     }
+
+    /// First caller wins the right to run the Phase 3 restart reaction;
+    /// a duplicate `FTB_RESTART` (original + standby re-publish) is a
+    /// no-op for everyone else.
+    fn claim_restart(&self) -> bool {
+        let mut claimed = self.restart_claim.lock();
+        !std::mem::replace(&mut *claimed, true)
+    }
 }
 
 /// Shared state of one coordinated-checkpoint cycle.
@@ -482,6 +504,53 @@ impl SpawnTree {
     }
 }
 
+/// The current coordinator generation: the live Job Manager's process
+/// handle plus the event a scheduled [`faultplane::FaultSpec::CoordinatorCrash`]
+/// sets when it kills that process. The journal's crash hook fires
+/// through here; the standby waits on the generation's `dead` event and
+/// installs a fresh generation after every takeover.
+pub(crate) struct CoordSignal {
+    gen: Mutex<CoordGen>,
+}
+
+struct CoordGen {
+    proc: Option<ProcHandle>,
+    dead: Event,
+}
+
+impl CoordSignal {
+    fn new(dead: Event) -> CoordSignal {
+        CoordSignal {
+            gen: Mutex::new(CoordGen { proc: None, dead }),
+        }
+    }
+
+    /// Install the live coordinator process for the current generation.
+    fn arm(&self, proc: ProcHandle, dead: Event) {
+        *self.gen.lock() = CoordGen {
+            proc: Some(proc),
+            dead,
+        };
+    }
+
+    /// Execute a scheduled coordinator crash: kill the registered
+    /// coordinator (if any — a crash landing while the standby itself is
+    /// coordinating is a no-op) and signal the standby. Taking the handle
+    /// makes a second fire within one generation inert.
+    fn fire(&self) {
+        let mut g = self.gen.lock();
+        if let Some(ph) = g.proc.take() {
+            ph.kill();
+        }
+        g.dead.set();
+    }
+
+    /// The current generation's death event (what the standby waits on).
+    fn dead(&self) -> Event {
+        self.gen.lock().dead.clone()
+    }
+}
+
 pub(crate) struct RtInner {
     pub cluster: Cluster,
     pub spec: JobSpec,
@@ -513,6 +582,15 @@ pub(crate) struct RtInner {
     /// Per-rank lifecycle position, advanced only through
     /// `protoverify::RANK_TABLE` (see [`JobRuntime::rank_apply`]).
     pub rank_life: Mutex<BTreeMap<u32, RankLife>>,
+    /// The WAL-backed cycle journal (always on; crash injection and the
+    /// standby read it).
+    pub journal: CycleJournal,
+    /// Coordinator fencing epoch. Starts at 0 (the legacy, never-fenced
+    /// epoch); each standby takeover bumps it and fences the spare pool
+    /// and FTB publishes of every deposed epoch.
+    pub epoch: AtomicU64,
+    /// Live-coordinator registration for crash injection / takeover.
+    pub(crate) coord: Arc<CoordSignal>,
 }
 
 /// Where a job sits on the cluster: its identity and (optionally) an
@@ -612,6 +690,11 @@ impl JobRuntime {
                 }),
             );
         }
+        let journal = CycleJournal::new(&handle);
+        if let Some(plane) = cluster.fault_plane() {
+            journal.install_fault_plane(plane);
+        }
+        let coord = Arc::new(CoordSignal::new(Event::new(&handle, "coord-dead")));
         let rt = JobRuntime {
             inner: Arc::new(RtInner {
                 cluster: cluster.clone(),
@@ -638,8 +721,14 @@ impl JobRuntime {
                 }),
                 outcomes: Mutex::new(OutcomeCounts::default()),
                 rank_life: Mutex::new((0..spec_nranks).map(|r| (r, RankLife::Running)).collect()),
+                journal: journal.clone(),
+                epoch: AtomicU64::new(0),
+                coord: coord.clone(),
             }),
         };
+        // A scheduled coordinator crash fires inside `CycleJournal::append`:
+        // kill whichever coordinator is registered and wake the standby.
+        journal.set_crash_hook(move || coord.fire());
         rt.inner.spawn_tree.lock().nodes = used_nodes.clone();
 
         // NLA daemons on every participating node (compute + spares).
@@ -658,9 +747,18 @@ impl JobRuntime {
         }
         // Job Manager on the login node.
         let rt2 = rt.clone();
-        handle.spawn_daemon(&rt.proc_name("job-manager", ""), move |ctx| {
+        let jm = handle.spawn_daemon(&rt.proc_name("job-manager", ""), move |ctx| {
             jm_proc(ctx, rt2)
         });
+        rt.inner.coord.arm(jm, rt.inner.coord.dead());
+        // Standby coordinator (same login node in the paper's deployment;
+        // here a separate daemon so the Job Manager's death leaves it up).
+        if rt.inner.spec.standby {
+            let rt2 = rt.clone();
+            handle.spawn_daemon(&rt.proc_name("standby", ""), move |ctx| {
+                standby_proc(ctx, rt2)
+            });
+        }
         // Health-event bridge.
         if rt.inner.spec.auto_migrate_on_health {
             let rt2 = rt.clone();
@@ -789,6 +887,17 @@ impl JobRuntime {
     /// successes, CR fallbacks, and (defensively) lost triggers.
     pub fn migration_outcomes(&self) -> OutcomeCounts {
         *self.inner.outcomes.lock()
+    }
+
+    /// The job's WAL-backed cycle journal (always on).
+    pub fn journal(&self) -> &CycleJournal {
+        &self.inner.journal
+    }
+
+    /// The current coordinator fencing epoch: 0 until the first standby
+    /// takeover, bumped once per takeover.
+    pub fn fencing_epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Relaxed)
     }
 
     /// The current mpispawn tree: `(root, NLA nodes in launch order)`.
@@ -1179,15 +1288,6 @@ fn wait_countdown_until(ctx: &Ctx, cd: &Countdown, deadline: SimTime) -> bool {
     cd.wait_timeout(ctx, deadline - now)
 }
 
-/// Inter-attempt backoff: `base * 2^(attempt-2)` for attempt ≥ 2 (the
-/// first attempt starts immediately). Clamped to at least 1 ms so that
-/// C/R threads respawned by an abort are always re-subscribed before the
-/// next attempt's `FTB_MIGRATE` is published.
-fn backoff_delay(rec: &calib::RecoveryConfig, attempt: u32) -> Duration {
-    let base = rec.backoff_base.max(Duration::from_millis(1));
-    base * 2u32.saturating_pow(attempt.saturating_sub(2))
-}
-
 fn record_outcome(ctx: &Ctx, rt: &JobRuntime, outcome: MigrationOutcome) {
     rt.inner.outcomes.lock().record(outcome);
     ctx.instant_with("log", "migration_outcome", || {
@@ -1249,6 +1349,11 @@ fn run_migration(
     // degrade path below is reached exactly when that guard rejects.
     let rec = req.effective_recovery(inner.spec.recovery);
     let plane = inner.cluster.fault_plane();
+    if let Some(p) = &plane {
+        // The plane may have been installed after launch; (re)arm the
+        // journal so scheduled coordinator crashes fire on appends.
+        inner.journal.install_fault_plane(p.clone());
+    }
     let spec = MigrationSpec::shipped();
     let mut stepper = CycleStepper::new(&spec);
     let mut attempt = 0u32;
@@ -1258,13 +1363,14 @@ fn run_migration(
         } else {
             CycleEvent::Retry
         };
+        let epoch = inner.epoch.load(Ordering::Relaxed);
         // Lease before stepping: with several jobs migrating concurrently
         // the pool may drain between a check and a take, so the guard's
         // "spare available" answer must come from one atomic pool
         // operation. `spares_left` reports the pre-lease count.
         let attempts_left = rec.max_attempts.saturating_sub(attempt);
         let lease = if attempts_left > 0 {
-            inner.pool.lease(inner.job_id)
+            inner.pool.lease_at(inner.job_id, epoch)
         } else {
             None
         };
@@ -1278,7 +1384,7 @@ fn run_migration(
         if proto_step(ctx, &mut stepper, begin, &g).is_err() {
             // RetryPath rejected: no spare or no budget — degrade below.
             if let Some(n) = lease {
-                inner.pool.release_front(n, inner.job_id);
+                inner.pool.release_front_at(n, inner.job_id, epoch);
             }
             break;
         }
@@ -1288,19 +1394,37 @@ fn run_migration(
         };
         attempt += 1;
         if attempt > 1 {
-            ctx.sleep(backoff_delay(&rec, attempt));
+            ctx.sleep(rec.backoff_delay(attempt));
         }
         if rt.adopt_spare(ctx, target) {
             // Freshly spawned NLA daemon: give it a moment of virtual
             // time to connect and subscribe before FTB_MIGRATE goes out.
             ctx.sleep(Duration::from_millis(1));
         }
+        // WAL: the attempt and its lease binding are on record before any
+        // protocol side effect. A coordinator crash scheduled at either
+        // boundary kills us between the append and the side effect —
+        // `check_killed` unwinds this proc on the spot.
+        let id = rt.next_cycle_id();
+        inner.journal.append(WalRecord::CycleStart {
+            cycle: id,
+            source,
+            attempt,
+        });
+        ctx.check_killed();
+        inner.journal.append(WalRecord::LeaseAcquire {
+            cycle: id,
+            node: target,
+            epoch,
+        });
+        ctx.check_killed();
         match run_attempt(
             ctx,
             rt,
             ftb,
             sub,
             &req,
+            id,
             source,
             &ranks,
             target,
@@ -1310,7 +1434,13 @@ fn run_migration(
             &mut stepper,
         ) {
             Ok(times) => {
-                inner.pool.consume(target, inner.job_id);
+                inner.journal.append(WalRecord::LeaseCommit {
+                    cycle: id,
+                    node: target,
+                    epoch,
+                });
+                ctx.check_killed();
+                inner.pool.consume_at(target, inner.job_id, epoch);
                 let outcome = if attempt == 1 {
                     MigrationOutcome::Migrated
                 } else {
@@ -1331,6 +1461,8 @@ fn run_migration(
                     attempts: attempt,
                 });
                 inner.pending_sources.lock().remove(&source);
+                inner.journal.append(WalRecord::CycleEnd { cycle: id });
+                ctx.check_killed();
                 return;
             }
             Err(()) => continue,
@@ -1398,6 +1530,7 @@ fn run_attempt(
     ftb: &FtbClient,
     sub: &Queue<FtbEvent>,
     req: &MigrationRequest,
+    id: u64,
     source: NodeId,
     ranks: &[u32],
     target: NodeId,
@@ -1407,7 +1540,7 @@ fn run_attempt(
     stepper: &mut CycleStepper<'_>,
 ) -> Result<AttemptTimes, ()> {
     let inner = &rt.inner;
-    let id = rt.next_cycle_id();
+    let epoch = inner.epoch.load(Ordering::Relaxed);
     let handle = inner.cluster.handle();
     let n = inner.spec.nranks as u64;
     let cycle = Arc::new(MigCycle {
@@ -1434,6 +1567,7 @@ fn run_attempt(
         gate: Mutex::new(CycleGate::default()),
         captured_meta: Mutex::new(HashMap::new()),
         procs: Mutex::new(Vec::new()),
+        restart_claim: Mutex::new(false),
     });
     inner.mig_cycles.lock().insert(id, cycle.clone());
 
@@ -1456,13 +1590,17 @@ fn run_attempt(
     // the pool's front (retry reuses it) or a discard (the spare died).
     macro_rules! fail {
         ($event:expr, $reason:expr, $spare_alive:expr) => {{
+            inner.journal.append(WalRecord::Rollback { cycle: id });
+            ctx.check_killed();
             let _ = proto_step(ctx, stepper, $event, &always);
             abort_cycle(ctx, rt, &cycle, $reason, tree_adjusted);
             if $spare_alive {
-                inner.pool.release_front(target, inner.job_id);
+                inner.pool.release_front_at(target, inner.job_id, epoch);
             } else {
-                inner.pool.discard(target, inner.job_id);
+                inner.pool.discard_at(target, inner.job_id, epoch);
             }
+            inner.journal.append(WalRecord::CycleEnd { cycle: id });
+            ctx.check_killed();
             return Err(());
         }};
     }
@@ -1491,6 +1629,11 @@ fn run_attempt(
         kill_spare(ctx, rt, target);
         fail!(CycleEvent::SpareCrash, "spare_crash", false);
     }
+    inner.journal.append(WalRecord::PhaseEnter {
+        cycle: id,
+        phase: MigPhase::Stall,
+    });
+    ctx.check_killed();
     let t0 = ctx.now();
     let ph = ctx.span_with("phase", "stall", phase_args(req));
     ftb.publish(
@@ -1504,6 +1647,7 @@ fn run_attempt(
                 source,
                 target,
                 cycle: id,
+                epoch,
             },
         ),
     );
@@ -1522,6 +1666,11 @@ fn run_attempt(
         kill_spare(ctx, rt, target);
         fail!(CycleEvent::SpareCrash, "spare_crash", false);
     }
+    inner.journal.append(WalRecord::PhaseEnter {
+        cycle: id,
+        phase: MigPhase::Migrate,
+    });
+    ctx.check_killed();
     let ph = ctx.span_with("phase", "migrate", phase_args(req));
     // Pipelined data path: Phase 3 is kicked off *now*, overlapping the
     // pull — the spawn tree is adjusted and FTB_RESTART goes out while
@@ -1532,6 +1681,10 @@ fn run_attempt(
     // report attributes to restart. The overlapping `"phase"` spans are
     // rendered by `telemetry::Timeline` (sum vs wall).
     let restart_ph = if cycle.pool.overlap {
+        inner
+            .journal
+            .append(WalRecord::NlaRewire { cycle: id, target });
+        ctx.check_killed();
         ctx.sleep(calib::SPAWN_TREE_ADJUST);
         inner.spawn_tree.lock().replace(source, target);
         tree_adjusted = true;
@@ -1548,6 +1701,7 @@ fn run_attempt(
                     cycle: id,
                     target,
                     ranks: ranks.to_vec(),
+                    epoch,
                 },
             ),
         );
@@ -1570,11 +1724,20 @@ fn run_attempt(
         kill_spare(ctx, rt, target);
         fail!(CycleEvent::SpareCrash, "spare_crash", false);
     }
+    inner.journal.append(WalRecord::PhaseEnter {
+        cycle: id,
+        phase: MigPhase::Restart,
+    });
+    ctx.check_killed();
     let ph = match restart_ph {
         Some(p) => p,
         None => {
             // Moved out as `ph` and ended at Phase 3's `ph.end()`.
             let p = ctx.span_with("phase", "restart", phase_args(req)); // jmlint: allow(span_exit)
+            inner
+                .journal
+                .append(WalRecord::NlaRewire { cycle: id, target });
+            ctx.check_killed();
             ctx.sleep(calib::SPAWN_TREE_ADJUST);
             inner.spawn_tree.lock().replace(source, target);
             tree_adjusted = true;
@@ -1589,6 +1752,7 @@ fn run_attempt(
                         cycle: id,
                         target,
                         ranks: ranks.to_vec(),
+                        epoch,
                     },
                 ),
             );
@@ -1606,6 +1770,10 @@ fn run_attempt(
         fail!(CycleEvent::PhaseTimeout, "restart_timeout", true);
     }
     let _ = proto_step(ctx, stepper, CycleEvent::RestartDone, &always);
+    // The commit point: every rank restarted on the target — from here
+    // the target is authoritative and recovery must roll forward.
+    inner.journal.append(WalRecord::CommitPoint { cycle: id });
+    ctx.check_killed();
     let t3 = ctx.now();
 
     // Phase 4 — Resume.
@@ -1613,6 +1781,11 @@ fn run_attempt(
         kill_spare(ctx, rt, target);
         fail!(CycleEvent::SpareCrash, "spare_crash", false);
     }
+    inner.journal.append(WalRecord::PhaseEnter {
+        cycle: id,
+        phase: MigPhase::Resume,
+    });
+    ctx.check_killed();
     let ph = ctx.span_with("phase", "resume", phase_args(req));
     let deadline = t3 + rec.resume_timeout;
     let ok = wait_countdown_until(ctx, &cycle.resumed, deadline);
@@ -1765,6 +1938,265 @@ fn health_bridge(ctx: &Ctx, rt: JobRuntime) {
 }
 
 // ---------------------------------------------------------------------------
+// Standby coordinator
+// ---------------------------------------------------------------------------
+
+/// The standby coordinator: waits for the live Job Manager's death
+/// signal, fences the deposed epoch, recovers the in-flight cycle from
+/// the WAL journal, then respawns a fresh Job Manager generation and
+/// goes back to standing by (so chained coordinator crashes in later
+/// cycles are survivable too).
+fn standby_proc(ctx: &Ctx, rt: JobRuntime) {
+    let login = rt.inner.cluster.login();
+    let ftb = FtbClient::connect(rt.inner.cluster.ftb(), login, "standby");
+    loop {
+        let dead = rt.inner.coord.dead();
+        dead.wait(ctx);
+        // Failure-detector confirmation window before acting.
+        ctx.sleep(calib::TAKEOVER_DETECT);
+        takeover(ctx, &rt, &ftb);
+        // Respawn the Job Manager under the new epoch and re-arm the
+        // crash signal for the next generation.
+        let epoch = rt.fencing_epoch();
+        let handle = rt.inner.cluster.handle();
+        let rt2 = rt.clone();
+        let name = format!("{}-g{epoch}", rt.proc_name("job-manager", ""));
+        let jm = handle.spawn_daemon(&name, move |ctx| jm_proc(ctx, rt2));
+        rt.inner.coord.arm(jm, Event::new(handle, "coord-dead"));
+    }
+}
+
+/// One takeover: bump the fencing epoch, fence the spare pool, replay the
+/// journal tail, and either finish the in-flight cycle (resume-from-point
+/// / roll-forward past the commit point) or roll it back to the source.
+fn takeover(ctx: &Ctx, rt: &JobRuntime, ftb: &FtbClient) {
+    let inner = &rt.inner;
+    let epoch = inner.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+    let adopted = inner.pool.fence(inner.job_id, epoch) as u64;
+    let fl = inner.journal.in_flight();
+    let in_flight_cycle = fl.as_ref().map(|f| f.cycle).unwrap_or(0);
+    ctx.instant_with("wal", "takeover", || {
+        vec![
+            ("epoch", epoch.into()),
+            ("adopted_leases", adopted.into()),
+            ("cycle", in_flight_cycle.into()),
+        ]
+    });
+    // Reconcile the pool against the journal: the lease is acquired just
+    // before the cycle's first record, so a crash at the `CycleStart`
+    // boundary leaves a lease the tail cannot yet see. Any lease of ours
+    // the journal does not account for is returned to the pool (the
+    // pool, having survived the crash, is the lease's source of truth).
+    let accounted = fl.as_ref().and_then(|f| f.lease.map(|(n, _)| n));
+    for (node, job) in inner.pool.leases() {
+        if job == inner.job_id && Some(node) != accounted {
+            inner.pool.release_front_at(node, inner.job_id, epoch);
+        }
+    }
+    let Some(fl) = fl else {
+        // Clean journal tail: the coordinator died between cycles.
+        return;
+    };
+    let rec = inner.spec.recovery;
+    let Some(cycle) = rt.mig_cycle(fl.cycle) else {
+        // The crash landed between the CycleStart/LeaseAcquire records
+        // and the cycle's construction: no side effect is visible
+        // anywhere. Settle the lease and close the cycle on the record.
+        if let Some((node, _)) = fl.lease {
+            inner.pool.release_front_at(node, inner.job_id, epoch);
+        }
+        inner
+            .journal
+            .append(WalRecord::Rollback { cycle: fl.cycle });
+        settle_standby_outcome(
+            ctx,
+            rt,
+            &fl,
+            fl.source,
+            0,
+            0,
+            MigrationOutcome::RolledBackByStandby,
+        );
+        return;
+    };
+    if fl.rolling_back {
+        // The dead coordinator had decided to abort but died before
+        // executing it (crashes only fire at append boundaries, and the
+        // Rollback record precedes `abort_cycle`). Finish the rollback.
+        standby_rollback(ctx, rt, &cycle, &fl, epoch, fl.rewired);
+        return;
+    }
+    if fl.committed {
+        roll_forward(ctx, rt, &cycle, &fl, epoch, &rec);
+        return;
+    }
+    // Pre-commit. If the cycle never became visible to the job (the
+    // deepest record is the Stall phase entry, which precedes the
+    // FTB_MIGRATE publish), nothing suspended: rollback is a cheap
+    // settle. Otherwise the data path is still progressing on its own —
+    // resume from the journal's point with fresh deadlines, re-executing
+    // only the pending coordinator side effects, and roll back if any
+    // fresh deadline passes.
+    let visible = fl.phase.map(|p| p != MigPhase::Stall).unwrap_or(false);
+    if !visible {
+        standby_rollback(ctx, rt, &cycle, &fl, epoch, fl.rewired);
+        return;
+    }
+    let mut adjusted = fl.rewired;
+    // Phase 2 tail: the source NLA publishes PIIC on its own.
+    if !wait_event_until(ctx, &cycle.piic, ctx.now() + rec.migrate_timeout) {
+        standby_rollback(ctx, rt, &cycle, &fl, epoch, adjusted);
+        return;
+    }
+    // Phase 3: the WAL cannot prove the restart broadcast went out (a
+    // crash at the NlaRewire boundary leaves the record durable but the
+    // publish unexecuted), so re-execute idempotently: the spawn-tree
+    // replace is a no-op when already done and the cycle's claim guard
+    // makes a duplicate FTB_RESTART inert.
+    if !cycle.restart_done.is_set() {
+        if !fl.rewired {
+            inner.journal.append(WalRecord::NlaRewire {
+                cycle: fl.cycle,
+                target: cycle.target,
+            });
+        }
+        ctx.sleep(calib::SPAWN_TREE_ADJUST);
+        inner.spawn_tree.lock().replace(fl.source, cycle.target);
+        adjusted = true;
+        ftb.publish(
+            ctx,
+            FtbEvent::with_payload(
+                MPI_SPACE,
+                FTB_RESTART,
+                Severity::Error,
+                inner.cluster.login(),
+                RestartMsg {
+                    cycle: fl.cycle,
+                    target: cycle.target,
+                    ranks: cycle.ranks.clone(),
+                    epoch,
+                },
+            ),
+        );
+    }
+    if !wait_event_until(ctx, &cycle.restart_done, ctx.now() + rec.restart_timeout) {
+        standby_rollback(ctx, rt, &cycle, &fl, epoch, adjusted);
+        return;
+    }
+    inner
+        .journal
+        .append(WalRecord::CommitPoint { cycle: fl.cycle });
+    roll_forward(ctx, rt, &cycle, &fl, epoch, &rec);
+}
+
+/// Post-commit recovery: every rank restarted on the target, so the only
+/// correct direction is forward — wait out Phase 4 (the ranks drive it
+/// themselves), settle the lease as consumed, and account the cycle.
+fn roll_forward(
+    ctx: &Ctx,
+    rt: &JobRuntime,
+    cycle: &Arc<MigCycle>,
+    fl: &InFlight,
+    epoch: u64,
+    rec: &calib::RecoveryConfig,
+) {
+    let inner = &rt.inner;
+    if !wait_countdown_until(ctx, &cycle.resumed, ctx.now() + rec.resume_timeout) {
+        // Defensive: a committed cycle cannot be rolled back and its
+        // resume did not land — account the trigger as lost rather than
+        // hang the takeover (expected never; Phase 4 needs no
+        // coordinator).
+        settle_standby_outcome(ctx, rt, fl, cycle.target, 0, 0, MigrationOutcome::Lost);
+        return;
+    }
+    if let Some((node, _)) = fl.lease {
+        if !fl.lease_committed {
+            inner.journal.append(WalRecord::LeaseCommit {
+                cycle: fl.cycle,
+                node,
+                epoch,
+            });
+        }
+        inner.pool.consume_at(node, inner.job_id, epoch);
+    }
+    let bytes = *cycle.piic_bytes.lock();
+    settle_standby_outcome(
+        ctx,
+        rt,
+        fl,
+        cycle.target,
+        cycle.ranks.len(),
+        bytes,
+        MigrationOutcome::ResumedByStandby,
+    );
+}
+
+/// Pre-commit recovery: finish (or initiate) the rollback the journal
+/// demands — abort the cycle, return the spare to the pool's front under
+/// the new epoch, and account the trigger.
+fn standby_rollback(
+    ctx: &Ctx,
+    rt: &JobRuntime,
+    cycle: &Arc<MigCycle>,
+    fl: &InFlight,
+    epoch: u64,
+    tree_adjusted: bool,
+) {
+    let inner = &rt.inner;
+    if !fl.rolling_back {
+        inner
+            .journal
+            .append(WalRecord::Rollback { cycle: fl.cycle });
+    }
+    abort_cycle(ctx, rt, cycle, "coordinator_crash", tree_adjusted);
+    if let Some((node, _)) = fl.lease {
+        inner.pool.release_front_at(node, inner.job_id, epoch);
+    }
+    settle_standby_outcome(
+        ctx,
+        rt,
+        fl,
+        cycle.target,
+        0,
+        0,
+        MigrationOutcome::RolledBackByStandby,
+    );
+}
+
+/// Common tail of every standby recovery path: outcome counter, report
+/// (phase durations are zero — the dead coordinator's phase clocks died
+/// with it), pending-source cleanup, and the closing `CycleEnd` record.
+fn settle_standby_outcome(
+    ctx: &Ctx,
+    rt: &JobRuntime,
+    fl: &InFlight,
+    target: NodeId,
+    ranks_moved: usize,
+    bytes_moved: u64,
+    outcome: MigrationOutcome,
+) {
+    let inner = &rt.inner;
+    record_outcome(ctx, rt, outcome);
+    inner.mig_reports.lock().push(MigrationReport {
+        cycle: fl.cycle,
+        source: fl.source,
+        target,
+        stall: Duration::ZERO,
+        migrate: Duration::ZERO,
+        restart: Duration::ZERO,
+        resume: Duration::ZERO,
+        ranks_moved,
+        bytes_moved,
+        outcome,
+        attempts: fl.attempt,
+    });
+    inner.pending_sources.lock().remove(&fl.source);
+    inner
+        .journal
+        .append(WalRecord::CycleEnd { cycle: fl.cycle });
+}
+
+// ---------------------------------------------------------------------------
 // Node Launch Agent
 // ---------------------------------------------------------------------------
 
@@ -1795,6 +2227,17 @@ fn nla_proc(ctx: &Ctx, rt: JobRuntime, node: NodeId) {
                     continue;
                 };
                 let m = *m;
+                if m.epoch < rt.fencing_epoch() {
+                    // Fenced: published under a deposed coordinator epoch.
+                    ctx.instant_with("wal", "fenced_publish", || {
+                        vec![
+                            ("name", FTB_MIGRATE.into()),
+                            ("cycle", m.cycle.into()),
+                            ("epoch", m.epoch.into()),
+                        ]
+                    });
+                    continue;
+                }
                 let Some(cycle) = rt.mig_cycle(m.cycle) else {
                     continue;
                 };
@@ -1830,6 +2273,17 @@ fn nla_proc(ctx: &Ctx, rt: JobRuntime, node: NodeId) {
                 let Some(r) = ev.payload_as::<RestartMsg>() else {
                     continue;
                 };
+                if r.epoch < rt.fencing_epoch() {
+                    let (cycle, epoch) = (r.cycle, r.epoch);
+                    ctx.instant_with("wal", "fenced_publish", || {
+                        vec![
+                            ("name", FTB_RESTART.into()),
+                            ("cycle", cycle.into()),
+                            ("epoch", epoch.into()),
+                        ]
+                    });
+                    continue;
+                }
                 if r.target == node {
                     let r = r.clone();
                     let rt2 = rt.clone();
@@ -1838,6 +2292,11 @@ fn nla_proc(ctx: &Ctx, rt: JobRuntime, node: NodeId) {
                     let Some(cycle) = rt.mig_cycle(r.cycle) else {
                         continue;
                     };
+                    if !cycle.claim_restart() {
+                        // Duplicate broadcast (original + standby
+                        // re-publish); the first reaction owns Phase 3.
+                        continue;
+                    }
                     let ph =
                         ctx.spawn_daemon(&format!("mig{}-restart@{node}", r.cycle), move |ctx| {
                             let Some(cycle) = rt2.mig_cycle(r.cycle) else {
@@ -1912,7 +2371,18 @@ fn target_side_pull(ctx: &Ctx, rt: &JobRuntime, m: MigrateMsg) {
     let hooks = TargetHooks {
         on_rank_ready: Some(Arc::new({
             let cycle = cycle.clone();
+            let journal = inner.journal.clone();
             move |ctx: &Ctx, rank: u32, image: AssembledImage| {
+                // NLA-side WAL append: recorded before the image is handed
+                // over. Appenders on the data path survive a coordinator
+                // crash (the crash hook kills only the Job Manager), so
+                // the journal keeps tracking per-rank progress — exactly
+                // what lets the standby resume from the last verified
+                // point instead of rolling back.
+                journal.append(WalRecord::RankImageReady {
+                    cycle: cycle.id,
+                    rank,
+                });
                 cycle.images.lock().insert(rank, image);
                 if let Some(ev) = cycle.rank_ready.get(&rank) {
                     ev.set();
@@ -2131,6 +2601,13 @@ fn restart_one_rank(
         });
     }
     let meta = unwrap_meta(&image).map_err(RestartRankError::MetaCorrupt)?;
+    // NLA-side WAL append: the image verified, the rank is about to be
+    // placed on the target (see the `RankImageReady` append for why this
+    // appender surviving a coordinator crash matters).
+    inner.journal.append(WalRecord::RankRestarted {
+        cycle: cycle.id,
+        rank,
+    });
     rt.rank_apply(ctx, rank, RankEvent::Restart);
     inner.job.set_rank_node(rank, target);
     inner.job.cr(rank).restore_meta(meta);
@@ -2161,6 +2638,10 @@ fn cr_thread(ctx: &Ctx, rt: JobRuntime, rank: u32, resume: Option<Arc<MigCycle>>
                     continue;
                 };
                 let m = *m;
+                if m.epoch < rt.fencing_epoch() {
+                    // Fenced: a deposed coordinator cannot suspend ranks.
+                    continue;
+                }
                 let Some(cycle) = rt.mig_cycle(m.cycle) else {
                     continue;
                 };
@@ -2280,7 +2761,7 @@ fn cr_thread(ctx: &Ctx, rt: JobRuntime, rank: u32, resume: Option<Arc<MigCycle>>
                                 });
                                 break;
                             }
-                            ctx.sleep(backoff_delay(&rec, tries + 1));
+                            ctx.sleep(rec.backoff_delay(tries + 1));
                         }
                     }
                 }

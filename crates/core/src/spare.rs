@@ -22,6 +22,21 @@
 //! invariant `protoverify::fleet` proves over the abstract model: no node
 //! leased to two jobs at once, and every settled attempt accounts for
 //! exactly one node.
+//!
+//! ## Fencing epochs
+//!
+//! A crash-recoverable coordinator adds a second failure mode: a *zombie*.
+//! The standby that takes over cannot prove the old Job Manager is dead —
+//! only that it stopped journalling — so every pool operation carries the
+//! caller's *fencing epoch* and each job has a monotonic fence floor.
+//! [`SparePool::fence`] raises the floor and adopts the job's outstanding
+//! leases into the new epoch; any later settle presented under a lower
+//! epoch is **soft-rejected** (counted in
+//! [`SparePoolStats::fenced_rejects`], lease untouched) rather than
+//! trapped, because a late write from a deposed coordinator is an expected
+//! race, not corruption. Epoch 0 is the legacy single-coordinator path:
+//! no fence is ever raised, and the panicking settle semantics are
+//! unchanged.
 
 use ibfabric::NodeId;
 use parking_lot::Mutex;
@@ -44,14 +59,26 @@ pub struct SparePoolStats {
     pub discarded: u64,
     /// Nodes reclaimed into the free list by an orchestrator.
     pub reclaimed: u64,
+    /// Pool operations rejected because the caller presented a fencing
+    /// epoch below the job's fence floor (a deposed coordinator's late
+    /// write).
+    pub fenced_rejects: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    job: u64,
+    epoch: u64,
 }
 
 struct PoolState {
     /// Free nodes; the front is the next lease (FIFO in node-id order at
     /// build time, matching the pre-pool `Vec<NodeId>` semantics).
     free: Vec<NodeId>,
-    /// Outstanding leases: node → job id holding it.
-    leased: BTreeMap<NodeId, u64>,
+    /// Outstanding leases: node → holder (job id + fencing epoch).
+    leased: BTreeMap<NodeId, Lease>,
+    /// Per-job fence floor: settles under a lower epoch are rejected.
+    fences: BTreeMap<u64, u64>,
     stats: SparePoolStats,
 }
 
@@ -68,6 +95,7 @@ impl SparePool {
             inner: Arc::new(Mutex::new(PoolState {
                 free: nodes,
                 leased: BTreeMap::new(),
+                fences: BTreeMap::new(),
                 stats: SparePoolStats::default(),
             })),
         }
@@ -89,13 +117,23 @@ impl SparePool {
             .lock()
             .leased
             .iter()
-            .map(|(n, j)| (*n, *j))
+            .map(|(n, l)| (*n, l.job))
             .collect()
     }
 
     /// The job holding a lease on `node`, if any.
     pub fn leased_to(&self, node: NodeId) -> Option<u64> {
-        self.inner.lock().leased.get(&node).copied()
+        self.inner.lock().leased.get(&node).map(|l| l.job)
+    }
+
+    /// The fencing epoch a lease on `node` was granted (or adopted) under.
+    pub fn lease_epoch(&self, node: NodeId) -> Option<u64> {
+        self.inner.lock().leased.get(&node).map(|l| l.epoch)
+    }
+
+    /// The fence floor currently in force for `job` (0 if never fenced).
+    pub fn fence_of(&self, job: u64) -> u64 {
+        self.inner.lock().fences.get(&job).copied().unwrap_or(0)
     }
 
     /// Lifetime counters.
@@ -105,44 +143,105 @@ impl SparePool {
 
     /// Lease the front free node to `job`. `None` (recorded as a denial)
     /// when the free list is empty — the caller degrades or queues.
+    /// Legacy epoch-0 path; see [`SparePool::lease_at`].
     pub fn lease(&self, job: u64) -> Option<NodeId> {
+        self.lease_at(job, 0)
+    }
+
+    /// Lease the front free node to `job`, stamping the lease with the
+    /// caller's fencing `epoch`. A deposed coordinator (epoch below the
+    /// job's fence floor) is refused without touching the free list.
+    pub fn lease_at(&self, job: u64, epoch: u64) -> Option<NodeId> {
         let mut st = self.inner.lock();
+        if st.fenced(job, epoch) {
+            return None;
+        }
         if st.free.is_empty() {
             st.stats.denials += 1;
             return None;
         }
         let node = st.free.remove(0);
-        let prev = st.leased.insert(node, job);
+        let prev = st.leased.insert(node, Lease { job, epoch });
         assert!(
             prev.is_none(),
-            "spare pool corrupt: {node} was free while leased to job {prev:?}"
+            "spare pool corrupt: {node} was free while leased to job {:?}",
+            prev.map(|l| l.job)
         );
         st.stats.leases += 1;
         Some(node)
     }
 
-    /// Settle a lease: the migration succeeded, `node` now hosts ranks
-    /// and permanently leaves the pool.
-    pub fn consume(&self, node: NodeId, job: u64) {
+    /// Raise `job`'s fence floor to `epoch` (monotonic) and adopt the
+    /// job's outstanding leases into the new epoch — the takeover step
+    /// that makes the old coordinator's late settles rejectable while the
+    /// new one inherits the in-flight lease. Returns the number of leases
+    /// adopted.
+    pub fn fence(&self, job: u64, epoch: u64) -> usize {
         let mut st = self.inner.lock();
-        st.settle(node, job, "consume");
+        let floor = st.fences.entry(job).or_insert(0);
+        *floor = (*floor).max(epoch);
+        let mut adopted = 0;
+        for lease in st.leased.values_mut().filter(|l| l.job == job) {
+            lease.epoch = epoch;
+            adopted += 1;
+        }
+        adopted
+    }
+
+    /// Settle a lease: the migration succeeded, `node` now hosts ranks
+    /// and permanently leaves the pool. Legacy epoch-0 path.
+    pub fn consume(&self, node: NodeId, job: u64) {
+        self.consume_at(node, job, 0);
+    }
+
+    /// [`SparePool::consume`] under a fencing epoch. Returns `false`
+    /// (lease untouched, rejection counted) when `epoch` is below the
+    /// job's fence floor.
+    pub fn consume_at(&self, node: NodeId, job: u64, epoch: u64) -> bool {
+        let mut st = self.inner.lock();
+        if !st.settle(node, job, epoch, "consume") {
+            return false;
+        }
         st.stats.consumed += 1;
+        true
     }
 
     /// Settle a lease: the attempt aborted but `node` survived; it goes
-    /// back to the front of the free list for the retry.
+    /// back to the front of the free list for the retry. Legacy epoch-0
+    /// path.
     pub fn release_front(&self, node: NodeId, job: u64) {
-        let mut st = self.inner.lock();
-        st.settle(node, job, "release");
-        st.free.insert(0, node);
-        st.stats.returned += 1;
+        self.release_front_at(node, job, 0);
     }
 
-    /// Settle a lease: `node` died mid-attempt and never returns.
-    pub fn discard(&self, node: NodeId, job: u64) {
+    /// [`SparePool::release_front`] under a fencing epoch. Returns
+    /// `false` (lease untouched, rejection counted) when `epoch` is below
+    /// the job's fence floor.
+    pub fn release_front_at(&self, node: NodeId, job: u64, epoch: u64) -> bool {
         let mut st = self.inner.lock();
-        st.settle(node, job, "discard");
+        if !st.settle(node, job, epoch, "release") {
+            return false;
+        }
+        st.free.insert(0, node);
+        st.stats.returned += 1;
+        true
+    }
+
+    /// Settle a lease: `node` died mid-attempt and never returns. Legacy
+    /// epoch-0 path.
+    pub fn discard(&self, node: NodeId, job: u64) {
+        self.discard_at(node, job, 0);
+    }
+
+    /// [`SparePool::discard`] under a fencing epoch. Returns `false`
+    /// (lease untouched, rejection counted) when `epoch` is below the
+    /// job's fence floor.
+    pub fn discard_at(&self, node: NodeId, job: u64, epoch: u64) -> bool {
+        let mut st = self.inner.lock();
+        if !st.settle(node, job, epoch, "discard") {
+            return false;
+        }
         st.stats.discarded += 1;
+        true
     }
 
     /// Return a repaired (or vacated-and-verified) node to the back of
@@ -163,12 +262,30 @@ impl SparePool {
 }
 
 impl PoolState {
-    fn settle(&mut self, node: NodeId, job: u64, op: &str) {
+    /// Is `epoch` below `job`'s fence floor? Counts the rejection.
+    fn fenced(&mut self, job: u64, epoch: u64) -> bool {
+        let floor = self.fences.get(&job).copied().unwrap_or(0);
+        if epoch < floor {
+            self.stats.fenced_rejects += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Remove `node`'s lease on behalf of `(job, epoch)`. A stale epoch
+    /// is an expected zombie write: soft-reject, leave the lease for the
+    /// live coordinator. Wrong job or no lease is genuine corruption and
+    /// still traps.
+    fn settle(&mut self, node: NodeId, job: u64, epoch: u64, op: &str) -> bool {
+        if self.fenced(job, epoch) {
+            return false;
+        }
         match self.leased.remove(&node) {
-            Some(holder) if holder == job => {}
+            Some(holder) if holder.job == job => true,
             Some(holder) => panic!(
                 "spare pool corrupt: job {job} tried to {op} {node}, \
-                 which job {holder} holds"
+                 which job {} holds",
+                holder.job
             ),
             None => panic!("spare pool corrupt: job {job} tried to {op} unleased {node}"),
         }
@@ -229,5 +346,40 @@ mod tests {
     fn reclaim_of_free_node_is_trapped() {
         let pool = SparePool::new(nodes(&[5]));
         pool.reclaim(NodeId(5));
+    }
+
+    #[test]
+    fn fence_rejects_stale_settles_and_adopts_lease() {
+        let pool = SparePool::new(nodes(&[5, 6]));
+        // Epoch-1 coordinator leases, then a standby fences at epoch 2.
+        assert_eq!(pool.lease_at(1, 1), Some(NodeId(5)));
+        assert_eq!(pool.lease_epoch(NodeId(5)), Some(1));
+        assert_eq!(pool.fence(1, 2), 1);
+        assert_eq!(pool.fence_of(1), 2);
+        assert_eq!(pool.lease_epoch(NodeId(5)), Some(2));
+        // The zombie's late writes bounce off without touching the lease.
+        assert!(!pool.consume_at(NodeId(5), 1, 1));
+        assert!(!pool.release_front_at(NodeId(5), 1, 1));
+        assert_eq!(pool.lease_at(1, 1), None);
+        assert_eq!(pool.stats().fenced_rejects, 3);
+        assert_eq!(pool.leased_to(NodeId(5)), Some(1));
+        // The new epoch settles normally; accounting stays balanced.
+        assert!(pool.consume_at(NodeId(5), 1, 2));
+        let st = pool.stats();
+        assert_eq!(st.leases, st.consumed + st.returned + st.discarded);
+        // Other jobs are unaffected by job 1's fence.
+        assert_eq!(pool.lease(2), Some(NodeId(6)));
+        pool.release_front(NodeId(6), 2);
+    }
+
+    #[test]
+    fn fence_is_monotonic() {
+        let pool = SparePool::new(nodes(&[5]));
+        pool.fence(1, 3);
+        pool.fence(1, 2); // lowering attempt is ignored
+        assert_eq!(pool.fence_of(1), 3);
+        assert_eq!(pool.lease_at(1, 2), None);
+        assert_eq!(pool.lease_at(1, 3), Some(NodeId(5)));
+        assert!(pool.discard_at(NodeId(5), 1, 4));
     }
 }

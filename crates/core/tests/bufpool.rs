@@ -367,10 +367,9 @@ fn session_builder_wires_every_knob() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_entry_points_still_pump() {
-    // The pre-TransferSession API must keep working for one release.
-    use jobmig_core::bufpool::{run_target_pool, SourcePool};
+fn default_config_session_pumps_single_rank() {
+    // The default-config path the removed pre-TransferSession shims used
+    // to pin: one rank, one lane, file-backed staging.
     let cfg = PoolConfig::default();
     let mut sim = Simulation::new(5);
     let h = sim.handle();
@@ -383,14 +382,16 @@ fn deprecated_entry_points_still_pump() {
     let blcr = Blcr::new(membus, BlcrConfig::default());
     let rdv2 = rdv.clone();
     sim.spawn("source", move |ctx| {
-        let (pool, _ack) = SourcePool::setup(ctx, &src_hca, cfg, 1, &rdv2);
+        let (pool, _ack) = TransferSession::from_config(cfg).source(ctx, &src_hca, 1, &rdv2);
         let img = image(0, 2);
         let mut sink = pool.sink(ctx, 0, img.checksum());
         blcr.checkpoint(ctx, &img, &mut sink);
         pool.finished().wait(ctx);
     });
     sim.spawn("target", move |ctx| {
-        let res = run_target_pool(ctx, &tgt_hca, cfg, &rdv, fs, "mig.old").expect("pull");
+        let res = TransferSession::from_config(cfg)
+            .target(ctx, &tgt_hca, &rdv, fs, "mig.old")
+            .expect("pull");
         assert_eq!(res.images.len(), 1);
     });
     sim.run().unwrap();

@@ -78,6 +78,32 @@ impl fmt::Display for MigPhase {
     }
 }
 
+/// A position in the Job Manager's write-ahead cycle journal, used to
+/// target a coordinator crash at an exact record boundary.
+///
+/// The journal appends one record *before* each state-changing step of a
+/// migration cycle executes, so "crash at WAL point N" means "the record
+/// was durably appended, the side effect has not happened yet" — the
+/// hardest window for recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WalPoint {
+    /// Crash immediately after the `seq`-th journal append of the run
+    /// (1-based over the job's whole journal, spanning cycles).
+    Seq(u64),
+    /// Crash at the first journal append made inside `phase` — the
+    /// projection the model checker's counterexamples lower to.
+    Phase(MigPhase),
+}
+
+impl fmt::Display for WalPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalPoint::Seq(n) => write!(f, "wal record #{n}"),
+            WalPoint::Phase(p) => write!(f, "first wal record of {p}"),
+        }
+    }
+}
+
 /// The kind of a [`FaultSpec`], without its parameters — the fault
 /// alphabet. Protocol-level analysis (the `protoverify` model checker)
 /// enumerates fault edges over these kinds; [`FaultSpec::kind`] projects a
@@ -98,11 +124,14 @@ pub enum FaultKind {
     StoreWrite,
     /// The migration-target spare node dies ([`FaultSpec::SpareCrash`]).
     SpareCrash,
+    /// The Job Manager itself dies between two WAL records
+    /// ([`FaultSpec::CoordinatorCrash`]).
+    CoordinatorCrash,
 }
 
 impl FaultKind {
     /// Every fault kind, in declaration order.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::NetDrop,
         FaultKind::LinkFlap,
         FaultKind::RdmaCqError,
@@ -110,6 +139,7 @@ impl FaultKind {
         FaultKind::BlcrWriteError,
         FaultKind::StoreWrite,
         FaultKind::SpareCrash,
+        FaultKind::CoordinatorCrash,
     ];
 
     /// Stable lower-snake name (used in traces and counterexamples).
@@ -122,6 +152,7 @@ impl FaultKind {
             FaultKind::BlcrWriteError => "blcr_write_error",
             FaultKind::StoreWrite => "store_write",
             FaultKind::SpareCrash => "spare_crash",
+            FaultKind::CoordinatorCrash => "coordinator_crash",
         }
     }
 }
@@ -210,6 +241,14 @@ pub enum FaultSpec {
         /// 1-based migration attempt index.
         attempt: u32,
     },
+    /// Kill the Job Manager immediately after the journal record at `at`
+    /// is appended — the side effect that record announces has not
+    /// executed yet. Executed by the cycle journal via
+    /// [`FaultPlane::take_coordinator_crash`].
+    CoordinatorCrash {
+        /// The journal position at which the coordinator dies.
+        at: WalPoint,
+    },
 }
 
 impl fmt::Display for NetSel {
@@ -237,6 +276,9 @@ impl fmt::Display for FaultSpec {
             FaultSpec::StoreWrite { fault, nth } => write!(f, "store write #{nth} fails: {fault}"),
             FaultSpec::SpareCrash { phase, attempt } => {
                 write!(f, "spare crash at {phase} of attempt {attempt}")
+            }
+            FaultSpec::CoordinatorCrash { at } => {
+                write!(f, "coordinator crash at {at}")
             }
         }
     }
@@ -268,6 +310,7 @@ impl FaultSpec {
             FaultSpec::BlcrWriteError { .. } => FaultKind::BlcrWriteError,
             FaultSpec::StoreWrite { .. } => FaultKind::StoreWrite,
             FaultSpec::SpareCrash { .. } => FaultKind::SpareCrash,
+            FaultSpec::CoordinatorCrash { .. } => FaultKind::CoordinatorCrash,
         }
     }
 }
@@ -336,6 +379,7 @@ struct PlaneInner {
     blcr_errs: Mutex<Vec<u64>>,
     store_errs: Mutex<Vec<(StoreFault, u64)>>,
     spare_crashes: Mutex<Vec<(MigPhase, u32)>>,
+    coordinator_crashes: Mutex<Vec<WalPoint>>,
     rdma_reads: AtomicU64,
     blcr_writes: AtomicU64,
     store_writes: AtomicU64,
@@ -359,6 +403,7 @@ impl FaultPlane {
         let mut blcr_errs = Vec::new();
         let mut store_errs = Vec::new();
         let mut spare_crashes = Vec::new();
+        let mut coordinator_crashes = Vec::new();
         for spec in &plan.entries {
             match *spec {
                 FaultSpec::NetDrop { net, after, count } => drops.push(DropState {
@@ -374,6 +419,7 @@ impl FaultPlane {
                 FaultSpec::BlcrWriteError { nth } => blcr_errs.push(nth),
                 FaultSpec::StoreWrite { fault, nth } => store_errs.push((fault, nth)),
                 FaultSpec::SpareCrash { phase, attempt } => spare_crashes.push((phase, attempt)),
+                FaultSpec::CoordinatorCrash { at } => coordinator_crashes.push(at),
             }
         }
         FaultPlane {
@@ -389,6 +435,7 @@ impl FaultPlane {
                 blcr_errs: Mutex::new(blcr_errs),
                 store_errs: Mutex::new(store_errs),
                 spare_crashes: Mutex::new(spare_crashes),
+                coordinator_crashes: Mutex::new(coordinator_crashes),
                 rdma_reads: AtomicU64::new(0),
                 blcr_writes: AtomicU64::new(0),
                 store_writes: AtomicU64::new(0),
@@ -417,6 +464,33 @@ impl FaultPlane {
                 vec![
                     ("phase", phase.name().into()),
                     ("attempt", u64::from(attempt).into()),
+                ]
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a scheduled coordinator-crash entry matching the journal
+    /// append that just happened: record `seq` (1-based over the job's
+    /// journal) inside `phase`, the first record of that phase iff
+    /// `phase_first`. The cycle journal polls this after every append;
+    /// `true` means "kill the Job Manager now, before the side effect the
+    /// record announces executes". Each entry fires at most once.
+    pub fn take_coordinator_crash(&self, seq: u64, phase: MigPhase, phase_first: bool) -> bool {
+        let mut entries = self.inner.coordinator_crashes.lock();
+        if let Some(pos) = entries.iter().position(|&p| match p {
+            WalPoint::Seq(n) => n == seq,
+            WalPoint::Phase(ph) => phase_first && ph == phase,
+        }) {
+            let at = entries.remove(pos);
+            drop(entries);
+            self.record("coordinator_crash", || {
+                vec![
+                    ("seq", seq.into()),
+                    ("phase", phase.name().into()),
+                    ("at", at.to_string().into()),
                 ]
             });
             true
@@ -653,6 +727,28 @@ mod tests {
         assert!(!plane.take_spare_crash(MigPhase::Stall, 1));
         assert!(plane.take_spare_crash(MigPhase::Restart, 1));
         assert!(!plane.take_spare_crash(MigPhase::Restart, 1));
+    }
+
+    #[test]
+    fn coordinator_crash_matches_seq_or_phase_first() {
+        let sim = Simulation::new(1);
+        let plan = FaultPlan::new(7)
+            .with(FaultSpec::CoordinatorCrash {
+                at: WalPoint::Seq(3),
+            })
+            .with(FaultSpec::CoordinatorCrash {
+                at: WalPoint::Phase(MigPhase::Restart),
+            });
+        let plane = FaultPlane::new(&sim.handle(), &plan);
+        assert!(!plane.take_coordinator_crash(1, MigPhase::Stall, true));
+        assert!(!plane.take_coordinator_crash(2, MigPhase::Migrate, true));
+        assert!(plane.take_coordinator_crash(3, MigPhase::Migrate, false));
+        assert!(!plane.take_coordinator_crash(3, MigPhase::Migrate, false));
+        // Phase points only match the *first* record of the phase.
+        assert!(!plane.take_coordinator_crash(4, MigPhase::Restart, false));
+        assert!(plane.take_coordinator_crash(5, MigPhase::Restart, true));
+        assert!(!plane.take_coordinator_crash(6, MigPhase::Restart, true));
+        assert_eq!(plane.injected(), 2);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! byte-identically.
 
 use crate::policy::{AlertLevel, FleetAlert, FleetPolicy, FleetView, PolicyAction, PolicyKind};
-use faultplane::{DoomPlan, NodeDoom};
+use faultplane::{DoomPlan, FaultPlan, FaultSpec, NodeDoom};
 use ftb::{EventFilter, FtbClient, FtbConfig, Severity};
 use healthmon::{HealthAlert, MonitorConfig, SensorKind, SensorProfile, HEALTH_SPACE};
 use ibfabric::NodeId;
@@ -89,6 +89,16 @@ pub struct FleetConfig {
     /// single-job default: with ~70 nodes over simulated hours the 500 ms
     /// default dominates the event count without changing any outcome.
     pub ftb_heartbeat: Duration,
+    /// Launch every slot with a standby coordinator. Combined with a
+    /// `CoordinatorCrash` fault plan this exercises WAL takeover under
+    /// fleet contention: each promotion fences its job's leases with a
+    /// fresh epoch and resolves the in-flight cycle resume-or-rollback.
+    pub takeover: bool,
+    /// Coordinator-crash schedule for the takeover soak: each entry kills
+    /// the first Job Manager whose cycle journal reaches that WAL point
+    /// (entries fire at most once, fleet-wide). Requires `takeover`, or
+    /// the killed job simply never finishes its cycle.
+    pub coord_crashes: Vec<faultplane::WalPoint>,
 }
 
 impl FleetConfig {
@@ -126,6 +136,8 @@ impl FleetConfig {
                 ..MonitorConfig::default()
             },
             ftb_heartbeat: Duration::from_secs(10),
+            takeover: false,
+            coord_crashes: Vec::new(),
         }
     }
 
@@ -184,6 +196,9 @@ pub struct PolicyStats {
     pub alerts: u64,
     /// Nodes reclaimed into the spare pool after repair.
     pub reclaimed: u64,
+    /// Standby-coordinator takeovers (total fencing-epoch bumps across
+    /// all job incarnations); always 0 unless [`FleetConfig::takeover`].
+    pub takeovers: u64,
     /// Spare pool counters at the end of the run.
     pub pool: SparePoolStats,
 }
@@ -228,6 +243,8 @@ struct Slot {
     done_jobs: u64,
     past_outcomes: OutcomeCounts,
     past_ckpts: u64,
+    /// Standby takeovers (fencing-epoch bumps) of finished incarnations.
+    past_takeovers: u64,
 }
 
 impl Slot {
@@ -266,7 +283,8 @@ fn launch_slot(
     nodes: Vec<NodeId>,
     now: SimTime,
 ) -> Slot {
-    let spec = JobSpec::npb(cfg.workload.clone(), cfg.ppn);
+    let mut spec = JobSpec::npb(cfg.workload.clone(), cfg.ppn);
+    spec.standby = cfg.takeover;
     let rt = JobRuntime::launch_placed(
         cluster,
         spec,
@@ -287,6 +305,7 @@ fn launch_slot(
         done_jobs: 0,
         past_outcomes: OutcomeCounts::default(),
         past_ckpts: 0,
+        past_takeovers: 0,
     }
 }
 
@@ -490,11 +509,13 @@ fn pump(ctx: &Ctx, fleet: Arc<FleetShared>) {
                     o
                 };
                 let past_ckpts = s.past_ckpts + s.rt.cr_reports().len() as u64;
+                let past_takeovers = s.past_takeovers + s.rt.fencing_epoch();
                 s.rt.shutdown();
                 *s = fleet.launch_into(nodes, now);
                 s.done_jobs = done;
                 s.past_outcomes = past_out;
                 s.past_ckpts = past_ckpts;
+                s.past_takeovers = past_takeovers;
             }
         }
         // Dispatch queued orders, most urgent first, under admission
@@ -635,11 +656,13 @@ fn doom_executor(ctx: &Ctx, fleet: Arc<FleetShared>, doom: NodeDoom) {
                 let done = s.done_jobs;
                 let past_out = s.past_outcomes;
                 let past_ckpts = s.past_ckpts + s.rt.cr_reports().len() as u64;
+                let past_takeovers = s.past_takeovers + s.rt.fencing_epoch();
                 s.rt.shutdown();
                 *s = fleet.launch_into(nodes, ctx.now());
                 s.done_jobs = done;
                 s.past_outcomes = past_out;
                 s.past_ckpts = past_ckpts;
+                s.past_takeovers = past_takeovers;
                 fleet.stats.lock().scratch_restarts += 1;
             }
         }
@@ -669,6 +692,8 @@ fn accumulate(into: &mut OutcomeCounts, from: &OutcomeCounts) {
     into.migrated_after_retry += from.migrated_after_retry;
     into.fell_back_to_cr += from.fell_back_to_cr;
     into.lost += from.lost;
+    into.resumed_by_standby += from.resumed_by_standby;
+    into.rolled_back_by_standby += from.rolled_back_by_standby;
 }
 
 /// Run one policy's fleet soak in its own simulation and report the
@@ -699,6 +724,13 @@ pub fn run_policy_with_plan(cfg: &FleetConfig, policy: PolicyKind, plan: &DoomPl
         &cfg.fleet_compute_nodes()[..],
         "fleet compute-node preview out of sync with Cluster::build"
     );
+    if !cfg.coord_crashes.is_empty() {
+        let mut fp = FaultPlan::new(cfg.seed.wrapping_mul(0x1000_0193).wrapping_add(0xFE2CE));
+        for at in &cfg.coord_crashes {
+            fp = fp.with(FaultSpec::CoordinatorCrash { at: *at });
+        }
+        cluster.install_fault_plane(&fp);
+    }
     let doom = plan.clone();
     for d in &doom.dooms {
         assert!(
@@ -781,6 +813,7 @@ pub fn run_policy_with_plan(cfg: &FleetConfig, policy: PolicyKind, plan: &DoomPl
     let mut jobs_completed = 0u64;
     let mut outcomes = OutcomeCounts::default();
     let mut checkpoints = 0u64;
+    let mut takeovers = 0u64;
     for slot in &fleet.slots {
         let s = slot.lock();
         jobs_completed += s.done_jobs + u64::from(s.rt.is_complete());
@@ -788,6 +821,7 @@ pub fn run_policy_with_plan(cfg: &FleetConfig, policy: PolicyKind, plan: &DoomPl
         accumulate(&mut o, &s.rt.migration_outcomes());
         accumulate(&mut outcomes, &o);
         checkpoints += s.past_ckpts + s.rt.cr_reports().len() as u64;
+        takeovers += s.past_takeovers + s.rt.fencing_epoch();
     }
     let st = fleet.stats.lock();
     PolicyStats {
@@ -805,6 +839,7 @@ pub fn run_policy_with_plan(cfg: &FleetConfig, policy: PolicyKind, plan: &DoomPl
         degraded_orders: st.degraded_orders,
         alerts: st.alerts,
         reclaimed: st.reclaimed,
+        takeovers,
         pool: fleet.pool.stats(),
     }
 }

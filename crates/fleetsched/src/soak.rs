@@ -68,6 +68,9 @@ impl SoakReport {
                     .set("migrated_after_retry", p.outcomes.migrated_after_retry)
                     .set("fell_back_to_cr", p.outcomes.fell_back_to_cr)
                     .set("migrations_lost", p.outcomes.lost)
+                    .set("resumed_by_standby", p.outcomes.resumed_by_standby)
+                    .set("rolled_back_by_standby", p.outcomes.rolled_back_by_standby)
+                    .set("takeovers", p.takeovers)
                     .set("checkpoints", p.checkpoints)
                     .set("alert_checkpoints", p.alert_checkpoints)
                     .set("queued_orders", p.queued_orders)
@@ -100,7 +103,9 @@ impl SoakReport {
                     .set("horizon_s", cfg.horizon.as_secs())
                     .set("ckpt_period_s", cfg.ckpt_period.as_secs())
                     .set("doom_count", cfg.doom_count)
-                    .set("predictable_frac", cfg.predictable_frac),
+                    .set("predictable_frac", cfg.predictable_frac)
+                    .set("takeover", cfg.takeover)
+                    .set("coord_crashes", cfg.coord_crashes.len()),
             )
             .set("dooms", dooms)
             .set("policies", policies)

@@ -1,0 +1,79 @@
+//! Fleet takeover soak: coordinator crashes under fleet contention must
+//! resolve by standby promotion — epoch-fenced, deterministic, and with
+//! every spare lease accounted for.
+
+use faultplane::{MigPhase, WalPoint};
+use fleetsched::{run_soak, FleetConfig, PolicyKind};
+
+/// A shorter soak than the reference config — 4 slots over 30 simulated
+/// minutes — with standby coordinators on and three scheduled
+/// coordinator crashes at distinct protocol points.
+fn takeover_config(seed: u64) -> FleetConfig {
+    let mut cfg = FleetConfig::soak(seed);
+    cfg.slots = 4;
+    cfg.spares = 2;
+    cfg.horizon = std::time::Duration::from_secs(1800);
+    cfg.doom_count = 4;
+    cfg.takeover = true;
+    cfg.coord_crashes = vec![
+        WalPoint::Phase(MigPhase::Stall),
+        WalPoint::Phase(MigPhase::Migrate),
+        WalPoint::Phase(MigPhase::Restart),
+    ];
+    cfg
+}
+
+#[test]
+fn takeover_soak_resolves_coordinator_crashes() {
+    let cfg = takeover_config(42);
+    let a = run_soak(&cfg, &[PolicyKind::Proactive]);
+    let b = run_soak(&cfg, &[PolicyKind::Proactive]);
+    assert_eq!(
+        a.render(),
+        b.render(),
+        "takeover soak must reproduce its JSON byte for byte"
+    );
+
+    let p = a.policy("proactive").unwrap();
+    // Each scheduled crash that fired was resolved by exactly one standby
+    // promotion, and the resolved cycle landed in a standby outcome.
+    assert!(p.takeovers > 0, "no coordinator crash ever fired");
+    assert_eq!(
+        p.takeovers,
+        p.outcomes.resumed_by_standby + p.outcomes.rolled_back_by_standby,
+        "every takeover must settle its in-flight cycle: {:?}",
+        p.outcomes
+    );
+    assert_eq!(p.outcomes.lost, 0, "{:?}", p.outcomes);
+    // Spare-pool conservation still holds with fenced takeovers in play.
+    assert_eq!(
+        p.pool.leases,
+        p.pool.consumed + p.pool.returned + p.pool.discarded,
+        "leased spares must be consumed, returned, or discarded"
+    );
+
+    // The artifact the chaos-soak CI job uploads.
+    let json = a.render();
+    assert!(json.contains("\"takeovers\""));
+    if std::env::var_os("SOAK_JSON").is_some() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/SOAK_takeover.json"),
+            &json,
+        )
+        .expect("write SOAK_takeover.json");
+    }
+}
+
+#[test]
+fn standby_coordinators_are_inert_without_crashes() {
+    // takeover=true but no scheduled coordinator crash: the standby
+    // daemons must not perturb outcomes — no epoch ever bumps.
+    let mut cfg = takeover_config(42);
+    cfg.coord_crashes.clear();
+    let r = run_soak(&cfg, &[PolicyKind::Proactive]);
+    let p = r.policy("proactive").unwrap();
+    assert_eq!(p.takeovers, 0);
+    assert_eq!(p.outcomes.resumed_by_standby, 0);
+    assert_eq!(p.outcomes.rolled_back_by_standby, 0);
+    assert_eq!(p.outcomes.lost, 0, "{:?}", p.outcomes);
+}

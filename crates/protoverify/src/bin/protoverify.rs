@@ -20,6 +20,7 @@ fn main() -> ExitCode {
                     spares,
                     max_attempts,
                     pipelined,
+                    ..CheckConfig::default()
                 };
                 let report = check(&spec, &cfg);
                 total_states += report.stats.states;
@@ -80,8 +81,8 @@ fn main() -> ExitCode {
     } else {
         println!(
             "protoverify: deadlock-freedom, no-lost-rank, rollback-restores-source, \
-             complete-or-degrade, phase-consistency, lease-exclusivity, \
-             pool-conservation all proven"
+             complete-or-degrade, phase-consistency, resume-or-rollback, \
+             single-lease-holder, lease-exclusivity, pool-conservation all proven"
         );
         ExitCode::SUCCESS
     }

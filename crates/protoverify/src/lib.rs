@@ -22,7 +22,14 @@
 //! * **complete-or-degrade** — every terminal state is a completed
 //!   migration or a checkpoint-to-store degradation;
 //! * **phase-consistency** — the phase machine never runs ahead of or
-//!   behind the ranks' actual location.
+//!   behind the ranks' actual location;
+//! * **resume-or-rollback** — a coordinator crash at any WAL append
+//!   boundary resolves to exactly a standby takeover that resumes the
+//!   in-flight phase or rolls the attempt back (and a committed cycle
+//!   only rolls forward);
+//! * **single-lease-holder** — the takeover's fencing epoch keeps a
+//!   deposed coordinator's stale writes from ever creating a second
+//!   lease holder for the job's spare.
 //!
 //! Violations come back as a minimal trace that lowers to a concrete
 //! [`faultplane::FaultPlan`] for replay in the simulator.

@@ -13,7 +13,7 @@ use crate::spec::{
     fault_edges, Action, CycleEvent, CyclePhase, FaultEdge, GuardCtx, MigrationSpec,
 };
 use crate::NlaState;
-use faultplane::{FaultKind, FaultPlan, FaultSpec, MigPhase, NetSel, StoreFault};
+use faultplane::{FaultKind, FaultPlan, FaultSpec, MigPhase, NetSel, StoreFault, WalPoint};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::time::Duration;
@@ -94,6 +94,21 @@ pub struct ModelState {
     /// Must never exceed `staged` — a restart without a staged image
     /// reads garbage.
     pub restarted: u8,
+    /// The Job Manager died at a WAL append boundary and the standby has
+    /// not yet taken over. While down, only takeover edges are enabled
+    /// (the model collapses the failure-detector window to a point).
+    pub coord_down: bool,
+    /// Fencing epoch: bumped by each takeover. Bounded to one takeover
+    /// per run (the runtime's one-crash-per-cycle model), so 0 or 1.
+    pub epoch: u8,
+    /// A deposed coordinator still exists whose in-flight write has not
+    /// yet reached the spare pool / FTB (the zombie window).
+    pub zombie: bool,
+    /// The zombie's stale-epoch write *took effect* on the spare pool — a
+    /// lease now exists under a deposed epoch. Reachable only with
+    /// fencing disabled; always a [`Invariant::SingleLeaseHolder`]
+    /// violation.
+    pub zombie_lease: bool,
 }
 
 impl ModelState {
@@ -109,6 +124,10 @@ impl ModelState {
             checkpointed: false,
             staged: 0,
             restarted: 0,
+            coord_down: false,
+            epoch: 0,
+            zombie: false,
+            zombie_lease: false,
         }
     }
 }
@@ -133,6 +152,18 @@ impl fmt::Display for ModelState {
         )?;
         if self.staged > 0 || self.restarted > 0 {
             write!(f, " staged={} restarted={}", self.staged, self.restarted)?;
+        }
+        if self.coord_down {
+            write!(f, " COORD-DOWN")?;
+        }
+        if self.epoch > 0 {
+            write!(f, " epoch={}", self.epoch)?;
+        }
+        if self.zombie {
+            write!(f, " zombie")?;
+        }
+        if self.zombie_lease {
+            write!(f, " ZOMBIE-LEASE")?;
         }
         Ok(())
     }
@@ -186,6 +217,17 @@ pub enum Invariant {
     /// runs ahead of or behind the data): e.g. `Resume` is unreachable
     /// while ranks are still suspended.
     PhaseConsistency,
+    /// A coordinator crash always resolves to exactly resume-from-point
+    /// or rollback: while the coordinator is down the *only* enabled
+    /// edges are the standby's takeover edges, each lands the cycle at
+    /// the crashed phase (resume) or in `Aborted` (rollback), and a
+    /// post-commit crash (`Resume` phase) never offers rollback — a
+    /// committed cycle can only roll forward.
+    ResumeOrRollback,
+    /// Every outstanding spare lease is held under the current fencing
+    /// epoch: a deposed coordinator's stale-epoch write can never create
+    /// a second lease holder for the job's spare.
+    SingleLeaseHolder,
 }
 
 impl Invariant {
@@ -197,6 +239,8 @@ impl Invariant {
             Invariant::RollbackRestoresSource => "rollback-restores-source",
             Invariant::CompleteOrDegrade => "complete-or-degrade",
             Invariant::PhaseConsistency => "phase-consistency",
+            Invariant::ResumeOrRollback => "resume-or-rollback",
+            Invariant::SingleLeaseHolder => "single-lease-holder",
         }
     }
 }
@@ -252,6 +296,9 @@ impl Counterexample {
                 FaultKind::StoreWrite => FaultSpec::StoreWrite {
                     fault: StoreFault::IoError,
                     nth: 1,
+                },
+                FaultKind::CoordinatorCrash => FaultSpec::CoordinatorCrash {
+                    at: WalPoint::Phase(phase),
                 },
             };
             plan = plan.with(spec);
@@ -313,6 +360,15 @@ pub struct CheckConfig {
     /// the pull is still in flight (the `overlap` pool mode). Off, the
     /// model is the barrier protocol and `staged`/`restarted` stay 0.
     pub pipelined: bool,
+    /// Enable the coordinator-crash edges: the Job Manager can die at a
+    /// WAL append boundary in any live phase (once per run), freezing
+    /// the cycle until the standby's takeover edge fires.
+    pub coordinator_crash: bool,
+    /// Whether takeover fences the deposed epoch (the shipped protocol).
+    /// `false` models a fencing-free takeover, where the zombie's
+    /// stale-epoch write lands — used by the negative test to show the
+    /// fence is what [`Invariant::SingleLeaseHolder`] rests on.
+    pub fenced: bool,
 }
 
 impl Default for CheckConfig {
@@ -321,6 +377,8 @@ impl Default for CheckConfig {
             spares: 1,
             max_attempts: 3,
             pipelined: false,
+            coordinator_crash: true,
+            fenced: true,
         }
     }
 }
@@ -430,6 +488,84 @@ fn successors(
 ) -> Vec<(EventLabel, ModelState)> {
     let g = guard_ctx(s, cfg);
     let mut out = Vec::new();
+    if s.coord_down {
+        // The coordinator is dead: nothing drives the phase machine and
+        // no further fault manifests until the standby takes over. The
+        // takeover decision mirrors the runtime's journal-tail analysis:
+        //  * Stall — the FTB_MIGRATE publish provably never went out
+        //    (crashes fire only at append boundaries), so rollback is the
+        //    only branch;
+        //  * Migrate / Restart — the autonomous data path may finish
+        //    (resume-from-point) or a fresh deadline may expire
+        //    (rollback): both branches are explored;
+        //  * Resume — past the commit point every rank restarted on the
+        //    target, so the standby can only roll forward.
+        let label = |event| EventLabel {
+            event,
+            fault: None,
+            attempt: s.attempt,
+        };
+        let resume = {
+            let mut n = *s;
+            n.coord_down = false;
+            n.epoch += 1;
+            n.zombie = true;
+            n
+        };
+        let rollback = {
+            let mut n = apply(
+                s,
+                CyclePhase::Aborted,
+                &[Action::Rollback, Action::ReturnSpare],
+            );
+            n.coord_down = false;
+            n.epoch += 1;
+            n.zombie = true;
+            n
+        };
+        match s.phase {
+            CyclePhase::Stall => out.push((label(CycleEvent::TakeoverRollback), rollback)),
+            CyclePhase::Migrate | CyclePhase::Restart => {
+                out.push((label(CycleEvent::TakeoverResume), resume));
+                out.push((label(CycleEvent::TakeoverRollback), rollback));
+            }
+            CyclePhase::Resume => out.push((label(CycleEvent::TakeoverResume), resume)),
+            _ => {}
+        }
+        return out;
+    }
+    if s.zombie {
+        // The deposed coordinator's in-flight write reaches the spare
+        // pool. Fenced, its stale epoch is rejected and the zombie is
+        // spent; unfenced, it creates a second lease holder.
+        let mut n = *s;
+        n.zombie = false;
+        if !cfg.fenced {
+            n.zombie_lease = true;
+        }
+        out.push((
+            EventLabel {
+                event: CycleEvent::ZombieSettle,
+                fault: None,
+                attempt: s.attempt,
+            },
+            n,
+        ));
+    }
+    if cfg.coordinator_crash && s.epoch == 0 {
+        if let Some(mig) = s.phase.mig_phase() {
+            let mut n = *s;
+            n.coord_down = true;
+            out.push((
+                EventLabel {
+                    event: CycleEvent::CoordCrash,
+                    fault: Some((mig, FaultKind::CoordinatorCrash)),
+                    attempt: s.attempt,
+                },
+                n,
+            ));
+        }
+    }
     for &ev in protocol_events(s.phase) {
         if cfg.pipelined {
             // Completion gates of the pipelined refinement: a phase
@@ -505,6 +641,24 @@ fn successors(
 /// Check one state against every invariant except deadlock-freedom
 /// (which needs the successor set and is handled in the search loop).
 fn violated(s: &ModelState, cfg: &CheckConfig) -> Option<(Invariant, String)> {
+    if s.zombie_lease {
+        return Some((
+            Invariant::SingleLeaseHolder,
+            "a spare lease exists under a deposed coordinator epoch — \
+             the pool would commit the same spare twice"
+                .into(),
+        ));
+    }
+    if s.coord_down && s.phase.mig_phase().is_none() {
+        return Some((
+            Invariant::ResumeOrRollback,
+            format!(
+                "coordinator crash pending in phase {}, which has no \
+                 journal tail to resume or roll back",
+                s.phase
+            ),
+        ));
+    }
     if s.ranks == RankSite::Lost {
         return Some((
             Invariant::NoLostRank,
@@ -665,6 +819,39 @@ pub fn check(spec: &MigrationSpec, cfg: &CheckConfig) -> CheckReport {
             };
         }
         let succ = successors(spec, &edges, cfg, &s);
+        if s.coord_down {
+            // Structural half of resume-or-rollback: the only way out of
+            // a coordinator crash is a takeover edge, each lands the
+            // cycle at the crashed phase (resume-from-point) or in
+            // Aborted (rollback), and a committed cycle never rolls back.
+            let bad = succ.is_empty()
+                || succ.iter().any(|(label, next)| {
+                    let takeover = matches!(
+                        label.event,
+                        CycleEvent::TakeoverResume | CycleEvent::TakeoverRollback
+                    );
+                    let lands_ok = next.phase == s.phase || next.phase == CyclePhase::Aborted;
+                    let forward_only = s.phase != CyclePhase::Resume
+                        || label.event != CycleEvent::TakeoverRollback;
+                    !(takeover && lands_ok && forward_only)
+                });
+            if bad {
+                let (states, labels) = rebuild_trace(&parents, s);
+                return CheckReport {
+                    stats,
+                    violation: Some(Counterexample {
+                        invariant: Invariant::ResumeOrRollback,
+                        reason: format!(
+                            "coordinator down in phase {} does not resolve to \
+                             exactly resume-or-rollback",
+                            s.phase
+                        ),
+                        states,
+                        labels,
+                    }),
+                };
+            }
+        }
         if succ.is_empty() {
             if s.phase.is_terminal() {
                 stats.terminals += 1;
@@ -709,6 +896,7 @@ mod tests {
                         spares,
                         max_attempts,
                         pipelined,
+                        ..CheckConfig::default()
                     };
                     let report = check(&MigrationSpec::shipped(), &cfg);
                     assert!(
@@ -765,6 +953,85 @@ mod tests {
         };
         let (inv, _) = violated(&s, &cfg).expect("must be flagged");
         assert_eq!(inv, Invariant::RollbackRestoresSource);
+    }
+
+    #[test]
+    fn coordinator_crash_edges_enlarge_the_space_and_hold() {
+        for pipelined in [false, true] {
+            let without = check(
+                &MigrationSpec::shipped(),
+                &CheckConfig {
+                    pipelined,
+                    coordinator_crash: false,
+                    ..CheckConfig::default()
+                },
+            );
+            let with = check(
+                &MigrationSpec::shipped(),
+                &CheckConfig {
+                    pipelined,
+                    ..CheckConfig::default()
+                },
+            );
+            assert!(without.holds() && with.holds());
+            // The crash edges genuinely reach new states (coord-down,
+            // takeover, zombie-settle interleavings) in both modes.
+            assert!(
+                with.stats.states > without.stats.states,
+                "pipelined={pipelined}: {} !> {}",
+                with.stats.states,
+                without.stats.states
+            );
+        }
+    }
+
+    #[test]
+    fn unfenced_takeover_loses_lease_exclusivity() {
+        let report = check(
+            &MigrationSpec::shipped(),
+            &CheckConfig {
+                fenced: false,
+                ..CheckConfig::default()
+            },
+        );
+        let cx = report.violation.expect("unfenced takeover must violate");
+        assert_eq!(cx.invariant, Invariant::SingleLeaseHolder);
+        // The minimal trace necessarily goes through a coordinator crash,
+        // and it lowers to a concrete replayable fault plan.
+        assert!(cx
+            .labels
+            .iter()
+            .any(|l| matches!(l.fault, Some((_, FaultKind::CoordinatorCrash)))));
+        let plan = cx.to_fault_plan(7);
+        assert!(format!("{plan:?}").contains("CoordinatorCrash"));
+    }
+
+    #[test]
+    fn post_commit_crash_rolls_forward_only() {
+        // A crash in Resume (past the commit point: every rank restarted
+        // on the target) must offer exactly one way out — roll forward.
+        let mut s = ModelState::initial(1);
+        s.phase = CyclePhase::Resume;
+        s.attempt = 1;
+        s.spares = 0;
+        s.source = NlaState::MigrationInactive;
+        s.target = TargetNla::Alive(NlaState::MigrationReady);
+        s.ranks = RankSite::RestartedOnTarget;
+        s.coord_down = true;
+        let cfg = CheckConfig::default();
+        let succ = successors(&MigrationSpec::shipped(), &fault_edges(), &cfg, &s);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].0.event, CycleEvent::TakeoverResume);
+        assert_eq!(succ[0].1.phase, CyclePhase::Resume);
+        assert_eq!(succ[0].1.epoch, 1);
+        assert!(succ[0].1.zombie && !succ[0].1.coord_down);
+        // Whereas a pre-commit crash (Restart) explores both branches.
+        s.phase = CyclePhase::Restart;
+        s.ranks = RankSite::ImagesOnTarget;
+        let succ = successors(&MigrationSpec::shipped(), &fault_edges(), &cfg, &s);
+        let events: Vec<_> = succ.iter().map(|(l, _)| l.event).collect();
+        assert!(events.contains(&CycleEvent::TakeoverResume));
+        assert!(events.contains(&CycleEvent::TakeoverRollback));
     }
 
     #[test]

@@ -444,6 +444,22 @@ pub enum CycleEvent {
     /// Pipelined refinement: one more *staged* rank restarted on the
     /// target, possibly while other ranks are still streaming.
     RankRestarted,
+    /// The Job Manager process died at a WAL append boundary. Model-level
+    /// micro-event (not a row in the shipped phase table): the cycle
+    /// freezes until the standby's takeover edge fires.
+    CoordCrash,
+    /// Standby takeover, resume-from-point branch: the journal tail shows
+    /// the data path can still finish, so the standby re-drives the
+    /// in-flight phase under a bumped fencing epoch.
+    TakeoverResume,
+    /// Standby takeover, rollback branch: the journal tail is pre-commit
+    /// and cannot (or need not) be finished, so the standby aborts the
+    /// attempt and settles the spare lease under the bumped epoch.
+    TakeoverRollback,
+    /// The deposed ("zombie") coordinator's last write reaches the spare
+    /// pool / FTB after takeover. With fencing it is rejected on its
+    /// stale epoch; without fencing it would double-commit a spare.
+    ZombieSettle,
 }
 
 impl CycleEvent {
@@ -461,6 +477,10 @@ impl CycleEvent {
             CycleEvent::Degrade => "degrade",
             CycleEvent::RankStaged => "rank_staged",
             CycleEvent::RankRestarted => "rank_restarted",
+            CycleEvent::CoordCrash => "coord_crash",
+            CycleEvent::TakeoverResume => "takeover_resume",
+            CycleEvent::TakeoverRollback => "takeover_rollback",
+            CycleEvent::ZombieSettle => "zombie_settle",
         }
     }
 }

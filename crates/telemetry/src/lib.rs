@@ -22,4 +22,4 @@ pub use chrome::{chrome_trace, write_chrome_trace};
 pub use fleet::FleetTimeline;
 pub use json::Json;
 pub use registry::{CounterSnapshot, HistogramSnapshot, Registry};
-pub use timeline::{PhaseStack, Timeline};
+pub use timeline::{PhaseStack, Timeline, WalMarks};

@@ -70,10 +70,51 @@ impl PhaseStack {
     }
 }
 
+/// Write-ahead-log and takeover markers folded out of the `"wal"`-category
+/// instants the coordinator emits: journal appends, replay on standby
+/// takeover, the takeover itself, and fenced (rejected) zombie publishes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalMarks {
+    /// `wal_append` instants: one per journal record written.
+    pub appends: u64,
+    /// `wal_replay` instants: one per standby journal-tail reconstruction.
+    pub replays: u64,
+    /// `takeover` instants: one per standby promotion.
+    pub takeovers: u64,
+    /// `fenced_publish` instants: FTB publishes rejected as stale-epoch.
+    pub fenced_publishes: u64,
+    /// Highest fencing epoch seen on a takeover marker (0 = no takeover).
+    pub max_epoch: u64,
+    /// Virtual time of the first takeover, if any.
+    pub first_takeover: Option<simkit::SimTime>,
+}
+
+impl WalMarks {
+    fn observe(&mut self, ev: &TraceEvent) {
+        match ev.name.as_str() {
+            "wal_append" => self.appends += 1,
+            "wal_replay" => self.replays += 1,
+            "takeover" => {
+                self.takeovers += 1;
+                self.first_takeover.get_or_insert(ev.time);
+                if let Some(e) = ev.args.iter().find_map(|(k, v)| match (*k, v) {
+                    ("epoch", ArgValue::U64(e)) => Some(*e),
+                    _ => None,
+                }) {
+                    self.max_epoch = self.max_epoch.max(e);
+                }
+            }
+            "fenced_publish" => self.fenced_publishes += 1,
+            _ => {}
+        }
+    }
+}
+
 /// Phase stacks for every traced protocol cycle of a run.
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
     cycles: BTreeMap<u64, PhaseStack>,
+    wal: WalMarks,
 }
 
 impl Timeline {
@@ -91,6 +132,10 @@ impl Timeline {
         let mut open: OpenSpans = BTreeMap::new();
         let mut tl = Timeline::default();
         for ev in events {
+            if ev.cat == "wal" && ev.kind == EventKind::Instant {
+                tl.wal.observe(ev);
+                continue;
+            }
             if ev.cat != "phase" {
                 continue;
             }
@@ -134,6 +179,11 @@ impl Timeline {
         self.cycles.iter().map(|(id, s)| (*id, s))
     }
 
+    /// Journal and takeover markers observed alongside the phase spans.
+    pub fn wal(&self) -> &WalMarks {
+        &self.wal
+    }
+
     /// Number of traced cycles.
     pub fn len(&self) -> usize {
         self.cycles.len()
@@ -174,6 +224,17 @@ impl Timeline {
                     frac * 100.0,
                 );
             }
+        }
+        if self.wal.takeovers > 0 {
+            let _ = writeln!(
+                out,
+                "takeover x{}  epoch {}  ({} wal appends, {} replayed, {} fenced publishes)",
+                self.wal.takeovers,
+                self.wal.max_epoch,
+                self.wal.appends,
+                self.wal.replays,
+                self.wal.fenced_publishes,
+            );
         }
         out
     }
@@ -344,6 +405,70 @@ mod tests {
         let c = c.cycle(1).unwrap();
         assert_eq!(c.wall(), c.total());
         assert_eq!(c.overlapped(), Duration::ZERO);
+    }
+
+    fn wal(t: u64, name: &str, args: Vec<(&'static str, ArgValue)>) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_nanos(t),
+            pid: Some(simkit::ProcId(9)),
+            cat: "wal",
+            name: name.to_string(),
+            kind: EventKind::Instant,
+            args,
+        }
+    }
+
+    #[test]
+    fn counts_wal_and_takeover_instants() {
+        let events = vec![
+            wal(10, "wal_append", vec![("seq", ArgValue::U64(1))]),
+            wal(20, "wal_append", vec![("seq", ArgValue::U64(2))]),
+            wal(50, "takeover", vec![("epoch", ArgValue::U64(1))]),
+            wal(55, "wal_replay", vec![("records", ArgValue::U64(4))]),
+            wal(60, "fenced_publish", vec![("epoch", ArgValue::U64(0))]),
+            wal(70, "wal_append", vec![("seq", ArgValue::U64(3))]),
+            // A phase span in the same stream still folds normally.
+            ev(
+                0,
+                Some(simkit::ProcId(1)),
+                "stall",
+                EventKind::Begin,
+                Some(1),
+            ),
+            ev(30, Some(simkit::ProcId(1)), "stall", EventKind::End, None),
+        ];
+        let tl = Timeline::from_events(&events);
+        let w = tl.wal();
+        assert_eq!(w.appends, 3);
+        assert_eq!(w.replays, 1);
+        assert_eq!(w.takeovers, 1);
+        assert_eq!(w.fenced_publishes, 1);
+        assert_eq!(w.max_epoch, 1);
+        assert_eq!(w.first_takeover, Some(SimTime::from_nanos(50)));
+        assert_eq!(tl.len(), 1);
+        let out = tl.render();
+        assert!(out.contains("takeover x1"), "render was:\n{out}");
+        assert!(out.contains("epoch 1"), "render was:\n{out}");
+    }
+
+    #[test]
+    fn crash_free_runs_render_no_takeover_line() {
+        let events = vec![
+            wal(10, "wal_append", vec![]),
+            ev(
+                0,
+                Some(simkit::ProcId(1)),
+                "stall",
+                EventKind::Begin,
+                Some(1),
+            ),
+            ev(30, Some(simkit::ProcId(1)), "stall", EventKind::End, None),
+        ];
+        let tl = Timeline::from_events(&events);
+        assert_eq!(tl.wal().appends, 1);
+        assert_eq!(tl.wal().takeovers, 0);
+        assert!(tl.wal().first_takeover.is_none());
+        assert!(!tl.render().contains("takeover"));
     }
 
     #[test]
