@@ -27,6 +27,7 @@ struct CrashRun {
 /// LU.A.4 at 2 ppn, a trigger at t+10 s, and the given fault plan.
 fn run_crash(seed: u64, tuning: MigrationTuning, plan: Option<&FaultPlan>) -> CrashRun {
     let mut sim = Simulation::new(seed);
+    sim.handle().tracer().set_enabled(true);
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
     if let Some(plan) = plan {
         cluster.install_fault_plane(plan);
@@ -44,6 +45,12 @@ fn run_crash(seed: u64, tuning: MigrationTuning, plan: Option<&FaultPlan>) -> Cr
     rt.journal()
         .verify()
         .expect("journal checksum chain broken");
+    // Takeover traces must refine the model too: the WAL automaton, the
+    // fencing-epoch rule, and the cycle reset on takeover all replay.
+    let report = protoverify::observe_trace(&sim.handle().tracer().drain_events());
+    if let Some(v) = &report.violation {
+        panic!("[seed {seed}] trace does not refine the protocol model:\n{v}");
+    }
     CrashRun {
         outcomes: rt.migration_outcomes(),
         finished_at: sim.now(),

@@ -14,6 +14,7 @@ use simkit::{SimTime, Simulation};
 /// a hard virtual-time deadline. Returns the outcome counters.
 fn run_scenario(name: &str, seed: u64, plan: FaultPlan) -> OutcomeCounts {
     let mut sim = Simulation::new(seed);
+    sim.handle().tracer().set_enabled(true);
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
     cluster.install_fault_plane(&plan);
     let wl = Workload::new(NpbApp::Lu, NpbClass::A, 4);
@@ -34,6 +35,12 @@ fn run_scenario(name: &str, seed: u64, plan: FaultPlan) -> OutcomeCounts {
         "[{name}] trigger unaccounted for: {outcomes:?}"
     );
     assert_eq!(outcomes.lost, 0, "[{name}] trigger lost: {outcomes:?}");
+    // Refinement check: whatever the fault did, the observed event
+    // sequence must still be derivable from the protocol model.
+    let report = protoverify::observe_trace(&sim.handle().tracer().drain_events());
+    if let Some(v) = &report.violation {
+        panic!("[{name}] trace does not refine the protocol model:\n{v}");
+    }
     outcomes
 }
 

@@ -12,6 +12,7 @@ use simkit::{SimTime, Simulation};
 /// optional fault plan; returns the outcome counters.
 fn run_with(seed: u64, plan: Option<&FaultPlan>, tuning: MigrationTuning) -> OutcomeCounts {
     let mut sim = Simulation::new(seed);
+    sim.handle().tracer().set_enabled(true);
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::sized(2, 1));
     if let Some(plan) = plan {
         cluster.install_fault_plane(plan);
@@ -26,6 +27,11 @@ fn run_with(seed: u64, plan: Option<&FaultPlan>, tuning: MigrationTuning) -> Out
     assert!(rt.is_complete());
     let outcomes = rt.migration_outcomes();
     assert_eq!(outcomes.lost, 0, "no trigger may be lost: {outcomes:?}");
+    // The overlapped data path must still refine the protocol model.
+    let report = protoverify::observe_trace(&sim.handle().tracer().drain_events());
+    if let Some(v) = &report.violation {
+        panic!("[seed {seed}] trace does not refine the protocol model:\n{v}");
+    }
     outcomes
 }
 

@@ -34,19 +34,6 @@ pub struct SourceFile {
 }
 
 impl SourceFile {
-    /// Is `rule` allowed on `line` (1-based) — marker on the line itself
-    /// or on the line directly above?
-    pub fn allowed(&self, line: usize, rule: &str) -> bool {
-        let hit = |l: usize| {
-            l >= 1
-                && self
-                    .lines
-                    .get(l - 1)
-                    .is_some_and(|ln| ln.allow.iter().any(|a| a == rule))
-        };
-        hit(line) || hit(line.saturating_sub(1))
-    }
-
     /// Lex `text` into per-line code/comment channels.
     pub fn parse(path: &Path, text: &str) -> SourceFile {
         #[derive(PartialEq)]
@@ -282,10 +269,7 @@ mod tests {
         assert!(f.lines[0].code.contains("m.iter()"));
         assert!(!f.lines[0].code.contains("allow"));
         assert_eq!(f.lines[0].allow, vec!["hash_iter"]);
-        assert!(f.allowed(1, "hash_iter"));
-        // marker on the line above also covers line 2
-        assert!(f.allowed(2, "hash_iter"));
-        assert!(!f.allowed(2, "wall_clock"));
+        assert!(f.lines[1].allow.is_empty());
     }
 
     #[test]

@@ -25,8 +25,28 @@
 //!   same line and records zero duration; a named binding must reach an
 //!   `.end()`/`.end_with(...)` call.
 //!
+//! v2 adds a small intraprocedural pass ([`parse`]: function spans,
+//! block paths, call sites with full argument text) and three dataflow
+//! rules encoding the coordinator's crash-recovery contracts
+//! ([`dataflow`], scoped to `core/src/runtime.rs`):
+//!
+//! - `wal_before_effect` — an externally visible coordinator side
+//!   effect (`FTB_MIGRATE`/`FTB_RESTART` publish, terminal lease
+//!   settlement) with no WAL `append(WalRecord::…)` earlier in the same
+//!   function: a crash there would leave the standby blind to the
+//!   effect.
+//! - `epoch_fence` — a fenced command published without an `epoch`
+//!   stamp, or a command receive path that decodes
+//!   `MigrateMsg`/`RestartMsg` without consulting `fencing_epoch`.
+//! - `lease_settle_once` — two settlements of the same family (pool
+//!   lease, standby outcome) in the same straight-line block: every
+//!   path through it settles twice.
+//!
 //! A finding is suppressed by `// jmlint: allow(<rule>)` on the flagged
-//! line or the line directly above it.
+//! line or the line directly above it. Suppression is centralized
+//! ([`suppress`]): a marker that absorbs no finding — or names an
+//! unknown rule — is itself reported as `stale_allow`, and `stale_allow`
+//! cannot be allowed.
 //!
 //! Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
 //! or I/O errors.
@@ -35,8 +55,11 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod dataflow;
 mod lexer;
+mod parse;
 mod rules;
+mod suppress;
 
 use lexer::SourceFile;
 
@@ -48,6 +71,7 @@ use lexer::SourceFile;
 const SKIP_CRATES: &[&str] = &["vendor", "jmlint"];
 
 /// One lint finding.
+#[derive(Debug)]
 pub struct Finding {
     pub path: PathBuf,
     pub line: usize,
@@ -120,10 +144,15 @@ fn main() -> ExitCode {
         let rel = path.strip_prefix(&root).unwrap_or(path);
         let src = SourceFile::parse(rel, &text);
         scanned += 1;
-        rules::hash_iter(&src, &mut findings);
-        rules::wall_clock(&src, &mut findings);
-        rules::hot_unwrap(&src, &mut findings);
-        rules::span_exit(&src, &mut findings);
+        let mut raw = Vec::new();
+        rules::hash_iter(&src, &mut raw);
+        rules::wall_clock(&src, &mut raw);
+        rules::hot_unwrap(&src, &mut raw);
+        rules::span_exit(&src, &mut raw);
+        dataflow::wal_before_effect(&src, &mut raw);
+        dataflow::epoch_fence(&src, &mut raw);
+        dataflow::lease_settle_once(&src, &mut raw);
+        findings.extend(suppress::apply(&src, raw));
     }
 
     for f in &findings {

@@ -1,0 +1,295 @@
+//! A minimal intraprocedural structure pass over lexed source: function
+//! spans, block paths, and call sites with balanced-paren argument text.
+//!
+//! This is deliberately *not* a Rust parser. The v2 dataflow rules need
+//! three facts the token stream alone cannot answer:
+//!
+//! - which function a line belongs to (so "preceded by a WAL append"
+//!   means *within the same function*, not anywhere earlier in the file);
+//! - the brace-block path of a call site (so two lease settlements in
+//!   `if`/`else` arms are recognized as mutually exclusive, while two in
+//!   the same block are a genuine double-settle);
+//! - a call's full argument text, even when it spans many lines (the
+//!   `publish(... FTB_MIGRATE ... epoch ...)` calls are 10+ lines each).
+//!
+//! Everything runs on the lexer's blanked `code` channel, so braces and
+//! parens inside strings, chars, and comments are already gone. Closures
+//! do not open a new function: their calls are attributed to the
+//! enclosing `fn`, which is exactly what an intraprocedural rule wants.
+
+use crate::lexer::SourceFile;
+
+/// One call site inside a function body.
+pub struct CallSite {
+    /// The identifier directly before the opening paren (`append`,
+    /// `publish`, `consume_at`, ...). Method and free calls look alike.
+    pub callee: String,
+    /// 1-based line of the callee token.
+    pub line: usize,
+    /// Argument text between the outer parens, newlines preserved as
+    /// `\n`, literals already blanked by the lexer.
+    pub args: String,
+    /// Brace-block path at the call site, outermost block first. Two
+    /// calls with an identical path execute in the same straight-line
+    /// block; sibling `if`/`else` arms get distinct ids.
+    pub block: Vec<u32>,
+}
+
+/// One `fn` item: its span, its call sites in textual order, and its
+/// blanked body text for word-level scans.
+pub struct FnItem {
+    /// Name after the `fn` keyword.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Call sites in textual order.
+    pub calls: Vec<CallSite>,
+    /// The function's blanked code text, declaration through closing
+    /// brace, lines joined with `\n`.
+    pub body: String,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Identifiers that can sit directly before a paren without being a
+/// call (`match (a, b)`, `if(x)`, `return(x)`, ...).
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "as", "move", "let", "else", "fn",
+];
+
+struct OpenFn {
+    name: String,
+    line: usize,
+    depth: usize,
+    calls: Vec<CallSite>,
+}
+
+/// Extract every function in `src`, in order of declaration.
+pub fn functions(src: &SourceFile) -> Vec<FnItem> {
+    let mut out: Vec<FnItem> = Vec::new();
+    let mut next_id: u32 = 0;
+    let mut stack: Vec<u32> = Vec::new();
+    let mut open: Vec<OpenFn> = Vec::new();
+    // A `fn NAME` seen but whose body brace has not opened yet. A `;`
+    // before the `{` is a bodyless trait declaration and cancels it.
+    let mut pending: Option<(String, usize)> = None;
+
+    for (li, line) in src.lines.iter().enumerate() {
+        let lineno = li + 1;
+        // The unit-test module at the bottom of a file is not protocol
+        // code; stop cleanly at item level.
+        if stack.is_empty() && line.code.contains("#[cfg(test)]") {
+            break;
+        }
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    next_id += 1;
+                    stack.push(next_id);
+                    if let Some((name, fline)) = pending.take() {
+                        open.push(OpenFn {
+                            name,
+                            line: fline,
+                            depth: stack.len(),
+                            calls: Vec::new(),
+                        });
+                    }
+                }
+                '}' => {
+                    if let Some(pos) = open.iter().rposition(|f| f.depth == stack.len()) {
+                        let f = open.remove(pos);
+                        out.push(close_fn(f, src, lineno));
+                    }
+                    stack.pop();
+                }
+                ';' => pending = None,
+                '(' => {
+                    let mut s = i;
+                    while s > 0 && is_ident_char(chars[s - 1]) {
+                        s -= 1;
+                    }
+                    let callee: String = chars[s..i].iter().collect();
+                    let is_decl = pending.as_ref().is_some_and(|(n, _)| *n == callee);
+                    let is_call = !callee.is_empty()
+                        && !callee.chars().next().is_some_and(|c| c.is_ascii_digit())
+                        && !KEYWORDS.contains(&callee.as_str())
+                        && !is_decl;
+                    if is_call {
+                        if let Some(f) = open.last_mut() {
+                            f.calls.push(CallSite {
+                                callee,
+                                line: lineno,
+                                args: capture_args(src, li, i),
+                                block: stack.clone(),
+                            });
+                        }
+                    }
+                }
+                'f' => {
+                    // the `fn` keyword with ident boundaries on both sides
+                    let kw = chars.get(i + 1) == Some(&'n')
+                        && (i == 0 || !is_ident_char(chars[i - 1]))
+                        && !chars.get(i + 2).copied().is_some_and(is_ident_char);
+                    if kw {
+                        let mut j = i + 2;
+                        while chars.get(j).copied().is_some_and(char::is_whitespace) {
+                            j += 1;
+                        }
+                        let mut k = j;
+                        while chars.get(k).copied().is_some_and(is_ident_char) {
+                            k += 1;
+                        }
+                        if k > j {
+                            pending = Some((chars[j..k].iter().collect(), lineno));
+                            i = k;
+                            continue;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // Truncated file (or the `#[cfg(test)]` break): close leftovers.
+    let last = src.lines.len();
+    for f in open {
+        out.push(close_fn(f, src, last));
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+fn close_fn(f: OpenFn, src: &SourceFile, end: usize) -> FnItem {
+    let body = src.lines[f.line - 1..end.min(src.lines.len())]
+        .iter()
+        .map(|l| l.code.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    FnItem {
+        name: f.name,
+        line: f.line,
+        calls: f.calls,
+        body,
+    }
+}
+
+/// Collect the balanced-paren argument text opening at char column
+/// `col` of line index `li` (the `(` itself). Spans up to 80 lines.
+fn capture_args(src: &SourceFile, li: usize, col: usize) -> String {
+    let mut out = String::new();
+    let mut depth = 1u32;
+    let stop = (li + 80).min(src.lines.len());
+    let mut idx = col + 1;
+    for line in li..stop {
+        let chars: Vec<char> = src.lines[line].code.chars().collect();
+        while idx < chars.len() {
+            let c = chars[idx];
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return out;
+                    }
+                }
+                _ => {}
+            }
+            out.push(c);
+            idx += 1;
+        }
+        out.push('\n');
+        idx = 0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn fns(text: &str) -> Vec<FnItem> {
+        functions(&SourceFile::parse(Path::new("t.rs"), text))
+    }
+
+    #[test]
+    fn fn_spans_and_call_order() {
+        let text = "fn a() {\n\
+                    \x20   journal.append(WalRecord::CycleStart { cycle });\n\
+                    \x20   pool.consume_at(n, job, epoch);\n\
+                    }\n\
+                    fn b() { helper(); }\n";
+        let fs = fns(text);
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0].name, "a");
+        assert_eq!(fs[0].line, 1);
+        assert!(fs[0].body.contains("consume_at"));
+        let callees: Vec<_> = fs[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(callees, ["append", "consume_at"]);
+        assert!(fs[0].calls[0].args.starts_with("WalRecord::CycleStart"));
+        assert_eq!(fs[1].calls[0].callee, "helper");
+    }
+
+    #[test]
+    fn multiline_args_are_captured_balanced() {
+        let text = "fn a() {\n\
+                    \x20   ftb.publish(\n\
+                    \x20       ctx,\n\
+                    \x20       FtbEvent::with_payload(SPACE, FTB_MIGRATE, m(x)),\n\
+                    \x20   );\n\
+                    }\n";
+        let fs = fns(text);
+        let publish = fs[0].calls.iter().find(|c| c.callee == "publish").unwrap();
+        assert!(publish.args.contains("FTB_MIGRATE"));
+        assert!(publish.args.contains("m(x)"));
+        assert!(publish.args.trim_end().ends_with("),"));
+    }
+
+    #[test]
+    fn block_paths_distinguish_branches() {
+        let text = "fn a(x: bool) {\n\
+                    \x20   if x {\n\
+                    \x20       settle(1);\n\
+                    \x20   } else {\n\
+                    \x20       settle(2);\n\
+                    \x20   }\n\
+                    \x20   settle(3);\n\
+                    \x20   settle(4);\n\
+                    }\n";
+        let fs = fns(text);
+        let c = &fs[0].calls;
+        assert_eq!(c.len(), 4);
+        assert_ne!(c[0].block, c[1].block, "if vs else arm");
+        assert_eq!(c[2].block, c[3].block, "same straight-line block");
+        assert!(c[0].block.starts_with(&c[2].block), "arm nests in body");
+    }
+
+    #[test]
+    fn closures_attribute_to_enclosing_fn_and_keywords_skip() {
+        let text = "fn a() {\n\
+                    \x20   let f = |x| inner(x);\n\
+                    \x20   match (a, b) { _ => {} }\n\
+                    \x20   for i in (0..3) {}\n\
+                    }\n";
+        let fs = fns(text);
+        let callees: Vec<_> = fs[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(callees, ["inner"]);
+    }
+
+    #[test]
+    fn bodyless_decls_and_test_mods_are_skipped() {
+        let text = "trait T { fn decl(&self) -> u32; }\n\
+                    fn real() { go(); }\n\
+                    #[cfg(test)]\n\
+                    mod tests { fn t() { helper(); } }\n";
+        let fs = fns(text);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].name, "real");
+    }
+}

@@ -1,6 +1,10 @@
-//! The four lint rules. All operate on lexed [`SourceFile`]s — comment
-//! text and literal contents are already blanked, so plain substring
-//! scans don't trip over prose.
+//! The v1 token-level lint rules. All operate on lexed [`SourceFile`]s —
+//! comment text and literal contents are already blanked, so plain
+//! substring scans don't trip over prose.
+//!
+//! Rules emit *every* finding they see; allow markers are resolved
+//! centrally by [`crate::suppress`], which also reports markers that
+//! suppress nothing (`stale_allow`).
 
 use crate::lexer::SourceFile;
 use crate::Finding;
@@ -117,7 +121,7 @@ pub fn hash_iter(src: &SourceFile, out: &mut Vec<Finding>) {
         let code = &line.code;
         for id in &idents {
             let flagged = iterates(code, id) || for_in_target(code, id);
-            if flagged && !src.allowed(lineno, "hash_iter") {
+            if flagged {
                 out.push(Finding {
                     path: src.path.clone(),
                     line: lineno,
@@ -217,7 +221,7 @@ pub fn wall_clock(src: &SourceFile, out: &mut Vec<Finding>) {
             } else {
                 contains_word(&line.code, tok)
             };
-            if hit && !src.allowed(lineno, "wall_clock") {
+            if hit {
                 out.push(Finding {
                     path: src.path.clone(),
                     line: lineno,
@@ -256,7 +260,7 @@ pub fn hot_unwrap(src: &SourceFile, out: &mut Vec<Finding>) {
             break;
         }
         for tok in [".unwrap()", ".expect("] {
-            if code.contains(tok) && !src.allowed(lineno, "hot_unwrap") {
+            if code.contains(tok) {
                 out.push(Finding {
                     path: src.path.clone(),
                     line: lineno,
@@ -288,14 +292,12 @@ pub fn span_exit(src: &SourceFile, out: &mut Vec<Finding>) {
     // pending: (ident, line) spans awaiting an `.end()`
     let mut pending: Vec<(String, usize)> = Vec::new();
     let flag = |path: &std::path::Path, line: usize, msg: String, out: &mut Vec<Finding>| {
-        if !src.allowed(line, "span_exit") {
-            out.push(Finding {
-                path: path.to_path_buf(),
-                line,
-                rule: "span_exit",
-                message: msg,
-            });
-        }
+        out.push(Finding {
+            path: path.to_path_buf(),
+            line,
+            rule: "span_exit",
+            message: msg,
+        });
     };
     for (n, line) in src.lines.iter().enumerate() {
         let lineno = n + 1;
@@ -396,11 +398,16 @@ mod tests {
     }
 
     #[test]
-    fn hash_iter_honors_allow_marker() {
+    fn hash_iter_emits_raw_finding_that_suppression_absorbs() {
+        // Rules no longer consult markers; the centralized pass does.
         let text = "let m = HashMap::new();\n\
                     // jmlint: allow(hash_iter) — sorted right after\n\
                     let mut v: Vec<_> = m.keys().collect();\n";
-        assert!(run(hash_iter, "a.rs", text).is_empty());
+        let src = SourceFile::parse(Path::new("a.rs"), text);
+        let mut raw = Vec::new();
+        hash_iter(&src, &mut raw);
+        assert_eq!(raw.len(), 1, "rule emits unconditionally");
+        assert!(crate::suppress::apply(&src, raw).is_empty());
     }
 
     #[test]

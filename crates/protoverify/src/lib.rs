@@ -45,11 +45,23 @@
 //! once) and **pool conservation** (every completed or aborted cycle
 //! returns exactly one node; a spare death is the sole, accounted
 //! zero-return settle).
+//!
+//! [`confcheck`] closes the loop from the dynamic side: it refines live
+//! simulator traces against these same tables (an event→edge table maps
+//! trace events onto model transitions; an online observer rejects any
+//! sequence the composed model cannot derive) and tracks which table
+//! rows the test suite exercises (`COVERAGE_proto.json`).
 
+pub mod confcheck;
 pub mod fleet;
 pub mod model;
 pub mod spec;
 
+pub use confcheck::{
+    classify, observe_trace, parse_trace_json, raw_trace, trace_to_json, ArgVal, ConformanceReport,
+    Coverage, EdgeKind, EventRule, Nonconformance, Observer, RawEvent, RawKind, TraceParseError,
+    EVENT_EDGE_TABLE,
+};
 pub use fleet::{
     check_fleet, FleetConfig, FleetEvent, FleetJob, FleetMutation, FleetNode, FleetReport,
     FleetState, FleetViolation,
