@@ -70,6 +70,42 @@ pub fn fig_migration_with(
     rt.migration_reports()[0].clone()
 }
 
+/// Tuning-aware runner: like [`fig_migration_with`] but passing a full
+/// [`MigrationTuning`] (data-path mode *and* live pre-copy config) and
+/// capturing the per-round wire bytes from the `round_verdict` trace
+/// instants. Returns the report plus one byte count per completed
+/// pre-copy round (empty for stop-and-copy tunings).
+pub fn fig_migration_tuned(
+    app: NpbApp,
+    np: u32,
+    ppn: u32,
+    tuning: MigrationTuning,
+) -> (jobmig_core::report::MigrationReport, Vec<u64>) {
+    let mut sim = Simulation::new(SEED);
+    sim.handle().tracer().set_enabled(true);
+    let cluster = paper_cluster(&sim);
+    let wl = Workload::new(app, NpbClass::C, np);
+    let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, ppn));
+    rt.control()
+        .migrate_after(dur::secs(30), MigrationRequest::new().tuning(tuning));
+    let rt2 = rt.clone();
+    run_until_pred(&mut sim, move || !rt2.migration_reports().is_empty(), 600);
+    let round_bytes = sim
+        .handle()
+        .tracer()
+        .drain_events()
+        .iter()
+        .filter(|e| e.name == "round_verdict")
+        .filter_map(|e| {
+            e.args.iter().find_map(|(k, v)| match (*k, v) {
+                ("bytes", simkit::ArgValue::U64(b)) => Some(*b),
+                _ => None,
+            })
+        })
+        .collect();
+    (rt.migration_reports()[0].clone(), round_bytes)
+}
+
 // ---------------------------------------------------------------------------
 // Figure 5 — application execution time with/without one migration
 // ---------------------------------------------------------------------------
@@ -346,5 +382,8 @@ pub fn migration_report_json(r: &jobmig_core::report::MigrationReport) -> teleme
         .set("restart_ms", r.restart.as_millis() as u64)
         .set("resume_ms", r.resume.as_millis() as u64)
         .set("total_ms", r.total().as_millis() as u64)
+        .set("precopy_ms", r.precopy.as_millis() as u64)
+        .set("precopy_rounds", u64::from(r.precopy_rounds))
+        .set("downtime_ms", r.downtime().as_millis() as u64)
         .set("ranks_moved", r.ranks_moved as u64)
 }

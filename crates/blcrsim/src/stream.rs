@@ -104,6 +104,29 @@ fn coalesce(parts: Vec<DataSlice>) -> DataSlice {
         return parts.into_iter().next().unwrap();
     }
     let total: u64 = parts.iter().map(|p| p.len).sum();
+    // contiguous run over one page grid?
+    if let DataSrc::Paged { seeds, page, start } = &parts[0].src {
+        let mut expect = start + parts[0].len;
+        let mut ok = true;
+        for p in &parts[1..] {
+            match &p.src {
+                DataSrc::Paged {
+                    seeds: s2,
+                    page: p2,
+                    start: o2,
+                } if std::sync::Arc::ptr_eq(seeds, s2) && p2 == page && *o2 == expect => {
+                    expect += p.len;
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            return DataSlice::paged(seeds.clone(), *page, *start + total).slice(*start, total);
+        }
+    }
     // contiguous pattern run?
     let mut iter = parts.iter();
     if let Some(first) = iter.next() {
@@ -244,6 +267,25 @@ mod tests {
         }
         let parsed = parse_stream(rechunked).unwrap();
         assert_eq!(parsed, img, "pattern runs must coalesce back");
+    }
+
+    #[test]
+    fn paged_segments_coalesce_after_rechunking() {
+        use std::sync::Arc;
+        let seeds: Vec<u64> = (0..40u64).map(|p| 0x1000 + p * 3).collect();
+        let img = ProcessImage::new(7, &b"it=3"[..]).with_segment(
+            SegmentKind::Heap,
+            ibfabric::DataSlice::paged(Arc::new(seeds), 64 << 10, 40 * (64 << 10) - 513),
+        );
+        let mut cur = SliceCursor::new(serialize_image(&img));
+        let mut rechunked = Vec::new();
+        while cur.remaining() > 0 {
+            let n = cur.remaining().min(1 << 20);
+            rechunked.extend(cur.take(n).unwrap());
+        }
+        let parsed = parse_stream(rechunked).unwrap();
+        assert_eq!(parsed, img, "paged runs must coalesce back");
+        assert_eq!(parsed.checksum(), img.checksum());
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub struct PoolConfig {
     /// Phase 3 cold-read storm on the target disk). 0 = unbounded, which
     /// matches the barrier engine's all-at-once restart.
     pub restart_admission: u32,
+    /// Iterative pre-copy live migration. `Some` streams the image while
+    /// ranks keep running and only holds the barrier for a short residual
+    /// round; `None` is classic stop-and-copy.
+    pub live: Option<livemig::LiveConfig>,
 }
 
 impl Default for PoolConfig {
@@ -98,6 +102,7 @@ impl Default for PoolConfig {
             lanes: 1,
             overlap: false,
             restart_admission: 0,
+            live: None,
         }
     }
 }

@@ -28,6 +28,16 @@ pub const FTB_SUSPEND_ACK: &str = "FTB_SUSPEND_ACK";
 /// Coordinated-checkpoint kick-off for the CR baseline.
 pub const FTB_CHECKPOINT: &str = "FTB_CHECKPOINT";
 
+/// Live-migration pre-copy round kick-off: carries [`PrecopyMsg`].
+/// Received by the source and target NLAs; the ranks keep running and
+/// never see it.
+pub const FTB_PRECOPY: &str = "FTB_PRECOPY";
+
+/// End of one pre-copy round, published by the target NLA once every
+/// rank's full image (round 0) or dirty-segment delta (rounds 1..N) has
+/// been pulled and merged: carries [`PrecopyDoneMsg`].
+pub const FTB_PRECOPY_DONE: &str = "FTB_PRECOPY_DONE";
+
 /// Payload of [`FTB_MIGRATE`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MigrateMsg {
@@ -67,6 +77,37 @@ pub struct RestartMsg {
     pub ranks: Vec<u32>,
     /// Coordinator fencing epoch (see [`MigrateMsg::epoch`]).
     pub epoch: u64,
+}
+
+/// Payload of [`FTB_PRECOPY`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecopyMsg {
+    /// Health-deteriorating node whose processes will eventually move.
+    pub source: NodeId,
+    /// Hot-spare node pre-populating their images.
+    pub target: NodeId,
+    /// Migration cycle sequence number.
+    pub cycle: u64,
+    /// Round index: 0 streams the full image, 1..N stream deltas.
+    pub round: u32,
+    /// Coordinator fencing epoch (see [`MigrateMsg::epoch`]).
+    pub epoch: u64,
+}
+
+/// Payload of [`FTB_PRECOPY_DONE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecopyDoneMsg {
+    /// The cycle the round belongs to.
+    pub cycle: u64,
+    /// The round that finished.
+    pub round: u32,
+    /// Whether every rank's image/delta landed and verified. `false`
+    /// makes the convergence controller fall back to stop-and-copy.
+    pub ok: bool,
+    /// Wire bytes this round moved (full image or delta payload).
+    pub bytes: u64,
+    /// Dirty pages the round carried (0 for round 0's full image).
+    pub pages: u64,
 }
 
 /// Payload of [`FTB_CHECKPOINT`].

@@ -99,6 +99,13 @@ pub struct MigrationReport {
     pub source: NodeId,
     /// Spare node they moved to.
     pub target: NodeId,
+    /// Phase 0 — iterative pre-copy wall time (live migration only; zero
+    /// for stop-and-copy). The job keeps running for all of it, so it is
+    /// deliberately *excluded* from [`MigrationReport::total`]: pre-copy
+    /// trades overlapped transfer time for barrier-held downtime.
+    pub precopy: Duration,
+    /// Completed pre-copy rounds (0 for stop-and-copy cycles).
+    pub precopy_rounds: u32,
     /// Phase 1 — Job Stall: coordination, drain, endpoint teardown.
     pub stall: Duration,
     /// Phase 2 — Job Migration: aggregated checkpoint + RDMA transfer.
@@ -119,14 +126,35 @@ pub struct MigrationReport {
 }
 
 impl MigrationReport {
-    /// Whole-cycle duration (trigger to resumed execution).
+    /// Barrier-held duration: the four phases the job spends suspended.
+    /// Pre-copy rounds run while the application computes and are not
+    /// included — compare [`MigrationReport::wall`].
     pub fn total(&self) -> Duration {
         self.stall + self.migrate + self.restart + self.resume
+    }
+
+    /// Barrier-held duration under its live-migration name: what the
+    /// application actually loses to the cycle.
+    pub fn downtime(&self) -> Duration {
+        self.total()
+    }
+
+    /// Trigger-to-resume wall time including the overlapped pre-copy
+    /// rounds.
+    pub fn wall(&self) -> Duration {
+        self.precopy + self.total()
     }
 }
 
 impl fmt::Display for MigrationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.precopy_rounds > 0 {
+            write!(
+                f,
+                "precopy {:>8.1?} ({} rounds, overlapped)  ",
+                self.precopy, self.precopy_rounds
+            )?;
+        }
         write!(
             f,
             "migration #{} {}→{}: stall {:>8.1?}  migrate {:>8.1?}  restart {:>8.1?}  resume {:>8.1?}  total {:>8.1?}  ({} ranks, {:.1} MB, {} in {} attempt{})",
@@ -226,6 +254,8 @@ mod tests {
             cycle: 1,
             source: NodeId(1),
             target: NodeId(9),
+            precopy: Duration::from_millis(2400),
+            precopy_rounds: 3,
             stall: Duration::from_millis(30),
             migrate: Duration::from_millis(450),
             restart: Duration::from_millis(4500),
@@ -236,6 +266,8 @@ mod tests {
             attempts: 1,
         };
         assert_eq!(m.total(), Duration::from_millis(6080));
+        assert_eq!(m.downtime(), m.total(), "precopy never counts as downtime");
+        assert_eq!(m.wall(), Duration::from_millis(8480));
         let c = CrReport {
             cycle: 1,
             store: CrStoreKind::LocalExt3,

@@ -42,7 +42,7 @@ use protoverify::{
 };
 use simkit::{Countdown, Ctx, Event, ProcHandle, Queue, Semaphore, SimTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -162,6 +162,23 @@ impl MigrationTuning {
         t.pool.overlap = true;
         t.pool.restart_admission = 2;
         t
+    }
+
+    /// Iterative pre-copy live migration on top of the pipelined data
+    /// path: round 0 streams the full image over the striped lanes while
+    /// the ranks keep running, later rounds stream only dirtied segments,
+    /// and the convergence controller (downtime-budget policy by default)
+    /// decides when to suspend for a short residual stop-and-copy.
+    pub fn live() -> Self {
+        let mut t = Self::pipelined();
+        t.pool.live = Some(livemig::LiveConfig::default());
+        t
+    }
+
+    /// Set the live pre-copy configuration (`None` = stop-and-copy).
+    pub fn live_config(mut self, cfg: Option<livemig::LiveConfig>) -> Self {
+        self.pool.live = cfg;
+        self
     }
 
     /// Set the parallel RDMA pull lane count.
@@ -408,6 +425,62 @@ pub(crate) struct MigCycle {
     /// original went out, so the target NLA must react to exactly one of
     /// the (at most two) publishes.
     restart_claim: Mutex<bool>,
+    /// Iterative pre-copy state (`None` for stop-and-copy cycles — and
+    /// for every retry attempt: only the first attempt runs live, since a
+    /// retry's pre-copied state died with the abandoned target).
+    pub live: Option<LiveState>,
+}
+
+/// Shared state of a live cycle's pre-copy rounds, bridging the Job
+/// Manager (round loop, convergence decisions), the source NLA (capture +
+/// stream), the target NLA (pull + merge), and the Phase 3 restart (merge
+/// the cutover residual).
+pub(crate) struct LiveState {
+    /// Live tunables in effect for this cycle.
+    pub cfg: livemig::LiveConfig,
+    /// Rendezvous of the round currently streaming; replaced by the Job
+    /// Manager before each `FTB_PRECOPY` publish (each round is its own
+    /// [`TransferSession`]).
+    round_rv: Mutex<Option<PoolRendezvous>>,
+    /// Target-side per-rank merge state, carried across rounds and
+    /// consumed by the cutover restart.
+    pub accums: Mutex<HashMap<u32, livemig::ImageAccumulator>>,
+    /// Set when the controller cuts over: source ranks stream only the
+    /// residual delta and the target restarts from accumulator + residual.
+    cutover: AtomicBool,
+    /// Pre-copy wire bytes across all completed rounds.
+    pub precopied: AtomicU64,
+    /// Completed pre-copy rounds.
+    pub rounds: AtomicU32,
+}
+
+impl LiveState {
+    fn new(cfg: livemig::LiveConfig) -> Self {
+        LiveState {
+            cfg,
+            round_rv: Mutex::new(None),
+            accums: Mutex::new(HashMap::new()),
+            cutover: AtomicBool::new(false),
+            precopied: AtomicU64::new(0),
+            rounds: AtomicU32::new(0),
+        }
+    }
+
+    /// Install the rendezvous for the next round (Job Manager, before the
+    /// `FTB_PRECOPY` publish).
+    fn begin_round(&self, rv: PoolRendezvous) {
+        *self.round_rv.lock() = Some(rv);
+    }
+
+    /// The current round's rendezvous (NLA reaction side).
+    fn round_rendezvous(&self) -> Option<PoolRendezvous> {
+        self.round_rv.lock().clone()
+    }
+
+    /// Whether the controller has cut over to the residual round.
+    pub fn cut_over(&self) -> bool {
+        self.cutover.load(Ordering::Relaxed)
+    }
 }
 
 #[derive(Default)]
@@ -1237,6 +1310,33 @@ fn wait_named_until(
     }
 }
 
+/// Pop events from `sub` until the `FTB_PRECOPY_DONE` for this cycle and
+/// round arrives, or the deadline passes (`None`). Acks from abandoned
+/// rounds of the same cycle are skipped by the round match.
+fn wait_precopy_done_until(
+    ctx: &Ctx,
+    sub: &Queue<FtbEvent>,
+    cycle: u64,
+    round: u32,
+    deadline: SimTime,
+) -> Option<PrecopyDoneMsg> {
+    loop {
+        let now = ctx.now();
+        if now >= deadline {
+            return None;
+        }
+        let ev = sub.pop_timeout(ctx, deadline - now)?;
+        if ev.name != FTB_PRECOPY_DONE {
+            continue;
+        }
+        if let Some(m) = ev.payload_as::<PrecopyDoneMsg>() {
+            if m.cycle == cycle && m.round == round {
+                return Some(*m);
+            }
+        }
+    }
+}
+
 /// Count `FTB_SUSPEND_ACK`s for `cycle` until all `n` ranks have
 /// acknowledged — the Phase 1 fan-in the paper's Job Stall time measures.
 /// Returns `false` if the deadline passes first.
@@ -1357,9 +1457,18 @@ fn run_migration(
     let spec = MigrationSpec::shipped();
     let mut stepper = CycleStepper::new(&spec);
     let mut attempt = 0u32;
+    // Live pre-copy applies to the first attempt only: a retry's target
+    // died with everything pre-copied onto it, and re-running rounds
+    // against the retry budget would stretch an already-failing cycle —
+    // retries go straight to the classic stop-and-copy path.
+    let live_requested = req.effective_pool(inner.spec.pool).live.is_some();
     loop {
         let begin = if attempt == 0 {
-            CycleEvent::Trigger
+            if live_requested {
+                CycleEvent::LiveTrigger
+            } else {
+                CycleEvent::Trigger
+            }
         } else {
             CycleEvent::Retry
         };
@@ -1451,6 +1560,8 @@ fn run_migration(
                     cycle: times.cycle,
                     source,
                     target,
+                    precopy: times.precopy,
+                    precopy_rounds: times.precopy_rounds,
                     stall: times.stall,
                     migrate: times.migrate,
                     restart: times.restart,
@@ -1496,6 +1607,8 @@ fn run_migration(
         cycle: cr_cycle,
         source,
         target: source, // nothing moved
+        precopy: Duration::ZERO,
+        precopy_rounds: 0,
         stall: Duration::ZERO,
         migrate: Duration::ZERO,
         restart: Duration::ZERO,
@@ -1511,6 +1624,8 @@ fn run_migration(
 /// Phase durations of one successful attempt.
 struct AttemptTimes {
     cycle: u64,
+    precopy: Duration,
+    precopy_rounds: u32,
     stall: Duration,
     migrate: Duration,
     restart: Duration,
@@ -1543,12 +1658,14 @@ fn run_attempt(
     let epoch = inner.epoch.load(Ordering::Relaxed);
     let handle = inner.cluster.handle();
     let n = inner.spec.nranks as u64;
+    let pool = req.effective_pool(inner.spec.pool);
+    let live = pool.live.filter(|_| attempt == 1).map(LiveState::new);
     let cycle = Arc::new(MigCycle {
         id,
         source,
         target,
         ranks: ranks.to_vec(),
-        pool: req.effective_pool(inner.spec.pool),
+        pool,
         stall_done: Countdown::new(handle, "mig-stall", n),
         rendezvous: PoolRendezvous::new(handle),
         source_pool: Mutex::new(None),
@@ -1568,6 +1685,7 @@ fn run_attempt(
         captured_meta: Mutex::new(HashMap::new()),
         procs: Mutex::new(Vec::new()),
         restart_claim: Mutex::new(false),
+        live,
     });
     inner.mig_cycles.lock().insert(id, cycle.clone());
 
@@ -1623,6 +1741,127 @@ fn run_attempt(
             a
         }
     };
+
+    // Phase 0 — iterative pre-copy (live cycles only). The ranks keep
+    // running throughout: nothing here holds the barrier, so a failed or
+    // diverging round costs only the bytes already streamed — the cycle
+    // degrades to the classic stop-and-copy phases below instead of
+    // aborting. Only the spare dying aborts from here (there is nothing
+    // to roll back: no rank ever suspended).
+    let pre0 = ctx.now();
+    if let Some(live) = &cycle.live {
+        if crash(MigPhase::Precopy) {
+            kill_spare(ctx, rt, target);
+            fail!(CycleEvent::SpareCrash, "spare_crash", false);
+        }
+        inner.journal.append(WalRecord::PhaseEnter {
+            cycle: id,
+            phase: MigPhase::Precopy,
+        });
+        ctx.check_killed();
+        let ph = ctx.span_with("phase", "precopy", phase_args(req));
+        // The controller is instantiated after round 0 completes, so its
+        // bandwidth estimate comes from the measured full-image round
+        // rather than a static calibration constant.
+        let mut policy: Option<Box<dyn livemig::ConvergencePolicy>> = None;
+        let mut round: u32 = 0;
+        let mut fell_back = false;
+        loop {
+            // Each round is one self-contained TransferSession; a fresh
+            // rendezvous keeps a straggler from a failed round from
+            // pairing with the next round's pool.
+            live.begin_round(PoolRendezvous::new(handle));
+            let r0 = ctx.now();
+            ftb.publish(
+                ctx,
+                FtbEvent::with_payload(
+                    MPI_SPACE,
+                    FTB_PRECOPY,
+                    Severity::Info,
+                    inner.cluster.login(),
+                    PrecopyMsg {
+                        source,
+                        target,
+                        cycle: id,
+                        round,
+                        epoch,
+                    },
+                ),
+            );
+            let done = wait_precopy_done_until(ctx, sub, id, round, r0 + rec.migrate_timeout);
+            let Some(done) = done.filter(|d| d.ok) else {
+                fell_back = true;
+                break;
+            };
+            let dur = ctx.now() - r0;
+            inner.journal.append(WalRecord::PrecopyRound {
+                cycle: id,
+                round,
+                bytes: done.bytes,
+            });
+            ctx.check_killed();
+            let _ = proto_step(ctx, stepper, CycleEvent::PrecopyRound, &always);
+            live.precopied.fetch_add(done.bytes, Ordering::Relaxed);
+            live.rounds.fetch_add(1, Ordering::Relaxed);
+            // Residual pending right now: the size of the next round (or
+            // of the cutover stop-and-copy, if the verdict is to stop).
+            let pending: u64 = ranks.iter().map(|&r| inner.job.cr(r).dirty_bytes()).sum();
+            let report = livemig::RoundReport {
+                round,
+                bytes: done.bytes,
+                pages: done.pages,
+                duration: dur,
+                dirty_bytes_pending: pending,
+            };
+            let p = policy.get_or_insert_with(|| {
+                let bw = done.bytes as f64 / dur.as_secs_f64().max(1e-9);
+                // The fixed floor covers only what the cutover timing can
+                // influence (tree adjust + per-process restart base); the
+                // constant Phase 4 resume is paid whenever we stop, so it
+                // has no place in the convergence decision.
+                live.cfg
+                    .controller(bw, calib::SPAWN_TREE_ADJUST + calib::restart_costs().base)
+            });
+            let verdict = p.decide(&report);
+            ctx.instant_with("live", "round_verdict", || {
+                vec![
+                    ("cycle", id.into()),
+                    ("round", round.into()),
+                    ("bytes", done.bytes.into()),
+                    ("pending", pending.into()),
+                    ("verdict", format!("{verdict:?}").into()),
+                ]
+            });
+            match verdict {
+                livemig::Decision::Continue => round += 1,
+                livemig::Decision::CutOver => {
+                    live.cutover.store(true, Ordering::Relaxed);
+                    let _ = proto_step(ctx, stepper, CycleEvent::Cutover, &always);
+                    break;
+                }
+                livemig::Decision::Fallback => {
+                    fell_back = true;
+                    break;
+                }
+            }
+        }
+        if fell_back {
+            // Divergence, a timed-out round, or a failed pull: abandon
+            // the pre-copied state and run the classic full stop-and-copy
+            // below. The dirty trackers are disarmed so source ranks
+            // stream complete images.
+            let _ = proto_step(ctx, stepper, CycleEvent::FallbackStopCopy, &always);
+            live.accums.lock().clear();
+            for &r in ranks {
+                inner.job.cr(r).disarm_dirty();
+            }
+            ctx.instant_with("log", "live_fallback", || {
+                vec![("cycle", id.into()), ("rounds", round.into())]
+            });
+        }
+        ph.end();
+    }
+    let precopy_wall = ctx.now() - pre0;
 
     // Phase 1 — Job Stall.
     if crash(MigPhase::Stall) {
@@ -1796,9 +2035,18 @@ fn run_attempt(
     let _ = proto_step(ctx, stepper, CycleEvent::ResumeDone, &always);
     let t4 = ctx.now();
 
-    let bytes = *cycle.piic_bytes.lock();
+    let live_bytes = cycle
+        .live
+        .as_ref()
+        .map_or(0, |l| l.precopied.load(Ordering::Relaxed));
+    let bytes = *cycle.piic_bytes.lock() + live_bytes;
     Ok(AttemptTimes {
         cycle: id,
+        precopy: precopy_wall,
+        precopy_rounds: cycle
+            .live
+            .as_ref()
+            .map_or(0, |l| l.rounds.load(Ordering::Relaxed)),
         stall: t1 - t0,
         migrate: t2 - t1,
         restart: t3 - t2,
@@ -1854,6 +2102,14 @@ fn abort_cycle(
     // loop, restart workers).
     for ph in cycle.procs.lock().drain(..) {
         ph.kill();
+    }
+    // A live cycle's dirty trackers are abandoned with the cycle: the
+    // ranks roll back to (or never left) the source incarnation, which by
+    // definition holds every write — nothing pre-copied is needed again.
+    if cycle.live.is_some() {
+        for &rank in &cycle.ranks {
+            inner.job.cr(rank).disarm_dirty();
+        }
     }
     let metas = cycle.captured_meta.lock().clone();
     let mut recover: Vec<u32> = Vec::new();
@@ -2032,12 +2288,20 @@ fn takeover(ctx: &Ctx, rt: &JobRuntime, ftb: &FtbClient) {
     }
     // Pre-commit. If the cycle never became visible to the job (the
     // deepest record is the Stall phase entry, which precedes the
-    // FTB_MIGRATE publish), nothing suspended: rollback is a cheap
-    // settle. Otherwise the data path is still progressing on its own —
-    // resume from the journal's point with fresh deadlines, re-executing
-    // only the pending coordinator side effects, and roll back if any
-    // fresh deadline passes.
-    let visible = fl.phase.map(|p| p != MigPhase::Stall).unwrap_or(false);
+    // FTB_MIGRATE publish — or any Precopy record, during which the job
+    // was still running untouched on the source), nothing suspended:
+    // rollback is a cheap settle. A takeover mid-pre-copy deliberately
+    // abandons the rounds rather than resuming them: the accumulated
+    // target state lived in the dead coordinator's cycle bookkeeping, and
+    // the source incarnation still holds every byte. Otherwise the data
+    // path is still progressing on its own — resume from the journal's
+    // point with fresh deadlines, re-executing only the pending
+    // coordinator side effects, and roll back if any fresh deadline
+    // passes.
+    let visible = fl
+        .phase
+        .map(|p| !matches!(p, MigPhase::Stall | MigPhase::Precopy))
+        .unwrap_or(false);
     if !visible {
         standby_rollback(ctx, rt, &cycle, &fl, epoch, fl.rewired);
         return;
@@ -2181,6 +2445,8 @@ fn settle_standby_outcome(
         cycle: fl.cycle,
         source: fl.source,
         target,
+        precopy: Duration::ZERO,
+        precopy_rounds: fl.precopy_rounds,
         stall: Duration::ZERO,
         migrate: Duration::ZERO,
         restart: Duration::ZERO,
@@ -2269,6 +2535,58 @@ fn nla_proc(ctx: &Ctx, rt: JobRuntime, node: NodeId) {
                     cycle.track(ph);
                 }
             }
+            FTB_PRECOPY => {
+                let Some(m) = ev.payload_as::<PrecopyMsg>() else {
+                    continue;
+                };
+                let m = *m;
+                if m.epoch < rt.fencing_epoch() {
+                    ctx.instant_with("wal", "fenced_publish", || {
+                        vec![
+                            ("name", FTB_PRECOPY.into()),
+                            ("cycle", m.cycle.into()),
+                            ("epoch", m.epoch.into()),
+                        ]
+                    });
+                    continue;
+                }
+                let Some(cycle) = rt.mig_cycle(m.cycle) else {
+                    continue;
+                };
+                if m.source == node {
+                    let rt2 = rt.clone();
+                    let nla2 = nla.clone();
+                    let ph = ctx.spawn_daemon(
+                        &format!("mig{}-pre{}-src@{node}", m.cycle, m.round),
+                        move |ctx| {
+                            let Some(cycle) = rt2.mig_cycle(m.cycle) else {
+                                return;
+                            };
+                            if cycle.is_aborted() {
+                                return;
+                            }
+                            source_side_precopy(ctx, &rt2, &nla2, m);
+                        },
+                    );
+                    cycle.track(ph);
+                } else if m.target == node {
+                    let rt2 = rt.clone();
+                    let ftb2 = ftb.clone();
+                    let ph = ctx.spawn_daemon(
+                        &format!("mig{}-pre{}-pull@{node}", m.cycle, m.round),
+                        move |ctx| {
+                            let Some(cycle) = rt2.mig_cycle(m.cycle) else {
+                                return;
+                            };
+                            if cycle.is_aborted() {
+                                return;
+                            }
+                            target_side_precopy(ctx, &rt2, &ftb2, m);
+                        },
+                    );
+                    cycle.track(ph);
+                }
+            }
             FTB_RESTART => {
                 let Some(r) = ev.payload_as::<RestartMsg>() else {
                     continue;
@@ -2313,6 +2631,183 @@ fn nla_proc(ctx: &Ctx, rt: JobRuntime, node: NodeId) {
             _ => {}
         }
     }
+}
+
+/// Source NLA, one pre-copy round: capture each local rank's state while
+/// it keeps running and stream it through a fresh per-round buffer pool —
+/// the full image at round 0 (arming dirty tracking first, so no write
+/// after the capture can be lost), a dirty-segment delta afterwards.
+fn source_side_precopy(ctx: &Ctx, rt: &JobRuntime, nla: &Arc<NlaShared>, m: PrecopyMsg) {
+    let inner = &rt.inner;
+    let Some(cycle) = rt.mig_cycle(m.cycle) else {
+        return;
+    };
+    let Some(live) = &cycle.live else {
+        return;
+    };
+    let Some(rv) = live.round_rendezvous() else {
+        return;
+    };
+    let ranks = nla.ranks.lock().clone();
+    let hca = inner.cluster.fabric().attach(m.source);
+    let (pool, ackloop) =
+        TransferSession::from_config(cycle.pool).source(ctx, &hca, ranks.len() as u32, &rv);
+    cycle.track(ackloop);
+    let blcr = &inner.cluster.node(m.source).blcr;
+    for rank in ranks {
+        let cr = inner.job.cr(rank);
+        let image = if m.round == 0 {
+            // Arm *before* capturing: a write landing during the capture
+            // is re-sent in round 1 — duplicated, never lost.
+            cr.arm_dirty(live.cfg.page);
+            let meta = cr.capture_meta();
+            build_image(rank, &meta)
+        } else {
+            match cr.take_dirty() {
+                Some(snap) => {
+                    let meta = cr.capture_meta();
+                    livemig::delta::encode(
+                        rank as u64,
+                        &wrap_meta(&meta),
+                        &meta.segments,
+                        &snap,
+                        m.round,
+                    )
+                }
+                None => {
+                    // Tracking vanished (rank restored elsewhere?): stream
+                    // the full image — correct, if not fast.
+                    let meta = cr.capture_meta();
+                    build_image(rank, &meta)
+                }
+            }
+        };
+        let mut sink = pool.sink(ctx, rank, image.checksum());
+        if blcr.try_checkpoint(ctx, &image, &mut sink).is_err() {
+            // Incomplete stream: the target's pull stalls and the round
+            // deadline degrades the cycle to stop-and-copy.
+            ctx.instant_with("ckpt", "precopy_dump_failed", || {
+                vec![
+                    ("rank", rank.into()),
+                    ("cycle", m.cycle.into()),
+                    ("round", m.round.into()),
+                ]
+            });
+        }
+    }
+}
+
+/// Target NLA, one pre-copy round: pull the round's streams, then merge
+/// each rank's payload into its [`livemig::ImageAccumulator`] (paying
+/// parse + populate cost for exactly the pulled bytes — all overlapped
+/// with the running application) and report the round to the Job Manager.
+fn target_side_precopy(ctx: &Ctx, rt: &JobRuntime, ftb: &FtbClient, m: PrecopyMsg) {
+    let inner = &rt.inner;
+    let Some(cycle) = rt.mig_cycle(m.cycle) else {
+        return;
+    };
+    let Some(live) = &cycle.live else {
+        return;
+    };
+    let Some(rv) = live.round_rendezvous() else {
+        return;
+    };
+    let hca = inner.cluster.fabric().attach(m.target);
+    let res = inner.cluster.node(m.target);
+    let store: Arc<dyn storesim::CkptStore> = Arc::new(res.fs.clone());
+    let hooks = TargetHooks {
+        on_rank_ready: None,
+        on_spawn: Some(Arc::new({
+            let cycle = cycle.clone();
+            move |ph| cycle.track(ph)
+        })),
+    };
+    let report = |ok: bool, bytes: u64, pages: u64| {
+        ftb.publish(
+            ctx,
+            FtbEvent::with_payload(
+                MPI_SPACE,
+                FTB_PRECOPY_DONE,
+                Severity::Info,
+                m.target,
+                PrecopyDoneMsg {
+                    cycle: m.cycle,
+                    round: m.round,
+                    ok,
+                    bytes,
+                    pages,
+                },
+            ),
+        );
+    };
+    let result = match TransferSession::from_config(cycle.pool).target_with(
+        ctx,
+        &hca,
+        &rv,
+        store,
+        &format!("mig.{}.pre{}", m.cycle, m.round),
+        hooks,
+    ) {
+        Ok(r) => r,
+        Err(abort) => {
+            ctx.instant_with("pool", "precopy_pull_aborted", || {
+                vec![
+                    ("cycle", m.cycle.into()),
+                    ("round", m.round.into()),
+                    ("reason", abort.reason.into()),
+                ]
+            });
+            report(false, abort.bytes_pulled, 0);
+            return;
+        }
+    };
+    // Collect-and-sort: the session's image map is a HashMap and merge
+    // order must not depend on hash order.
+    // jmlint: allow(hash_iter)
+    let mut staged: Vec<(u32, AssembledImage)> = result.images.into_iter().collect();
+    staged.sort_by_key(|(rank, _)| *rank);
+    let mut pages = 0u64;
+    let mut ok = true;
+    for (rank, info) in staged {
+        let parsed = match info.slices {
+            Some(slices) => res.blcr.restart(
+                ctx,
+                &mut blcrsim::MemSource::new(slices),
+                &calib::restart_costs(),
+            ),
+            None => {
+                let store: Arc<dyn storesim::CkptStore> = Arc::new(res.fs.clone());
+                let mut src = StoreSource::new(store, info.path.clone());
+                res.blcr.restart(ctx, &mut src, &calib::restart_costs())
+            }
+        };
+        let Ok(img) = parsed else {
+            ok = false;
+            continue;
+        };
+        if img.checksum() != info.expected_checksum {
+            // A corrupt round payload never reaches the accumulator; the
+            // controller falls back to classic stop-and-copy.
+            ok = false;
+            continue;
+        }
+        let mut accums = live.accums.lock();
+        match livemig::delta::decode(&img) {
+            Ok(Some(d)) => {
+                pages += d
+                    .runs
+                    .iter()
+                    .map(|r| r.data.len.div_ceil(d.page.max(1)))
+                    .sum::<u64>();
+                if accums.entry(rank).or_default().apply(&d).is_err() {
+                    ok = false;
+                }
+            }
+            Ok(None) => accums.entry(rank).or_default().seed_full(img),
+            Err(_) => ok = false,
+        }
+    }
+    report(ok, result.bytes_pulled, pages);
 }
 
 /// Source NLA, Phase 2: stand up the buffer manager, wait until every
@@ -2540,6 +3035,9 @@ pub(crate) enum RestartRankError {
     ImageMissing,
     /// BLCR could not parse/restore the image stream.
     ImageParse(String),
+    /// The live-migration residual delta could not be applied to the
+    /// pre-copied base image (missing or inconsistent accumulator).
+    DeltaApply(String),
     /// The restored image's checksum disagrees with the streamed one.
     ChecksumMismatch {
         /// Checksum recomputed from the restored image.
@@ -2556,6 +3054,7 @@ impl std::fmt::Display for RestartRankError {
         match self {
             RestartRankError::ImageMissing => write!(f, "no assembled image"),
             RestartRankError::ImageParse(e) => write!(f, "image parse: {e}"),
+            RestartRankError::DeltaApply(e) => write!(f, "residual delta apply: {e}"),
             RestartRankError::ChecksumMismatch { got, want } => {
                 write!(f, "checksum mismatch: got {got:#x}, want {want:#x}")
             }
@@ -2594,6 +3093,32 @@ fn restart_one_rank(
         }
     };
     let image = restarted.map_err(|e| RestartRankError::ImageParse(e.to_string()))?;
+    // Live cutover: the streamed bytes are the residual delta, and only
+    // its (small) population cost was just paid — the pre-copied bulk was
+    // populated into the accumulator during the overlapped rounds. Merge
+    // and fall through to the same end-to-end checksum verification,
+    // which now proves the *merged* image equals the source's final
+    // state: the no-lost-dirty-segment invariant, checked per restart.
+    let image = match cycle.live.as_ref().filter(|l| l.cut_over()) {
+        Some(live) => match livemig::delta::decode(&image) {
+            Ok(Some(d)) => {
+                let mut acc = live
+                    .accums
+                    .lock()
+                    .remove(&rank)
+                    .ok_or_else(|| RestartRankError::DeltaApply("no accumulator".into()))?;
+                acc.apply(&d)
+                    .map_err(|e| RestartRankError::DeltaApply(e.to_string()))?;
+                acc.into_image()
+                    .ok_or_else(|| RestartRankError::DeltaApply("no base image".into()))?
+            }
+            // The source streamed a full image (it had no dirty-tracking
+            // state); restart from it directly.
+            Ok(None) => image,
+            Err(e) => return Err(RestartRankError::DeltaApply(e.to_string())),
+        },
+        None => image,
+    };
     if image.checksum() != info.expected_checksum {
         return Err(RestartRankError::ChecksumMismatch {
             got: image.checksum(),
@@ -2684,7 +3209,32 @@ fn cr_thread(ctx: &Ctx, rt: JobRuntime, rank: u32, resume: Option<Arc<MigCycle>>
                     rt.rank_apply(ctx, rank, RankEvent::Capture);
                     let image = build_image(rank, &meta);
                     rt.kill_app(rank);
-                    let mut sink = pool.sink(ctx, rank, image.checksum());
+                    // Live cutover: the target already holds every
+                    // pre-copied byte, so stream only the residual dirty
+                    // segments. The sink still carries the *merged*
+                    // image's checksum — the end-to-end verification in
+                    // Phase 3 runs against the accumulator + residual
+                    // merge, proving no dirty segment was lost.
+                    let checksum = image.checksum();
+                    let image = match cycle.live.as_ref().filter(|l| l.cut_over()) {
+                        Some(live) => match cr.take_dirty() {
+                            Some(snap) => {
+                                cr.disarm_dirty();
+                                let round = live.rounds.load(Ordering::Relaxed);
+                                livemig::delta::encode(
+                                    rank as u64,
+                                    &wrap_meta(&meta),
+                                    &meta.segments,
+                                    &snap,
+                                    round,
+                                )
+                            }
+                            // Unknown dirty state: stream everything.
+                            None => image,
+                        },
+                        None => image,
+                    };
+                    let mut sink = pool.sink(ctx, rank, checksum);
                     let blcr = &inner.cluster.node(m.source).blcr;
                     if blcr.try_checkpoint(ctx, &image, &mut sink).is_err() {
                         // Incomplete stream: the Phase 2 deadline aborts

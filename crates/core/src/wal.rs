@@ -68,6 +68,18 @@ pub enum WalRecord {
         /// The phase being entered.
         phase: MigPhase,
     },
+    /// One live pre-copy round finished: `bytes` of (full or delta) image
+    /// data landed on the target while the job kept running. Appended
+    /// *after* the round completes — recovery can count finished rounds
+    /// but must treat a round with no record as never having happened.
+    PrecopyRound {
+        /// Cycle sequence number.
+        cycle: u64,
+        /// Round number (0 = full-image round).
+        round: u32,
+        /// Stream bytes the round moved.
+        bytes: u64,
+    },
     /// Rank `rank`'s image finished streaming and verified on the target.
     RankImageReady {
         /// Cycle sequence number.
@@ -122,6 +134,7 @@ pub enum WalRecord {
 /// observer speak these.
 fn phase_name(phase: MigPhase) -> &'static str {
     match phase {
+        MigPhase::Precopy => "precopy",
         MigPhase::Stall => "stall",
         MigPhase::Migrate => "migrate",
         MigPhase::Restart => "restart",
@@ -136,6 +149,7 @@ impl WalRecord {
             WalRecord::CycleStart { .. } => "cycle_start",
             WalRecord::LeaseAcquire { .. } => "lease_acquire",
             WalRecord::PhaseEnter { .. } => "phase_enter",
+            WalRecord::PrecopyRound { .. } => "precopy_round",
             WalRecord::RankImageReady { .. } => "rank_image_ready",
             WalRecord::NlaRewire { .. } => "nla_rewire",
             WalRecord::RankRestarted { .. } => "rank_restarted",
@@ -152,6 +166,7 @@ impl WalRecord {
             WalRecord::CycleStart { cycle, .. }
             | WalRecord::LeaseAcquire { cycle, .. }
             | WalRecord::PhaseEnter { cycle, .. }
+            | WalRecord::PrecopyRound { cycle, .. }
             | WalRecord::RankImageReady { cycle, .. }
             | WalRecord::NlaRewire { cycle, .. }
             | WalRecord::RankRestarted { cycle, .. }
@@ -191,7 +206,18 @@ impl WalRecord {
                     MigPhase::Migrate => 2,
                     MigPhase::Restart => 3,
                     MigPhase::Resume => 4,
+                    MigPhase::Precopy => 5,
                 });
+            }
+            WalRecord::PrecopyRound {
+                cycle,
+                round,
+                bytes,
+            } => {
+                buf.push(11);
+                put_u64(buf, cycle);
+                put_u64(buf, u64::from(round));
+                put_u64(buf, bytes);
             }
             WalRecord::RankImageReady { cycle, rank } => {
                 buf.push(4);
@@ -255,6 +281,7 @@ impl WalRecord {
                     2 => MigPhase::Migrate,
                     3 => MigPhase::Restart,
                     4 => MigPhase::Resume,
+                    5 => MigPhase::Precopy,
                     _ => return None,
                 },
             },
@@ -283,6 +310,11 @@ impl WalRecord {
             },
             10 => WalRecord::CycleEnd {
                 cycle: u64_at(buf, 1)?,
+            },
+            11 => WalRecord::PrecopyRound {
+                cycle: u64_at(buf, 1)?,
+                round: u32::try_from(u64_at(buf, 9)?).ok()?,
+                bytes: u64_at(buf, 17)?,
             },
             _ => return None,
         };
@@ -495,6 +527,11 @@ pub struct InFlight {
     pub images_ready: Vec<u32>,
     /// Ranks already restarted on the target.
     pub restarted: Vec<u32>,
+    /// Completed live pre-copy rounds (0 for stop-and-copy cycles). A
+    /// crash inside [`MigPhase::Precopy`] is recovered by abandoning the
+    /// pre-copy — the job never stopped running on the source, so
+    /// rollback costs nothing but the streamed bytes.
+    pub precopy_rounds: u32,
 }
 
 struct JournalState {
@@ -660,6 +697,7 @@ impl CycleJournal {
             rolling_back: false,
             images_ready: Vec::new(),
             restarted: Vec::new(),
+            precopy_rounds: 0,
         };
         let mut replayed = 0u64;
         for e in tail.iter().filter(|e| e.record.cycle() == cycle) {
@@ -667,6 +705,7 @@ impl CycleJournal {
             match e.record {
                 WalRecord::LeaseAcquire { node, epoch, .. } => fl.lease = Some((node, epoch)),
                 WalRecord::PhaseEnter { phase, .. } => fl.phase = Some(phase),
+                WalRecord::PrecopyRound { round, .. } => fl.precopy_rounds = round + 1,
                 WalRecord::RankImageReady { rank, .. } => fl.images_ready.push(rank),
                 WalRecord::NlaRewire { target, .. } => {
                     fl.target = Some(target);

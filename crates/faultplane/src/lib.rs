@@ -42,6 +42,10 @@ use storesim::StoreFaultHook;
 /// target faults at protocol boundaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MigPhase {
+    /// Pre-copy rounds of a live migration (before Phase 1; ranks still
+    /// running). Not part of [`MigPhase::ALL`] — the four-phase grid —
+    /// but targetable by spare-crash and WAL-point faults.
+    Precopy,
     /// Phase 1: stall the job, drain in-flight messages.
     Stall,
     /// Phase 2: stream process images source → target over RDMA.
@@ -64,6 +68,7 @@ impl MigPhase {
     /// Lower-case phase name, matching the telemetry span names.
     pub fn name(&self) -> &'static str {
         match self {
+            MigPhase::Precopy => "precopy",
             MigPhase::Stall => "stall",
             MigPhase::Migrate => "migrate",
             MigPhase::Restart => "restart",

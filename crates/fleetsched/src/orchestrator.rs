@@ -190,6 +190,10 @@ pub struct PolicyStats {
     pub alert_checkpoints: u64,
     /// Migration orders that had to queue for a spare.
     pub queued_orders: u64,
+    /// Migrations issued as iterative pre-copy live migrations (the
+    /// policy's choice per order; the runtime may still fall back to
+    /// stop-and-copy on divergence).
+    pub live_migrations: u64,
     /// Queued orders that timed out and degraded to a checkpoint.
     pub degraded_orders: u64,
     /// Health alerts received (predict + critical).
@@ -211,6 +215,7 @@ struct RunningStats {
     scratch_restarts: u64,
     alert_checkpoints: u64,
     queued_orders: u64,
+    live_migrations: u64,
     degraded_orders: u64,
     alerts: u64,
     reclaimed: u64,
@@ -258,6 +263,8 @@ impl Slot {
 struct Order {
     slot: usize,
     node: NodeId,
+    /// Whether the policy asked for live (pre-copy) migration.
+    live: bool,
 }
 
 struct FleetShared {
@@ -365,12 +372,16 @@ impl FleetShared {
     /// Issue a migration for `slot` away from `node`. The caller holds
     /// the slot's lock and has checked admission; at most one fleet
     /// migration is outstanding per slot.
-    fn issue_migration(&self, s: &mut Slot, node: NodeId, label: &str) {
+    fn issue_migration(&self, s: &mut Slot, node: NodeId, label: &str, live: bool) {
         debug_assert!(!s.reserved_mig && s.pending_migs == 0);
         s.pending_migs += 1;
         s.reserved_mig = true;
-        s.rt.control()
-            .migrate(MigrationRequest::new().from_node(node).label(label));
+        let mut req = MigrationRequest::new().from_node(node).label(label);
+        if live {
+            req = req.tuning(MigrationTuning::live());
+            self.stats.lock().live_migrations += 1;
+        }
+        s.rt.control().migrate(req);
     }
 
     /// Issue a coordinated checkpoint for `slot`. The caller holds the
@@ -440,17 +451,25 @@ fn fleet_manager(ctx: &Ctx, fleet: Arc<FleetShared>, mut policy: Box<dyn FleetPo
                 fleet.issue_checkpoint(&mut s);
                 fleet.stats.lock().alert_checkpoints += 1;
             }
-            PolicyAction::Migrate => {
+            action @ (PolicyAction::Migrate | PolicyAction::MigrateLive) => {
+                let live = action == PolicyAction::MigrateLive;
                 s.handled.push(node);
                 // Admit when a spare is genuinely free and the slot has no
                 // migration already in flight (one per slot at a time);
                 // otherwise queue under a deadline.
                 if view.uncommitted_spares > 0 && s.pending_migs == 0 {
-                    fleet.issue_migration(&mut s, node, policy.name());
+                    fleet.issue_migration(&mut s, node, policy.name(), live);
                 } else {
                     drop(s);
                     let key = (order_deadline(&fleet.cfg, level, ctx.now()), idx);
-                    fleet.orders.lock().insert(key, Order { slot: idx, node });
+                    fleet.orders.lock().insert(
+                        key,
+                        Order {
+                            slot: idx,
+                            node,
+                            live,
+                        },
+                    );
                     fleet.stats.lock().queued_orders += 1;
                 }
             }
@@ -539,7 +558,7 @@ fn pump(ctx: &Ctx, fleet: Arc<FleetShared>) {
             if s.pending_migs > 0 {
                 continue;
             }
-            fleet.issue_migration(&mut s, order.node, "queued");
+            fleet.issue_migration(&mut s, order.node, "queued", order.live);
             drop(s);
             fleet.orders.lock().remove(&key);
         }
@@ -836,6 +855,7 @@ pub fn run_policy_with_plan(cfg: &FleetConfig, policy: PolicyKind, plan: &DoomPl
         checkpoints,
         alert_checkpoints: st.alert_checkpoints,
         queued_orders: st.queued_orders,
+        live_migrations: st.live_migrations,
         degraded_orders: st.degraded_orders,
         alerts: st.alerts,
         reclaimed: st.reclaimed,

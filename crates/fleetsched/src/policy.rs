@@ -59,14 +59,28 @@ pub struct FleetView {
 /// What the policy wants done about an alert.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyAction {
-    /// Migrate the affected job away from the node (queued under
-    /// admission control when no spare is free).
+    /// Migrate the affected job away from the node with classic
+    /// stop-and-copy (queued under admission control when no spare is
+    /// free).
     Migrate,
+    /// Migrate with iterative pre-copy live migration: the job keeps
+    /// computing through the bulk transfer and only stops for the short
+    /// residual round. The right call when the prediction horizon leaves
+    /// room for pre-copy rounds; the runtime falls back to stop-and-copy
+    /// on its own if the job's dirty rate refuses to converge.
+    MigrateLive,
     /// Cut an immediate coordinated checkpoint of the affected job so the
     /// expected crash loses almost no work.
     CheckpointNow,
     /// Do nothing for this alert.
     Ignore,
+}
+
+impl PolicyAction {
+    /// Whether the action starts a migration (of either flavour).
+    pub fn is_migrate(&self) -> bool {
+        matches!(self, PolicyAction::Migrate | PolicyAction::MigrateLive)
+    }
 }
 
 /// A migration policy: maps alerts to actions.
@@ -107,7 +121,10 @@ impl FleetPolicy for Reactive {
 }
 
 /// Migrate on prediction; critical alerts are a backstop for nodes whose
-/// prediction never fired.
+/// prediction never fired. Predicted failures leave time to overlap the
+/// bulk transfer with compute, so they migrate *live*; critical nodes get
+/// the shortest-wall-clock stop-and-copy instead — pre-copy rounds spend
+/// wall time a cliff-edge node may not have.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Proactive;
 
@@ -115,8 +132,11 @@ impl FleetPolicy for Proactive {
     fn name(&self) -> &'static str {
         "proactive"
     }
-    fn on_alert(&mut self, _alert: &FleetAlert, _view: &FleetView) -> PolicyAction {
-        PolicyAction::Migrate
+    fn on_alert(&mut self, alert: &FleetAlert, _view: &FleetView) -> PolicyAction {
+        match alert.level {
+            AlertLevel::Predict { .. } => PolicyAction::MigrateLive,
+            AlertLevel::Critical => PolicyAction::Migrate,
+        }
     }
 }
 
@@ -148,9 +168,18 @@ impl FleetPolicy for Utility {
         match alert.level {
             AlertLevel::Critical => PolicyAction::Migrate,
             AlertLevel::Predict { eta } => {
-                let budget = view.est_migration_cost.as_secs_f64() * self.safety;
+                let cost = view.est_migration_cost.as_secs_f64();
+                let budget = cost * self.safety;
                 if budget < eta.as_secs_f64() {
-                    PolicyAction::Migrate
+                    // Live pre-copy roughly doubles the cycle's wall time
+                    // (rounds + residual): choose it only when even the
+                    // stretched cycle fits the horizon, else take the
+                    // shorter stop-and-copy.
+                    if 2.0 * budget < eta.as_secs_f64() {
+                        PolicyAction::MigrateLive
+                    } else {
+                        PolicyAction::Migrate
+                    }
                 } else {
                     PolicyAction::CheckpointNow
                 }
@@ -250,21 +279,30 @@ mod tests {
     }
 
     #[test]
-    fn proactive_migrates_on_prediction() {
+    fn proactive_migrates_live_on_prediction() {
         let mut p = Proactive;
         assert_eq!(
             p.on_alert(&predict(60), &view(4, 10)),
-            PolicyAction::Migrate
+            PolicyAction::MigrateLive
         );
+        // Cliff-edge node: no wall time to spend on pre-copy rounds.
         assert_eq!(p.on_alert(&critical(), &view(4, 10)), PolicyAction::Migrate);
+        assert!(PolicyAction::MigrateLive.is_migrate());
+        assert!(!PolicyAction::CheckpointNow.is_migrate());
     }
 
     #[test]
     fn utility_weighs_cost_against_eta() {
         let mut p = Utility { safety: 2.0 };
-        // 2 × 10 s fits inside 60 s → migrate
+        // 2 × 10 s fits 60 s with room for pre-copy (2 × 20 < 60) → live
         assert_eq!(
             p.on_alert(&predict(60), &view(4, 10)),
+            PolicyAction::MigrateLive
+        );
+        // 2 × 25 s fits 60 s, but a live cycle (~100 s) would not →
+        // classic stop-and-copy
+        assert_eq!(
+            p.on_alert(&predict(60), &view(4, 25)),
             PolicyAction::Migrate
         );
         // 2 × 40 s does not fit inside 60 s → checkpoint instead

@@ -74,6 +74,7 @@ impl SoakReport {
                     .set("checkpoints", p.checkpoints)
                     .set("alert_checkpoints", p.alert_checkpoints)
                     .set("queued_orders", p.queued_orders)
+                    .set("live_migrations", p.live_migrations)
                     .set("degraded_orders", p.degraded_orders)
                     .set("alerts", p.alerts)
                     .set("reclaimed", p.reclaimed)

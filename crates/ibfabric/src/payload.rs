@@ -10,6 +10,7 @@
 //! integrity checks after a migration are real checks, not bookkeeping.
 
 use bytes::Bytes;
+use std::sync::Arc;
 
 /// Where a slice's bytes come from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +24,24 @@ pub enum DataSrc {
         seed: u64,
         /// Offset of this slice within the logical object.
         offset: u64,
+    },
+    /// Page-granular synthetic data: the logical object is a grid of
+    /// fixed-size pages, each with its own seed, so a single page can be
+    /// "written" (reseeded) in O(1) without materialising the object.
+    /// Byte `i` of the slice equals
+    /// [`pattern_byte`]`(seeds[(start + i) / page], start + i)`.
+    ///
+    /// This is the substrate for dirty-segment tracking: live migration
+    /// reseeds written pages, and delta application copies seed entries
+    /// between grids instead of copying bytes.
+    Paged {
+        /// Per-page seeds of the whole logical object (shared; slicing is
+        /// zero-copy).
+        seeds: Arc<Vec<u64>>,
+        /// Page size in bytes (> 0).
+        page: u64,
+        /// Offset of this slice within the logical object.
+        start: u64,
     },
     /// Uninitialised/zero memory (reads of never-written buffer ranges).
     Zero,
@@ -78,12 +97,35 @@ impl DataSlice {
         }
     }
 
+    /// A page-grid slice covering the first `len` bytes of an object whose
+    /// pages are seeded by `seeds` (the last page may be partial).
+    pub fn paged(seeds: Arc<Vec<u64>>, page: u64, len: u64) -> Self {
+        assert!(page > 0, "paged slice needs page > 0");
+        assert!(
+            (seeds.len() as u64).saturating_mul(page) >= len,
+            "paged slice needs {} pages of {page} bytes for len {len}",
+            seeds.len()
+        );
+        DataSlice {
+            src: DataSrc::Paged {
+                seeds,
+                page,
+                start: 0,
+            },
+            len,
+        }
+    }
+
     /// The byte at index `i` (`i < len`).
     pub fn byte_at(&self, i: u64) -> u8 {
         assert!(i < self.len, "byte_at out of range: {i} >= {}", self.len);
         match &self.src {
             DataSrc::Bytes(b) => b[i as usize],
             DataSrc::Pattern { seed, offset } => pattern_byte(*seed, offset + i),
+            DataSrc::Paged { seeds, page, start } => {
+                let off = start + i;
+                pattern_byte(seeds[(off / page) as usize], off)
+            }
             DataSrc::Zero => 0,
         }
     }
@@ -100,6 +142,15 @@ impl DataSlice {
             DataSrc::Pattern { seed, offset } => DataSrc::Pattern {
                 seed: *seed,
                 offset: offset + start,
+            },
+            DataSrc::Paged {
+                seeds,
+                page,
+                start: s0,
+            } => DataSrc::Paged {
+                seeds: seeds.clone(),
+                page: *page,
+                start: s0 + start,
             },
             DataSrc::Zero => DataSrc::Zero,
         };
@@ -135,6 +186,9 @@ impl DataSlice {
         if self.len != other.len {
             return false;
         }
+        if self.len == 0 {
+            return true;
+        }
         match (&self.src, &other.src) {
             (DataSrc::Bytes(a), DataSrc::Bytes(b)) => a == b,
             (
@@ -148,6 +202,23 @@ impl DataSlice {
                 },
             ) => s1 == s2 && o1 == o2,
             (DataSrc::Zero, DataSrc::Zero) => true,
+            (
+                DataSrc::Paged {
+                    seeds: a,
+                    page: p1,
+                    start: s1,
+                },
+                DataSrc::Paged {
+                    seeds: b,
+                    page: p2,
+                    start: s2,
+                },
+            ) if p1 == p2 && s1 == s2 => {
+                // Same grid position: compare only the covered seed range.
+                let first = (s1 / p1) as usize;
+                let last = ((s1 + self.len - 1) / p1) as usize;
+                a[first..=last] == b[first..=last]
+            }
             _ if self.len <= 1 << 16 => self.to_bytes() == other.to_bytes(),
             _ => false,
         }
@@ -243,6 +314,35 @@ mod tests {
             a.sampled_checksum(64),
             DataSlice::pattern(11, 0, (1 << 20) + 1).sampled_checksum(64)
         );
+    }
+
+    #[test]
+    fn paged_reseeding_changes_only_that_page() {
+        let seeds = Arc::new(vec![7u64; 4]);
+        // 60-byte slice: last page partial; structurally equal to itself,
+        // and byte-wise equal to per-page pattern slices at the same
+        // absolute offsets
+        let s = DataSlice::paged(seeds.clone(), 16, 60);
+        for p in 0..4u64 {
+            let len = (60 - p * 16).min(16);
+            let pat = DataSlice::pattern(7, p * 16, len);
+            assert!(s.slice(p * 16, len).content_eq(&pat));
+        }
+        // rewrite page 2
+        let mut v = (*seeds).clone();
+        v[2] = 99;
+        let w = DataSlice::paged(Arc::new(v), 16, 60);
+        assert!(!s.content_eq(&w));
+        assert!(s.slice(0, 32).content_eq(&w.slice(0, 32)));
+        assert!(!s.slice(32, 16).content_eq(&w.slice(32, 16)));
+        assert!(s.slice(48, 12).content_eq(&w.slice(48, 12)));
+        assert_ne!(s.sampled_checksum(64), w.sampled_checksum(64));
+        // sub-slicing shifts start, keeps the grid
+        let sub = s.slice(20, 10);
+        assert_eq!(sub.byte_at(0), s.byte_at(20));
+        // mixed-representation equality materialises for small slices
+        let lit = DataSlice::bytes(s.to_bytes());
+        assert!(s.content_eq(&lit));
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Per-segment dirty-page bitmaps with epoch snapshots.
+//!
+//! The tracker is armed over a process's current segment layout at the
+//! start of a pre-copy cycle; every application write marks the covered
+//! pages. [`DirtyTracker::take`] snapshots and clears the bitmaps — the
+//! epoch boundary between two pre-copy rounds. Write ordering is
+//! content-first-then-mark: a capture racing a write at worst re-sends a
+//! clean page (idempotent), never loses a dirty one.
+
+/// A run of consecutive dirty pages within one segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRun {
+    /// First dirty page index.
+    pub first_page: u64,
+    /// Number of consecutive dirty pages.
+    pub pages: u64,
+}
+
+/// The dirty runs of one segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegRuns {
+    /// Segment index within the process image.
+    pub seg: usize,
+    /// Maximal runs of consecutive dirty pages, in ascending order.
+    pub runs: Vec<PageRun>,
+}
+
+/// One epoch's dirty set: everything written since the previous
+/// [`DirtyTracker::take`] (or since arming).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DirtySnapshot {
+    /// Page size the bitmaps were built over.
+    pub page: u64,
+    /// Per-segment dirty runs (segments with no dirty pages are omitted).
+    pub segs: Vec<SegRuns>,
+}
+
+impl DirtySnapshot {
+    /// Whether nothing was dirtied this epoch.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Total dirty pages.
+    pub fn pages(&self) -> u64 {
+        self.segs
+            .iter()
+            .flat_map(|s| s.runs.iter())
+            .map(|r| r.pages)
+            .sum()
+    }
+}
+
+struct SegBits {
+    len: u64,
+    bits: Vec<u64>,
+}
+
+impl SegBits {
+    fn npages(&self, page: u64) -> u64 {
+        self.len.div_ceil(page)
+    }
+}
+
+/// Per-segment dirty-page bitmaps over one process's memory layout.
+pub struct DirtyTracker {
+    page: u64,
+    segs: Vec<SegBits>,
+}
+
+impl DirtyTracker {
+    /// Arm tracking over segments of the given byte lengths, all-clean.
+    pub fn new(page: u64, seg_lens: &[u64]) -> Self {
+        assert!(page > 0, "dirty tracking needs page > 0");
+        DirtyTracker {
+            page,
+            segs: seg_lens
+                .iter()
+                .map(|&len| SegBits {
+                    len,
+                    bits: vec![0u64; (len.div_ceil(page) as usize).div_ceil(64)],
+                })
+                .collect(),
+        }
+    }
+
+    /// The page size the bitmaps use.
+    pub fn page_size(&self) -> u64 {
+        self.page
+    }
+
+    /// Mark whole pages of segment `seg` dirty.
+    pub fn mark_pages(&mut self, seg: usize, pages: &[u64]) {
+        let s = &mut self.segs[seg];
+        let np = s.len.div_ceil(self.page);
+        for &p in pages {
+            assert!(p < np, "page {p} out of range 0..{np}");
+            s.bits[(p / 64) as usize] |= 1u64 << (p % 64);
+        }
+    }
+
+    /// Mark the pages covering byte range `[off, off+len)` of `seg` dirty.
+    pub fn mark_range(&mut self, seg: usize, off: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = off / self.page;
+        let last = (off + len - 1) / self.page;
+        let s = &mut self.segs[seg];
+        for p in first..=last {
+            s.bits[(p / 64) as usize] |= 1u64 << (p % 64);
+        }
+    }
+
+    /// Total dirty pages across all segments.
+    pub fn dirty_pages(&self) -> u64 {
+        self.segs
+            .iter()
+            .map(|s| s.bits.iter().map(|w| w.count_ones() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Total dirty bytes (partial last pages counted by their real size).
+    pub fn dirty_bytes(&self) -> u64 {
+        let mut total = 0;
+        for s in &self.segs {
+            let np = s.npages(self.page);
+            for p in 0..np {
+                if s.bits[(p / 64) as usize] & (1u64 << (p % 64)) != 0 {
+                    total += (s.len - p * self.page).min(self.page);
+                }
+            }
+        }
+        total
+    }
+
+    /// Snapshot and clear: returns the dirty runs of this epoch and starts
+    /// the next one.
+    pub fn take(&mut self) -> DirtySnapshot {
+        let mut segs = Vec::new();
+        for (i, s) in self.segs.iter_mut().enumerate() {
+            let np = s.npages(self.page);
+            let mut runs: Vec<PageRun> = Vec::new();
+            for p in 0..np {
+                if s.bits[(p / 64) as usize] & (1u64 << (p % 64)) != 0 {
+                    match runs.last_mut() {
+                        Some(r) if r.first_page + r.pages == p => r.pages += 1,
+                        _ => runs.push(PageRun {
+                            first_page: p,
+                            pages: 1,
+                        }),
+                    }
+                }
+            }
+            s.bits.fill(0);
+            if !runs.is_empty() {
+                segs.push(SegRuns { seg: i, runs });
+            }
+        }
+        DirtySnapshot {
+            page: self.page,
+            segs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_coalesce_and_clear() {
+        let mut t = DirtyTracker::new(16, &[100, 40]);
+        t.mark_pages(0, &[1, 2, 3, 6]);
+        t.mark_range(1, 17, 1); // page 1 of seg 1
+        assert_eq!(t.dirty_pages(), 5);
+        let snap = t.take();
+        assert_eq!(snap.pages(), 5);
+        assert_eq!(
+            snap.segs[0].runs,
+            vec![
+                PageRun {
+                    first_page: 1,
+                    pages: 3
+                },
+                PageRun {
+                    first_page: 6,
+                    pages: 1
+                }
+            ]
+        );
+        assert_eq!(snap.segs[1].seg, 1);
+        assert!(t.take().is_empty(), "take clears");
+    }
+
+    #[test]
+    fn partial_last_page_byte_accounting() {
+        let mut t = DirtyTracker::new(16, &[40]); // pages: 16,16,8
+        t.mark_pages(0, &[2]);
+        assert_eq!(t.dirty_bytes(), 8);
+        t.mark_range(0, 0, 33); // all three pages
+        assert_eq!(t.dirty_bytes(), 40);
+    }
+
+    #[test]
+    fn range_marks_covering_pages_only() {
+        let mut t = DirtyTracker::new(16, &[160]);
+        t.mark_range(0, 31, 2); // straddles pages 1 and 2
+        let snap = t.take();
+        assert_eq!(
+            snap.segs[0].runs,
+            vec![PageRun {
+                first_page: 1,
+                pages: 2
+            }]
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! The pre-copy equivalence oracle: for random write workloads, random
+//! re-chunking, and random fault plans, the image assembled from
+//! round 0 + delta rounds + cutover residual is byte-for-byte identical
+//! to a stop-and-copy image captured at cutover time.
+
+use blcrsim::{parse_stream, serialize_image, ProcessImage, Segment, SegmentKind, SliceCursor};
+use bytes::Bytes;
+use ibfabric::DataSlice;
+use livemig::delta;
+use livemig::{DirtyTracker, ImageAccumulator};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const PAGE: u64 = 32;
+
+/// A running "process": paged segments under dirty tracking.
+struct Proc {
+    segments: Vec<Segment>,
+    tracker: DirtyTracker,
+    iter: u32,
+}
+
+impl Proc {
+    fn new(seg_pages: &[u64], partial_tail: bool) -> Self {
+        let segments: Vec<Segment> = seg_pages
+            .iter()
+            .enumerate()
+            .map(|(i, &np)| {
+                let mut len = np * PAGE;
+                if partial_tail {
+                    len -= PAGE / 2;
+                }
+                Segment {
+                    kind: if i == 0 {
+                        SegmentKind::Stack
+                    } else {
+                        SegmentKind::Heap
+                    },
+                    data: DataSlice::paged(Arc::new(vec![i as u64 + 1; np as usize]), PAGE, len),
+                }
+            })
+            .collect();
+        let lens: Vec<u64> = segments.iter().map(|s| s.data.len).collect();
+        Proc {
+            segments,
+            tracker: DirtyTracker::new(PAGE, &lens),
+            iter: 0,
+        }
+    }
+
+    /// One application write burst: reseed pages, then mark them dirty.
+    fn write(&mut self, seg: usize, page: u64, stamp: u64) {
+        let seg = seg % self.segments.len();
+        let data = &mut self.segments[seg].data;
+        let npages = data.len.div_ceil(PAGE);
+        let page = page % npages;
+        if let ibfabric::DataSrc::Paged { seeds, .. } = &mut data.src {
+            Arc::make_mut(seeds)[page as usize] = stamp;
+        } else {
+            unreachable!("segments are paged");
+        }
+        self.tracker.mark_pages(seg, &[page]);
+        self.iter += 1;
+    }
+
+    fn app_state(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.iter.to_le_bytes())
+    }
+
+    /// What classic stop-and-copy would capture right now.
+    fn full_image(&self) -> ProcessImage {
+        ProcessImage {
+            pid: 7,
+            app_state: self.app_state(),
+            segments: self.segments.clone(),
+        }
+    }
+}
+
+/// Push an image through serialize → random re-chunk → parse, as the RDMA
+/// buffer pool does between source and target.
+fn over_the_wire(img: &ProcessImage, chunk: u64) -> ProcessImage {
+    let mut cur = SliceCursor::new(serialize_image(img));
+    let mut rechunked = Vec::new();
+    while cur.remaining() > 0 {
+        let n = cur.remaining().min(chunk);
+        rechunked.extend(cur.take(n).unwrap());
+    }
+    parse_stream(rechunked).unwrap()
+}
+
+fn materialize(img: &ProcessImage) -> (Bytes, Vec<(SegmentKind, Vec<u8>)>) {
+    (
+        img.app_state.clone(),
+        img.segments
+            .iter()
+            .map(|s| (s.kind, s.data.to_bytes().to_vec()))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn precopy_merge_equals_stop_and_copy(
+        seg_pages in proptest::collection::vec(1u64..12, 1..4),
+        partial_tail in any::<bool>(),
+        // write bursts per delta round: (seg, page, stamp)
+        rounds in proptest::collection::vec(
+            proptest::collection::vec((0usize..4, 0u64..32, any::<u64>()), 0..24),
+            1..5,
+        ),
+        // writes landing between the last round and the cutover capture
+        residual in proptest::collection::vec((0usize..4, 0u64..32, any::<u64>()), 0..12),
+        chunk in 1u64..4096,
+        // fault plan: Some(r) aborts delta round r mid-transfer and falls
+        // back to classic stop-and-copy
+        abort_round in prop_oneof![Just(None), (0usize..5).prop_map(Some)],
+    ) {
+        let mut p = Proc::new(&seg_pages, partial_tail);
+        let mut acc = ImageAccumulator::new();
+
+        // Round 0: full image streamed while the process keeps running.
+        acc.seed_full(over_the_wire(&p.full_image(), chunk));
+        p.tracker.take(); // round 0 content is the epoch-0 snapshot
+
+        let mut fell_back = false;
+        for (rno, writes) in rounds.iter().enumerate() {
+            // application runs during the previous round's transfer
+            for &(s, pg, stamp) in writes {
+                p.write(s, pg, stamp);
+            }
+            if abort_round == Some(rno) {
+                // CQ error mid-round: the round's pages were consumed from
+                // the tracker but never landed — abandoning pre-copy and
+                // falling back to a full copy is what keeps the
+                // no-lost-dirty-segment guarantee.
+                let _lost = p.tracker.take();
+                fell_back = true;
+                break;
+            }
+            let snap = p.tracker.take();
+            let d_img = delta::encode(7, &p.app_state(), &p.segments, &snap, rno as u32 + 1);
+            let d = delta::decode(&over_the_wire(&d_img, chunk)).unwrap().unwrap();
+            prop_assert_eq!(d.pid, 7);
+            acc.apply(&d).unwrap();
+        }
+
+        // writes racing the cutover decision
+        for &(s, pg, stamp) in &residual {
+            p.write(s, pg, stamp);
+        }
+
+        // Cutover (or fallback): the job is now suspended; capture is
+        // stable. The oracle: what the target restarts must equal this.
+        let stop_copy = p.full_image();
+        let merged = if fell_back {
+            over_the_wire(&stop_copy, chunk)
+        } else {
+            let snap = p.tracker.take();
+            let d_img = delta::encode(7, &p.app_state(), &p.segments, &snap, 99);
+            let d = delta::decode(&over_the_wire(&d_img, chunk)).unwrap().unwrap();
+            acc.apply(&d).unwrap();
+            acc.into_image().unwrap()
+        };
+
+        prop_assert_eq!(merged.checksum(), stop_copy.checksum());
+        let (ma, ms) = materialize(&merged);
+        let (sa, ss) = materialize(&stop_copy);
+        prop_assert_eq!(ma, sa);
+        prop_assert_eq!(ms.len(), ss.len());
+        for ((mk, mb), (sk, sb)) in ms.iter().zip(ss.iter()) {
+            prop_assert_eq!(mk, sk);
+            prop_assert_eq!(mb, sb, "segment bytes must match exactly");
+        }
+    }
+}

@@ -4,7 +4,8 @@
 use crate::job::MpiJob;
 use blcrsim::Segment;
 use bytes::Bytes;
-use ibfabric::{Mr, NodeId, Qp, QpAddr};
+use ibfabric::{DataSrc, Mr, NodeId, Qp, QpAddr};
+use livemig::{DirtySnapshot, DirtyTracker};
 use parking_lot::Mutex;
 use simkit::{Ctx, Event, Gate, Queue, SimHandle};
 use std::collections::BTreeMap;
@@ -63,6 +64,9 @@ pub(crate) struct RankShared {
     pub app_state: Mutex<Bytes>,
     /// The application's memory footprint (checkpointed bulk data).
     pub segments: Mutex<Vec<Segment>>,
+    /// Dirty-page tracking, armed only while a live pre-copy migration of
+    /// this rank is in flight ([`RankCr::arm_dirty`]).
+    pub dirty: Mutex<Option<DirtyTracker>>,
 }
 
 impl RankShared {
@@ -77,6 +81,7 @@ impl RankShared {
             completed_in_iter: Mutex::new(0),
             app_state: Mutex::new(app_state),
             segments: Mutex::new(Vec::new()),
+            dirty: Mutex::new(None),
         }
     }
 
@@ -178,6 +183,40 @@ impl MpiRank {
     /// data a checkpoint captures).
     pub fn set_segments(&self, segments: Vec<Segment>) {
         *self.shared.segments.lock() = segments;
+        // A wholesale replacement invalidates any armed dirty bitmap.
+        *self.shared.dirty.lock() = None;
+    }
+
+    /// Application write interception: reseed whole pages of a paged
+    /// segment to `stamp`-derived values, then mark them dirty.
+    ///
+    /// Content is updated *before* the dirty bits, so a pre-copy capture
+    /// racing this call at worst re-sends an already-clean page — it can
+    /// never miss a write. The reseed is a pure function of `stamp` and
+    /// the page index, so replaying an interrupted iteration after a
+    /// restart rewrites identical values.
+    pub fn write_pages(&self, seg: usize, pages: &[u64], stamp: u64) {
+        let (page, len) = {
+            let mut segs = self.shared.segments.lock();
+            let data = &mut segs[seg].data;
+            let len = data.len;
+            let DataSrc::Paged { seeds, page, .. } = &mut data.src else {
+                panic!("write_pages on a non-paged segment");
+            };
+            let page = *page;
+            let npages = len.div_ceil(page);
+            let seeds = Arc::make_mut(seeds);
+            for &p in pages {
+                assert!(p < npages, "page {p} out of range 0..{npages}");
+                seeds[p as usize] = stamp.wrapping_add(p.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+            (page, len)
+        };
+        if let Some(t) = self.shared.dirty.lock().as_mut() {
+            for &p in pages {
+                t.mark_range(seg, p * page, page.min(len - p * page));
+            }
+        }
     }
 
     /// Returns true when the op with the sequence number being issued must
@@ -475,6 +514,40 @@ impl RankCr {
         self.shared.gate.is_open()
     }
 
+    /// Arm dirty-page tracking over the rank's current segment layout
+    /// (pre-copy round 0 start). Bitmaps start all-clean: round 0 streams
+    /// the whole image, so only writes landing *after* this call matter.
+    pub fn arm_dirty(&self, page: u64) {
+        let lens: Vec<u64> = self
+            .shared
+            .segments
+            .lock()
+            .iter()
+            .map(|s| s.data.len)
+            .collect();
+        *self.shared.dirty.lock() = Some(DirtyTracker::new(page, &lens));
+    }
+
+    /// Drop dirty tracking (cycle over or abandoned).
+    pub fn disarm_dirty(&self) {
+        *self.shared.dirty.lock() = None;
+    }
+
+    /// Snapshot-and-clear the dirty bitmap — the epoch boundary between
+    /// two pre-copy rounds. `None` when tracking is not armed.
+    pub fn take_dirty(&self) -> Option<DirtySnapshot> {
+        self.shared.dirty.lock().as_mut().map(|t| t.take())
+    }
+
+    /// Bytes currently dirty (the size of the next round if taken now).
+    pub fn dirty_bytes(&self) -> u64 {
+        self.shared
+            .dirty
+            .lock()
+            .as_ref()
+            .map_or(0, |t| t.dirty_bytes())
+    }
+
     /// Capture checkpoint metadata (Phase 2, on the migration source).
     pub fn capture_meta(&self) -> CrMeta {
         CrMeta {
@@ -491,5 +564,6 @@ impl RankCr {
         *self.shared.skip.lock() = meta.completed_ops;
         *self.shared.completed_in_iter.lock() = meta.completed_ops;
         *self.shared.segments.lock() = meta.segments;
+        *self.shared.dirty.lock() = None;
     }
 }

@@ -22,7 +22,15 @@ use bytes::Bytes;
 use ibfabric::DataSlice;
 use mpisim::MpiRank;
 use simkit::Ctx;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Page size of the paged heap segments (also the live-migration
+/// dirty-tracking granularity).
+pub const PAGE: u64 = 64 << 10;
+
+/// Index of the heap segment in [`Workload::segments`]'s layout.
+pub const HEAP_SEG: usize = 1;
 
 /// Which NPB application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -146,6 +154,11 @@ impl Workload {
 
     /// The memory segments a rank of this workload registers (heap solver
     /// arrays + small stack), with content seeded per `(job_seed, rank)`.
+    ///
+    /// The heap is a [`PAGE`]-grained page grid (initially every page
+    /// carries the rank seed, so content matches the old flat pattern);
+    /// the solver's per-iteration writes reseed individual pages, which is
+    /// what live migration's dirty tracking observes.
     pub fn segments(&self, job_seed: u64, rank: u32) -> Vec<Segment> {
         let seed = job_seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -159,9 +172,31 @@ impl Workload {
             },
             Segment {
                 kind: SegmentKind::Heap,
-                data: DataSlice::pattern(seed, 0, heap),
+                data: DataSlice::paged(
+                    Arc::new(vec![seed; heap.div_ceil(PAGE) as usize]),
+                    PAGE,
+                    heap,
+                ),
             },
         ]
+    }
+
+    /// Heap pages one iteration's solver sweep rewrites (a small, fixed
+    /// working-set fraction — the knob behind pre-copy convergence).
+    pub fn dirty_pages_per_iter(&self) -> u64 {
+        let npages = (self.per_proc_image() - 192).div_ceil(PAGE);
+        (npages / 48).max(1)
+    }
+
+    /// The deterministic page set iteration `it` rewrites. A pure function
+    /// of the iteration number, so replaying an interrupted iteration
+    /// after restart touches identical pages.
+    pub fn write_set(&self, it: u32) -> Vec<u64> {
+        let npages = (self.per_proc_image() - 192).div_ceil(PAGE);
+        let w = self.dirty_pages_per_iter();
+        (0..w)
+            .map(|k| (it as u64 * w + k * 131).wrapping_mul(0x9E37_79B9) % npages)
+            .collect()
     }
 }
 
@@ -198,6 +233,12 @@ pub fn run_rank(ctx: &Ctx, rank: &mut MpiRank, w: &Workload, job_seed: u64) {
     let per_iter = w.per_iter_compute();
     for it in start_iter..w.iters {
         rank.compute(ctx, per_iter);
+        // The sweep's array updates: reseed this iteration's working-set
+        // pages. Deterministic in `it`, so replay after restart is exact.
+        let stamp = job_seed
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(((r as u64) << 32) | (it as u64 + 1));
+        rank.write_pages(HEAP_SEG, &w.write_set(it), stamp);
         // Red/black-ordered bidirectional ring exchange (deadlock-free
         // with blocking rendezvous sends; np is a power of two ≥ 2).
         let t_right = tag(it, 0);

@@ -230,7 +230,8 @@ pub enum EdgeKind {
     ImageReady,
     /// `pool/restart_begin` — a rank's restart worker starting (Phase 3).
     RestartBegin,
-    /// `phase/<stall|migrate|restart|resume>` span — a live phase body.
+    /// `phase/<precopy|stall|migrate|restart|resume>` span — a live
+    /// phase body.
     PhaseSpan,
 }
 
@@ -322,6 +323,7 @@ fn parse_phase(s: &str) -> Option<CyclePhase> {
     use CyclePhase::*;
     Some(match s {
         "idle" => Idle,
+        "precopy" => Precopy,
         "stall" => Stall,
         "migrate" => Migrate,
         "restart" => Restart,
@@ -337,6 +339,10 @@ fn parse_cycle_event(s: &str) -> Option<CycleEvent> {
     use CycleEvent::*;
     Some(match s {
         "trigger" => Trigger,
+        "live_trigger" => LiveTrigger,
+        "precopy_round" => PrecopyRound,
+        "cutover" => Cutover,
+        "fallback_stopcopy" => FallbackStopCopy,
         "stall_done" => StallDone,
         "migrate_done" => MigrateDone,
         "restart_done" => RestartDone,
@@ -833,6 +839,7 @@ impl Observer {
         if !derivable {
             let states = [
                 CyclePhase::Idle,
+                CyclePhase::Precopy,
                 CyclePhase::Stall,
                 CyclePhase::Migrate,
                 CyclePhase::Restart,
@@ -1120,6 +1127,10 @@ impl Observer {
                     wal_fail!("phase_enter without a phase argument");
                 };
                 let needs = match phase {
+                    // A live cycle journals precopy before stall; a
+                    // classic cycle opens with stall directly — both
+                    // entries are roots of the phase chain.
+                    "precopy" => None,
                     "stall" => None,
                     "migrate" => Some("stall"),
                     "restart" => Some("migrate"),
@@ -1136,6 +1147,11 @@ impl Observer {
             "rank_image_ready" => {
                 if !log.phases.contains("migrate") {
                     wal_fail!("rank_image_ready before phase_enter migrate");
+                }
+            }
+            "precopy_round" => {
+                if !log.phases.contains("precopy") {
+                    wal_fail!("precopy_round before phase_enter precopy");
                 }
             }
             "nla_rewire" => {
@@ -1279,7 +1295,10 @@ impl Observer {
         // Only the four migration phases are journaled; other spans in
         // the "phase" category (the `cr_*` checkpoint-baseline phases of
         // the degraded path) run outside the cycle journal.
-        if !matches!(ev.name.as_str(), "stall" | "migrate" | "restart" | "resume") {
+        if !matches!(
+            ev.name.as_str(),
+            "precopy" | "stall" | "migrate" | "restart" | "resume"
+        ) {
             return Ok(());
         }
         let Some(cycle) = ev.arg_u64("cycle") else {
@@ -1742,6 +1761,71 @@ mod tests {
         let v = report.violation.expect("must be nonconforming");
         assert_eq!(v.machine, "cycle");
         assert_eq!(v.suffix.len(), 2, "suffix: {:#?}", v.suffix);
+    }
+
+    #[test]
+    fn live_cycle_is_conformant() {
+        let trace = vec![
+            cycle_ev("idle", "live_trigger", "precopy"),
+            cycle_ev("precopy", "precopy_round", "precopy"),
+            cycle_ev("precopy", "precopy_round", "precopy"),
+            cycle_ev("precopy", "cutover", "stall"),
+            cycle_ev("stall", "stall_done", "migrate"),
+            cycle_ev("migrate", "migrate_done", "restart"),
+            cycle_ev("restart", "restart_done", "resume"),
+            cycle_ev("resume", "resume_done", "complete"),
+        ];
+        let report = Observer::replay(&trace);
+        assert!(report.is_conformant(), "{:?}", report.violation);
+        assert_eq!(
+            report
+                .coverage
+                .count("cycle/idle --live_trigger--> precopy"),
+            1
+        );
+        assert_eq!(
+            report
+                .coverage
+                .count("cycle/precopy --precopy_round--> precopy"),
+            2
+        );
+        // Diverging twin: fallback re-enters the same Stall machinery.
+        let trace = vec![
+            cycle_ev("idle", "live_trigger", "precopy"),
+            cycle_ev("precopy", "precopy_round", "precopy"),
+            cycle_ev("precopy", "fallback_stopcopy", "stall"),
+            cycle_ev("stall", "stall_done", "migrate"),
+        ];
+        assert!(Observer::replay(&trace).is_conformant());
+    }
+
+    #[test]
+    fn cutover_without_precopy_is_rejected() {
+        let trace = vec![
+            cycle_ev("idle", "trigger", "stall"),
+            cycle_ev("precopy", "cutover", "stall"),
+        ];
+        let v = Observer::replay(&trace).violation.expect("nonconforming");
+        assert_eq!(v.machine, "cycle");
+    }
+
+    #[test]
+    fn wal_automaton_rejects_precopy_round_outside_precopy() {
+        let wal = |seq: u64, record: &str| {
+            instant(
+                "wal",
+                "wal_append",
+                vec![
+                    ("seq", ArgVal::U64(seq)),
+                    ("record", ArgVal::Str(record.to_string())),
+                    ("cycle", ArgVal::U64(1)),
+                ],
+            )
+        };
+        let trace = vec![wal(1, "cycle_start"), wal(2, "precopy_round")];
+        let v = Observer::replay(&trace).violation.expect("nonconforming");
+        assert_eq!(v.machine, "wal");
+        assert!(v.reason.contains("precopy_round"), "{}", v.reason);
     }
 
     #[test]

@@ -70,6 +70,13 @@ pub enum TargetNla {
 /// without enabling new interleavings of the counters.
 pub const PIPELINE_RANKS: u8 = 2;
 
+/// Bound on modelled pre-copy rounds per attempt. The runtime's
+/// convergence controller always cuts over or falls back within a finite
+/// round budget; two modelled rounds already distinguish "round N dirtied
+/// pages behind round N-1's snapshot" from a single-shot copy, and more
+/// rounds only replicate the same loop.
+pub const PRECOPY_ROUND_CAP: u8 = 2;
+
 /// One state of the composed model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ModelState {
@@ -109,6 +116,17 @@ pub struct ModelState {
     /// fencing disabled; always a [`Invariant::SingleLeaseHolder`]
     /// violation.
     pub zombie_lease: bool,
+    /// Live refinement: dirty segments exist that the target's staged
+    /// image does not yet reflect (the job kept writing behind a pre-copy
+    /// snapshot). Set on entering `Precopy`; cleared only by
+    /// `StreamImages` (the stop-and-copy round carries every pending
+    /// segment) or `Rollback` (the source incarnation, which has every
+    /// write, is the one that survives). `Complete` with `dirty` set is a
+    /// lost-dirty-segment violation.
+    pub dirty: bool,
+    /// Live refinement: pre-copy rounds completed this attempt, bounded
+    /// by [`PRECOPY_ROUND_CAP`].
+    pub precopy_rounds: u8,
 }
 
 impl ModelState {
@@ -128,6 +146,8 @@ impl ModelState {
             epoch: 0,
             zombie: false,
             zombie_lease: false,
+            dirty: false,
+            precopy_rounds: 0,
         }
     }
 }
@@ -164,6 +184,12 @@ impl fmt::Display for ModelState {
         }
         if self.zombie_lease {
             write!(f, " ZOMBIE-LEASE")?;
+        }
+        if self.dirty {
+            write!(f, " dirty")?;
+        }
+        if self.precopy_rounds > 0 {
+            write!(f, " precopy_rounds={}", self.precopy_rounds)?;
         }
         Ok(())
     }
@@ -228,6 +254,12 @@ pub enum Invariant {
     /// epoch: a deposed coordinator's stale-epoch write can never create
     /// a second lease holder for the job's spare.
     SingleLeaseHolder,
+    /// Live migration never completes while dirty segments exist that the
+    /// target's image does not reflect: every path from `Precopy` to
+    /// `Complete` passes through a stop-and-copy round (`StreamImages`)
+    /// that carries the residual delta, and every abort hands the job
+    /// back to the source incarnation, which has every write.
+    NoLostDirtySegment,
 }
 
 impl Invariant {
@@ -241,6 +273,7 @@ impl Invariant {
             Invariant::PhaseConsistency => "phase-consistency",
             Invariant::ResumeOrRollback => "resume-or-rollback",
             Invariant::SingleLeaseHolder => "single-lease-holder",
+            Invariant::NoLostDirtySegment => "no-lost-dirty-segment",
         }
     }
 }
@@ -416,6 +449,10 @@ fn apply(s: &ModelState, to: CyclePhase, actions: &[Action]) -> ModelState {
             Action::StreamImages => {
                 n.ranks = RankSite::ImagesOnTarget;
                 n.source = NlaState::MigrationInactive;
+                // The stop-and-copy round streams every pending segment —
+                // residual dirty delta after a cutover, the full image
+                // after a fallback — so nothing dirty is outstanding.
+                n.dirty = false;
             }
             Action::RestartRanks => {
                 n.ranks = RankSite::RestartedOnTarget;
@@ -432,8 +469,12 @@ fn apply(s: &ModelState, to: CyclePhase, actions: &[Action]) -> ModelState {
             }
             Action::Rollback => {
                 // Resurrect/resume on the source from captured metadata.
+                // The surviving incarnation is the source's, which has
+                // every write — pre-copied target state is discarded, so
+                // no dirty segment can be lost.
                 n.ranks = RankSite::RunningOnSource;
                 n.source = NlaState::MigrationReady;
+                n.dirty = false;
                 if let TargetNla::Alive(_) = n.target {
                     n.target = TargetNla::Alive(NlaState::MigrationSpare);
                 }
@@ -462,6 +503,11 @@ fn apply(s: &ModelState, to: CyclePhase, actions: &[Action]) -> ModelState {
         n.staged = 0;
         n.restarted = 0;
     }
+    // The round counter only means anything while pre-copying; resetting
+    // it on exit keeps downstream phases from splitting by round history.
+    if to != CyclePhase::Precopy {
+        n.precopy_rounds = 0;
+    }
     n
 }
 
@@ -470,7 +516,8 @@ fn apply(s: &ModelState, to: CyclePhase, actions: &[Action]) -> ModelState {
 fn protocol_events(phase: CyclePhase) -> &'static [CycleEvent] {
     use CycleEvent::*;
     match phase {
-        CyclePhase::Idle => &[Trigger, Degrade],
+        CyclePhase::Idle => &[Trigger, LiveTrigger, Degrade],
+        CyclePhase::Precopy => &[PrecopyRound, Cutover, FallbackStopCopy],
         CyclePhase::Stall => &[StallDone],
         CyclePhase::Migrate => &[MigrateDone],
         CyclePhase::Restart => &[RestartDone],
@@ -524,6 +571,10 @@ fn successors(
             n
         };
         match s.phase {
+            // A crash mid-pre-copy is recovered by abandoning the rounds:
+            // the job never stopped running on the source, so the standby
+            // rolls back and loses nothing but streamed bytes.
+            CyclePhase::Precopy => out.push((label(CycleEvent::TakeoverRollback), rollback)),
             CyclePhase::Stall => out.push((label(CycleEvent::TakeoverRollback), rollback)),
             CyclePhase::Migrate | CyclePhase::Restart => {
                 out.push((label(CycleEvent::TakeoverResume), resume));
@@ -579,14 +630,27 @@ fn successors(
                 continue;
             }
         }
+        // Bound the pre-copy loop: the runtime's convergence controller
+        // always decides within a finite round budget.
+        if ev == CycleEvent::PrecopyRound && s.precopy_rounds >= PRECOPY_ROUND_CAP {
+            continue;
+        }
         if let Some(t) = spec.next(s.phase, ev, &g) {
+            let mut n = apply(s, t.to, &t.actions);
+            if ev == CycleEvent::LiveTrigger {
+                // The job keeps writing behind every pre-copy snapshot.
+                n.dirty = true;
+            }
+            if ev == CycleEvent::PrecopyRound {
+                n.precopy_rounds += 1;
+            }
             out.push((
                 EventLabel {
                     event: ev,
                     fault: None,
                     attempt: s.attempt,
                 },
-                apply(s, t.to, &t.actions),
+                n,
             ));
         }
     }
@@ -663,6 +727,15 @@ fn violated(s: &ModelState, cfg: &CheckConfig) -> Option<(Invariant, String)> {
         return Some((
             Invariant::NoLostRank,
             "ranks neither live anywhere nor recoverable from an image".into(),
+        ));
+    }
+    if s.phase == CyclePhase::Complete && s.dirty {
+        return Some((
+            Invariant::NoLostDirtySegment,
+            "migration completed while dirty segments were outstanding — \
+             the restarted image is missing writes the job made behind \
+             the last pre-copy snapshot"
+                .into(),
         ));
     }
     // Pipelined refinement: a restart may never run ahead of its staged
@@ -753,6 +826,9 @@ fn violated(s: &ModelState, cfg: &CheckConfig) -> Option<(Invariant, String)> {
         _ => {}
     }
     let expected = match s.phase {
+        // Pre-copy streams while the job runs: ranks never leave the
+        // source until the cutover (or fallback) stalls them.
+        CyclePhase::Precopy => Some(RankSite::RunningOnSource),
         CyclePhase::Idle | CyclePhase::Stall => Some(RankSite::RunningOnSource),
         CyclePhase::Migrate => Some(RankSite::SuspendedOnSource),
         CyclePhase::Restart => Some(RankSite::ImagesOnTarget),
@@ -886,6 +962,7 @@ pub fn check(spec: &MigrationSpec, cfg: &CheckConfig) -> CheckReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{CycleTransition, Guard};
 
     #[test]
     fn shipped_spec_holds_across_pool_sizes() {
@@ -1032,6 +1109,83 @@ mod tests {
         let events: Vec<_> = succ.iter().map(|(l, _)| l.event).collect();
         assert!(events.contains(&CycleEvent::TakeoverResume));
         assert!(events.contains(&CycleEvent::TakeoverRollback));
+    }
+
+    #[test]
+    fn live_edges_enlarge_the_space_and_hold() {
+        let classic = check(
+            &MigrationSpec::shipped().without(CyclePhase::Idle, CycleEvent::LiveTrigger),
+            &CheckConfig::default(),
+        );
+        let live = check(&MigrationSpec::shipped(), &CheckConfig::default());
+        assert!(classic.holds() && live.holds());
+        // The pre-copy loop genuinely reaches new states (rounds, dirty
+        // flag, cutover/fallback interleavings, crash-in-precopy).
+        assert!(
+            live.stats.states > classic.stats.states,
+            "{} !> {}",
+            live.stats.states,
+            classic.stats.states
+        );
+    }
+
+    #[test]
+    fn complete_with_outstanding_dirty_segments_is_flagged() {
+        // A state that satisfies every Complete obligation except the
+        // dirty ledger: writes made behind the last pre-copy snapshot
+        // never landed on the target.
+        let mut s = ModelState::initial(0);
+        s.phase = CyclePhase::Complete;
+        s.attempt = 1;
+        s.ranks = RankSite::RunningOnTarget;
+        s.source = NlaState::MigrationInactive;
+        s.target = TargetNla::Alive(NlaState::MigrationReady);
+        s.dirty = true;
+        let (inv, _) = violated(&s, &CheckConfig::default()).expect("must be flagged");
+        assert_eq!(inv, Invariant::NoLostDirtySegment);
+    }
+
+    #[test]
+    fn cutover_that_skips_stop_and_copy_loses_dirty_segments() {
+        // Negative proof that the invariant rests on the cutover passing
+        // through a stop-and-copy round: reroute Cutover straight to
+        // Complete and the checker finds the lost-segment trace.
+        let spec = MigrationSpec::shipped().with_transition(CycleTransition {
+            from: CyclePhase::Precopy,
+            on: CycleEvent::Cutover,
+            guard: Guard::Always,
+            to: CyclePhase::Complete,
+            actions: vec![Action::RestartRanks, Action::ResumeRanks],
+        });
+        let cx = check(&spec, &CheckConfig::default())
+            .violation
+            .expect("skipping stop-and-copy must violate");
+        assert_eq!(cx.invariant, Invariant::NoLostDirtySegment);
+        assert!(cx.labels.iter().any(|l| l.event == CycleEvent::LiveTrigger));
+    }
+
+    #[test]
+    fn precopy_crash_resolves_by_rollback_only() {
+        // A coordinator crash mid-pre-copy: the job never stopped on the
+        // source, so the standby's one branch is to abandon the rounds.
+        let mut s = ModelState::initial(0);
+        s.phase = CyclePhase::Precopy;
+        s.attempt = 1;
+        s.target = TargetNla::Alive(NlaState::MigrationSpare);
+        s.dirty = true;
+        s.precopy_rounds = 1;
+        s.coord_down = true;
+        let succ = successors(
+            &MigrationSpec::shipped(),
+            &fault_edges(),
+            &CheckConfig::default(),
+            &s,
+        );
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].0.event, CycleEvent::TakeoverRollback);
+        assert_eq!(succ[0].1.phase, CyclePhase::Aborted);
+        assert!(!succ[0].1.dirty, "rollback must settle the dirty ledger");
+        assert_eq!(succ[0].1.precopy_rounds, 0);
     }
 
     #[test]

@@ -362,6 +362,12 @@ pub fn link_next(cur: LinkState, ev: LinkEvent) -> Option<LinkState> {
 pub enum CyclePhase {
     /// Trigger accepted, no attempt started yet.
     Idle,
+    /// Live-migration prelude: iterative pre-copy rounds stream the image
+    /// (full, then dirty deltas) to the spare while every rank keeps
+    /// running. Ends with a short `Cutover` into `Stall`, or a
+    /// `FallbackStopCopy` into the same `Stall` when the dirty rate never
+    /// converges.
+    Precopy,
     /// Phase 1 — Job Stall.
     Stall,
     /// Phase 2 — Job Migration.
@@ -387,6 +393,7 @@ impl CyclePhase {
     /// The paper phase this corresponds to, when it is one of the four.
     pub fn mig_phase(&self) -> Option<MigPhase> {
         match self {
+            CyclePhase::Precopy => Some(MigPhase::Precopy),
             CyclePhase::Stall => Some(MigPhase::Stall),
             CyclePhase::Migrate => Some(MigPhase::Migrate),
             CyclePhase::Restart => Some(MigPhase::Restart),
@@ -399,6 +406,7 @@ impl CyclePhase {
     pub fn name(&self) -> &'static str {
         match self {
             CyclePhase::Idle => "idle",
+            CyclePhase::Precopy => "precopy",
             CyclePhase::Stall => "stall",
             CyclePhase::Migrate => "migrate",
             CyclePhase::Restart => "restart",
@@ -421,6 +429,20 @@ impl fmt::Display for CyclePhase {
 pub enum CycleEvent {
     /// First attempt begins (consumes a spare).
     Trigger,
+    /// First attempt begins in live mode (consumes a spare): the cycle
+    /// enters [`CyclePhase::Precopy`] instead of stalling the job.
+    LiveTrigger,
+    /// One iterative pre-copy round landed on the target (round 0 is the
+    /// full image; later rounds are dirty-segment deltas). The job keeps
+    /// running throughout.
+    PrecopyRound,
+    /// The convergence controller decided the residual dirty set is small
+    /// enough: stop the job and finish with a short stop-and-copy round.
+    Cutover,
+    /// The convergence controller gave up (dirty rate ≥ lane bandwidth,
+    /// round budget exhausted, or a round failed): discard the pre-copied
+    /// state and run a classic full stop-and-copy attempt.
+    FallbackStopCopy,
     /// Phase 1 completed: every rank suspended and drained.
     StallDone,
     /// Phase 2 completed: PIIC published, all images on the target.
@@ -467,6 +489,10 @@ impl CycleEvent {
     pub fn name(&self) -> &'static str {
         match self {
             CycleEvent::Trigger => "trigger",
+            CycleEvent::LiveTrigger => "live_trigger",
+            CycleEvent::PrecopyRound => "precopy_round",
+            CycleEvent::Cutover => "cutover",
+            CycleEvent::FallbackStopCopy => "fallback_stopcopy",
             CycleEvent::StallDone => "stall_done",
             CycleEvent::MigrateDone => "migrate_done",
             CycleEvent::RestartDone => "restart_done",
@@ -625,6 +651,25 @@ impl MigrationSpec {
                 P::Degraded,
                 &[CheckpointToStore],
             ),
+            // Live mode: the first attempt pre-copies while the job runs.
+            // Retries after an abort always use the classic Retry → Stall
+            // edge — by then the pre-copied state has been discarded.
+            t(
+                P::Idle,
+                E::LiveTrigger,
+                Guard::RetryPath,
+                P::Precopy,
+                &[ConsumeSpare],
+            ),
+            t(P::Precopy, E::PrecopyRound, Guard::Always, P::Precopy, &[]),
+            t(P::Precopy, E::Cutover, Guard::Always, P::Stall, &[]),
+            t(
+                P::Precopy,
+                E::FallbackStopCopy,
+                Guard::Always,
+                P::Stall,
+                &[],
+            ),
             t(
                 P::Stall,
                 E::StallDone,
@@ -684,6 +729,17 @@ impl MigrationSpec {
                 &[SpareLost, Rollback],
             ));
         }
+        // Precopy has no PhaseTimeout row on purpose: data-path faults in
+        // a pre-copy round cost nothing but streamed bytes (the job never
+        // stopped), so they degrade to `FallbackStopCopy` instead of
+        // aborting the attempt. Only the spare dying aborts from here.
+        rows.push(t(
+            P::Precopy,
+            E::SpareCrash,
+            Guard::Always,
+            P::Aborted,
+            &[SpareLost, Rollback],
+        ));
         MigrationSpec { transitions: rows }
     }
 
@@ -855,6 +911,28 @@ pub fn fault_edges() -> Vec<FaultEdge> {
             effect: CycleEvent::SpareCrash,
         });
     }
+    // Live pre-copy rounds: a data-path fault mid-round loses only
+    // streamed bytes (the job never stopped), so the controller falls
+    // back to classic stop-and-copy instead of aborting. The spare dying
+    // is the one fault that aborts from Precopy.
+    for kind in [
+        FaultKind::NetDrop,
+        FaultKind::LinkFlap,
+        FaultKind::RdmaCqError,
+        FaultKind::RdmaCorrupt,
+        FaultKind::BlcrWriteError,
+    ] {
+        edges.push(FaultEdge {
+            phase: MigPhase::Precopy,
+            kind,
+            effect: CycleEvent::FallbackStopCopy,
+        });
+    }
+    edges.push(FaultEdge {
+        phase: MigPhase::Precopy,
+        kind: FaultKind::SpareCrash,
+        effect: CycleEvent::SpareCrash,
+    });
     edges
 }
 
@@ -969,6 +1047,52 @@ mod tests {
         }
         assert_eq!(st.phase(), CyclePhase::Complete);
         assert!(st.phase().is_terminal());
+    }
+
+    #[test]
+    fn stepper_walks_live_paths() {
+        let spec = MigrationSpec::shipped();
+        let g = GuardCtx {
+            spares_left: 1,
+            attempts_left: 3,
+        };
+        use CycleEvent::*;
+        // Converging run: rounds, cutover, then the four classic phases.
+        let mut st = CycleStepper::new(&spec);
+        for ev in [
+            LiveTrigger,
+            PrecopyRound,
+            PrecopyRound,
+            Cutover,
+            StallDone,
+            MigrateDone,
+            RestartDone,
+            ResumeDone,
+        ] {
+            st.step(ev, &g).unwrap();
+        }
+        assert_eq!(st.phase(), CyclePhase::Complete);
+        // Diverging run: the controller gives up and the same Stall..
+        // machinery runs a classic full copy.
+        let mut st = CycleStepper::new(&spec);
+        for ev in [LiveTrigger, PrecopyRound, FallbackStopCopy] {
+            st.step(ev, &g).unwrap();
+        }
+        assert_eq!(st.phase(), CyclePhase::Stall);
+        // Pre-copy has no timeout row — data faults degrade to fallback
+        // instead of aborting — but the spare dying does abort.
+        assert!(!spec.has_row(CyclePhase::Precopy, PhaseTimeout));
+        assert!(spec.has_row(CyclePhase::Precopy, SpareCrash));
+        // Live entry needs a spare like any other attempt.
+        let none = GuardCtx {
+            spares_left: 0,
+            attempts_left: 3,
+        };
+        let mut st = CycleStepper::new(&spec);
+        assert!(matches!(
+            st.step(LiveTrigger, &none),
+            Err(StepError::GuardRejected { .. })
+        ));
     }
 
     #[test]

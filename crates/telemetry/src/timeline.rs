@@ -23,6 +23,15 @@ pub struct PhaseStack {
     /// phase End. With the pipelined data path Phase 2 and Phase 3 spans
     /// overlap, so the extent is shorter than the phase sum.
     extent: Option<(simkit::SimTime, simkit::SimTime)>,
+    /// Extent over barrier-held phases only — everything except the live
+    /// pre-copy span, which runs while the application computes.
+    held_extent: Option<(simkit::SimTime, simkit::SimTime)>,
+}
+
+/// Spans the application computes straight through: live migration's
+/// iterative pre-copy. Every other phase span holds the job at a barrier.
+fn is_overlapped_phase(name: &str) -> bool {
+    name == "precopy"
 }
 
 impl PhaseStack {
@@ -57,6 +66,20 @@ impl PhaseStack {
         self.total().saturating_sub(self.wall())
     }
 
+    /// Barrier-held wall time: the extent over every phase except the
+    /// live pre-copy span — what the application actually loses to the
+    /// cycle. Equals [`PhaseStack::wall`] for stop-and-copy cycles.
+    pub fn downtime(&self) -> Duration {
+        self.held_extent
+            .map(|(t0, t1)| Duration::from_nanos(t1.as_nanos().saturating_sub(t0.as_nanos())))
+            .unwrap_or_default()
+    }
+
+    /// Overlapped pre-copy wall time (zero for stop-and-copy cycles).
+    pub fn precopy(&self) -> Duration {
+        self.phase("precopy").unwrap_or_default()
+    }
+
     fn add(&mut self, name: &str, t0: simkit::SimTime, t1: simkit::SimTime) {
         let d = Duration::from_nanos(t1.as_nanos() - t0.as_nanos());
         match self.phases.iter_mut().find(|(n, _)| n == name) {
@@ -67,6 +90,12 @@ impl PhaseStack {
             Some((lo, hi)) => (lo.min(t0), hi.max(t1)),
             None => (t0, t1),
         });
+        if !is_overlapped_phase(name) {
+            self.held_extent = Some(match self.held_extent {
+                Some((lo, hi)) => (lo.min(t0), hi.max(t1)),
+                None => (t0, t1),
+            });
+        }
     }
 }
 
@@ -201,7 +230,15 @@ impl Timeline {
         for (id, stack) in &self.cycles {
             let total = stack.total();
             let overlapped = stack.overlapped();
-            if overlapped > Duration::ZERO {
+            if stack.precopy() > Duration::ZERO {
+                let _ = writeln!(
+                    out,
+                    "cycle #{id}  downtime {:.1?}  (+{:.1?} pre-copy, overlapped with compute; wall {:.1?})",
+                    stack.downtime(),
+                    stack.precopy(),
+                    stack.wall(),
+                );
+            } else if overlapped > Duration::ZERO {
                 let _ = writeln!(
                     out,
                     "cycle #{id}  wall {:.1?}  (phase sum {total:.1?}, {overlapped:.1?} pipelined away)",
@@ -405,6 +442,51 @@ mod tests {
         let c = c.cycle(1).unwrap();
         assert_eq!(c.wall(), c.total());
         assert_eq!(c.overlapped(), Duration::ZERO);
+    }
+
+    #[test]
+    fn precopy_splits_downtime_from_overlapped_wall() {
+        // Live cycle: pre-copy 0..2000 overlapped, then the held phases
+        // stall 2000..2030, migrate 2030..2100, restart 2060..2200
+        // (pipelined overlap), resume 2200..2500.
+        let p = Some(simkit::ProcId(1));
+        let events = vec![
+            ev(0, p, "precopy", EventKind::Begin, Some(1)),
+            ev(2000, p, "precopy", EventKind::End, None),
+            ev(2000, p, "stall", EventKind::Begin, Some(1)),
+            ev(2030, p, "stall", EventKind::End, None),
+            ev(2030, p, "migrate", EventKind::Begin, Some(1)),
+            ev(2060, p, "restart", EventKind::Begin, Some(1)),
+            ev(2100, p, "migrate", EventKind::End, None),
+            ev(2200, p, "restart", EventKind::End, None),
+            ev(2200, p, "resume", EventKind::Begin, Some(1)),
+            ev(2500, p, "resume", EventKind::End, None),
+        ];
+        let tl = Timeline::from_events(&events);
+        let c = tl.cycle(1).unwrap();
+        assert_eq!(c.precopy(), Duration::from_nanos(2000));
+        // Downtime spans stall begin → resume end only.
+        assert_eq!(c.downtime(), Duration::from_nanos(500));
+        // Full wall includes the overlapped pre-copy.
+        assert_eq!(c.wall(), Duration::from_nanos(2500));
+        let out = tl.render();
+        assert!(out.contains("downtime"), "render was:\n{out}");
+        assert!(out.contains("pre-copy"), "render was:\n{out}");
+    }
+
+    #[test]
+    fn stop_and_copy_downtime_equals_wall() {
+        let p = Some(simkit::ProcId(1));
+        let events = vec![
+            ev(0, p, "stall", EventKind::Begin, Some(1)),
+            ev(30, p, "stall", EventKind::End, None),
+            ev(30, p, "migrate", EventKind::Begin, Some(1)),
+            ev(480, p, "migrate", EventKind::End, None),
+        ];
+        let c = Timeline::from_events(&events);
+        let c = c.cycle(1).unwrap();
+        assert_eq!(c.precopy(), Duration::ZERO);
+        assert_eq!(c.downtime(), c.wall());
     }
 
     fn wal(t: u64, name: &str, args: Vec<(&'static str, ArgValue)>) -> TraceEvent {

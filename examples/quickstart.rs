@@ -14,6 +14,12 @@
 //! [`MigrationTuning::pipelined`]) instead of the default barrier mode —
 //! compare the phase breakdowns between the two runs.
 //!
+//! Pass `--live` to run an iterative pre-copy *live* migration
+//! ([`MigrationTuning::live`]): the full image — and then dirty-segment
+//! deltas — stream while the ranks keep computing, and the job only
+//! stops for the short residual round. See `examples/live_migration.rs`
+//! for the full walkthrough.
+//!
 //! Pass `--faults <preset>` to drive the run through a deterministic
 //! fault plan and watch the protocol heal itself:
 //!   spare-crash  the spare dies at the Phase 3 (Restart) boundary; the
@@ -28,7 +34,8 @@ use rdma_jobmig::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: quickstart [--trace OUT.json] [--pipelined] [--faults spare-crash|rdma|flaky-net]"
+        "usage: quickstart [--trace OUT.json] [--pipelined] [--live] \
+         [--faults spare-crash|rdma|flaky-net]"
     );
     std::process::exit(2);
 }
@@ -63,6 +70,7 @@ fn main() {
         match arg.as_str() {
             "--trace" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
             "--pipelined" => tuning = MigrationTuning::pipelined(),
+            "--live" => tuning = MigrationTuning::live(),
             "--faults" => fault_plan = Some(fault_preset(&args.next().unwrap_or_else(|| usage()))),
             _ => usage(),
         }
@@ -94,6 +102,14 @@ fn main() {
         println!(
             "pipelined data path: {} RDMA lanes, restart admission {}",
             tuning.pool.lanes, tuning.pool.restart_admission
+        );
+    }
+    if let Some(cfg) = &tuning.pool.live {
+        println!(
+            "live pre-copy: up to {} rounds, {} KiB pages, {} ms downtime budget",
+            cfg.max_rounds,
+            cfg.page >> 10,
+            cfg.downtime_budget_ms,
         );
     }
     rt.control().migrate_after(

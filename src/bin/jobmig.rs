@@ -31,7 +31,7 @@ fn parse_u32(s: &str, what: &str) -> Result<u32, String> {
     s.parse().map_err(|_| format!("invalid {what}: '{s}'"))
 }
 
-fn migrate(app: NpbApp, np: u32, ppn: u32) -> Result<(), String> {
+fn migrate(app: NpbApp, np: u32, ppn: u32, live: bool) -> Result<(), String> {
     if np == 0 || !np.is_power_of_two() || ppn == 0 || !np.is_multiple_of(ppn) {
         return Err("need power-of-two NP divisible by PPN".into());
     }
@@ -42,13 +42,19 @@ fn migrate(app: NpbApp, np: u32, ppn: u32) -> Result<(), String> {
     let cluster = Cluster::build(&sim.handle(), cspec);
     let wl = Workload::new(app, NpbClass::C, np);
     println!(
-        "{} on {nodes} nodes ({ppn} ranks/node), image {:.1} MB/process; migrating at t=30s",
+        "{} on {nodes} nodes ({ppn} ranks/node), image {:.1} MB/process; migrating at t=30s{}",
         wl.name(),
-        wl.per_proc_image() as f64 / 1e6
+        wl.per_proc_image() as f64 / 1e6,
+        if live { " (live pre-copy)" } else { "" },
     );
     let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, ppn));
+    let tuning = if live {
+        MigrationTuning::live()
+    } else {
+        MigrationTuning::default()
+    };
     rt.control()
-        .migrate_after(dur::secs(30), MigrationRequest::new());
+        .migrate_after(dur::secs(30), MigrationRequest::new().tuning(tuning));
     let rt2 = rt.clone();
     bench::run_until_pred(&mut sim, move || !rt2.migration_reports().is_empty(), 600);
     println!("{}", rt.migration_reports()[0]);
@@ -70,13 +76,18 @@ fn compare(app: NpbApp) -> Result<(), String> {
     Ok(())
 }
 
-fn full_run_quickstart() -> Result<(), String> {
+fn full_run_quickstart(live: bool) -> Result<(), String> {
     let mut sim = Simulation::new(bench::SEED);
     let cluster = Cluster::build(&sim.handle(), ClusterSpec::paper_testbed());
     let wl = Workload::new(NpbApp::Lu, NpbClass::C, 64);
     let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, 8));
+    let tuning = if live {
+        MigrationTuning::live()
+    } else {
+        MigrationTuning::default()
+    };
     rt.control()
-        .migrate_after(dur::secs(30), MigrationRequest::new());
+        .migrate_after(dur::secs(30), MigrationRequest::new().tuning(tuning));
     sim.run_until_set(rt.completion(), SimTime::MAX)
         .map_err(|e| e.to_string())?;
     println!("completed at t = {}", sim.now());
@@ -99,8 +110,11 @@ fn checkpoint_demo(store: CrStoreKind) -> Result<(), String> {
 fn usage() -> String {
     "usage: jobmig <command> [args]\n\
      commands:\n\
-     \x20 quickstart                  LU.C.64 with one migration (full run)\n\
-     \x20 migrate [APP] [NP] [PPN]    one migration cycle (default LU 64 8)\n\
+     \x20 quickstart [--live]         LU.C.64 with one migration (full run)\n\
+     \x20 migrate [APP] [NP] [PPN] [--live]\n\
+     \x20                             one migration cycle (default LU 64 8);\n\
+     \x20                             --live uses iterative pre-copy\n\
+     \x20 livemig                     live vs pipelined downtime comparison\n\
      \x20 compare [APP]               migration vs CR(ext3) vs CR(PVFS)\n\
      \x20 checkpoint [ext3|pvfs]      one coordinated CR cycle with restart\n\
      \x20 fig4 | fig5 | fig6 | fig7 | table1 | ablations | ftpolicy\n\
@@ -111,13 +125,31 @@ fn usage() -> String {
 }
 
 fn dispatch(args: &[String]) -> Result<(), String> {
+    let live = args.iter().any(|a| a == "--live");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--live").cloned().collect();
     match args.first().map(String::as_str) {
-        Some("quickstart") => full_run_quickstart(),
+        Some("quickstart") => full_run_quickstart(live),
         Some("migrate") => {
             let app = parse_app(args.get(1).map(String::as_str).unwrap_or("LU"))?;
             let np = parse_u32(args.get(2).map(String::as_str).unwrap_or("64"), "NP")?;
             let ppn = parse_u32(args.get(3).map(String::as_str).unwrap_or("8"), "PPN")?;
-            migrate(app, np, ppn)
+            migrate(app, np, ppn, live)
+        }
+        Some("livemig") => {
+            let (pipelined, _) =
+                bench::fig_migration_tuned(NpbApp::Lu, 64, 8, MigrationTuning::pipelined());
+            let (live_r, round_bytes) =
+                bench::fig_migration_tuned(NpbApp::Lu, 64, 8, MigrationTuning::live());
+            println!("pipelined: {pipelined}");
+            println!("live     : {live_r}");
+            println!(
+                "downtime {:.2} s -> {:.2} s ({:.2}x lower); pre-copy rounds moved {:?} bytes",
+                pipelined.total().as_secs_f64(),
+                live_r.downtime().as_secs_f64(),
+                pipelined.total().as_secs_f64() / live_r.downtime().as_secs_f64(),
+                round_bytes,
+            );
+            Ok(())
         }
         Some("compare") => {
             let app = parse_app(args.get(1).map(String::as_str).unwrap_or("LU"))?;

@@ -13,6 +13,7 @@ pub use ftb;
 pub use healthmon;
 pub use ibfabric;
 pub use jobmig_core as core;
+pub use livemig;
 pub use mpisim;
 pub use npbsim;
 pub use simkit;
@@ -36,6 +37,7 @@ pub mod prelude {
     pub use jobmig_core::runtime::{
         AppBody, CheckpointRequest, Control, JobRuntime, JobSpec, MigrationRequest, MigrationTuning,
     };
+    pub use livemig::{ConvergencePolicy, Decision, LiveConfig, LivePolicyKind};
     pub use npbsim::{NpbApp, NpbClass, Workload};
     pub use simkit::{dur, SimTime, Simulation};
     pub use telemetry::{chrome_trace, write_chrome_trace, Registry, Timeline};

@@ -377,6 +377,45 @@ fn suite_refines_model_and_covers_tables() {
             })),
         ),
         run_traced("no_spare_degrade", 84, 0, false, barrier(), None),
+        // Live migration: round(s) stream while the ranks compute, then
+        // the controller cuts over to the residual stop-and-copy round —
+        // the LiveTrigger → PrecopyRound → Cutover rows.
+        run_traced("clean_live", 92, 1, false, MigrationTuning::live(), None),
+        // Every RDMA read in the first round errors until chunk_retries
+        // is exhausted: the round's pull aborts and the cycle walks the
+        // FallbackStopCopy row into a classic stop-and-copy that still
+        // completes.
+        run_traced(
+            "live_cq_burst_fallback",
+            93,
+            1,
+            false,
+            MigrationTuning::live(),
+            Some((1..=10).fold(FaultPlan::new(0xE0), |p, nth| {
+                p.with(FaultSpec::RdmaCqError { nth })
+            })),
+        ),
+        // Coordinator dies between pre-copy rounds (at the Precopy
+        // PhaseEnter journal append): nothing user-visible has happened
+        // yet, so the standby rolls the cycle back to the source.
+        run_traced(
+            "live_coordinator_crash_precopy",
+            94,
+            1,
+            true,
+            MigrationTuning::live(),
+            Some(coord_crash(MigPhase::Precopy)),
+        ),
+        // Spare death during pre-copy aborts the attempt before any rank
+        // suspends; with no second spare the trigger degrades to CR.
+        run_traced(
+            "live_spare_crash_precopy",
+            95,
+            1,
+            false,
+            MigrationTuning::live(),
+            Some(spare_crash(MigPhase::Precopy)),
+        ),
         run_traced(
             "coordinator_crash_stall",
             85,
