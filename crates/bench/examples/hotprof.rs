@@ -1,0 +1,48 @@
+//! Print the kernel self-profile of one fleet-soak policy run: where the
+//! simulator's wall-clock time goes and how much scheduler traffic each
+//! subsystem generates. Debug aid for the wall-clock optimization work.
+//!
+//! Usage: `hotprof [policy]` (default Proactive; or PeriodicCr, Reactive,
+//! Utility).
+
+use std::time::Instant;
+
+fn main() {
+    let policy = match std::env::args().nth(1).as_deref() {
+        Some("PeriodicCr") => fleetsched::PolicyKind::PeriodicCr,
+        Some("Reactive") => fleetsched::PolicyKind::Reactive,
+        Some("Utility") => fleetsched::PolicyKind::Utility,
+        _ => fleetsched::PolicyKind::Proactive,
+    };
+    let cfg = fleetsched::FleetConfig::soak(jobmig_bench::SEED);
+    let mut handle: Option<simkit::SimHandle> = None;
+    let t0 = Instant::now();
+    // Wall-clock timing + per-proc maps only when SIMKIT_PROF=1 (they
+    // cost real time; counters are always on).
+    let stats = fleetsched::run_policy_observed(&cfg, policy, &cfg.doom_plan(), |sh| {
+        handle = Some(sh.clone());
+    });
+    let wall = t0.elapsed();
+    let handle = handle.unwrap();
+    let hot = handle.hot_stats();
+    println!(
+        "policy {} jobs_completed {}",
+        stats.policy, stats.jobs_completed
+    );
+    println!(
+        "wall {:.2}s  events/sec {:.0}",
+        wall.as_secs_f64(),
+        hot.events_dispatched as f64 / wall.as_secs_f64()
+    );
+    print!("{}", hot.report(&handle.tracer().proc_names()));
+    let hwm = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .map(|l| l.to_string())
+        });
+    if let Some(h) = hwm {
+        println!("{h}");
+    }
+}

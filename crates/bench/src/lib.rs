@@ -57,7 +57,22 @@ pub fn fig_migration_with(
     ppn: u32,
     pool: PoolConfig,
 ) -> jobmig_core::report::MigrationReport {
+    fig_migration_observed(app, np, ppn, pool, |_| {})
+}
+
+/// Like [`fig_migration_with`] but exposing the simulation handle before
+/// the run starts, so callers can arm tracing/digesting or stash the
+/// handle for post-run inspection (used by the determinism oracle and the
+/// wall-clock bench).
+pub fn fig_migration_observed(
+    app: NpbApp,
+    np: u32,
+    ppn: u32,
+    pool: PoolConfig,
+    observe: impl FnOnce(&simkit::SimHandle),
+) -> jobmig_core::report::MigrationReport {
     let mut sim = Simulation::new(SEED);
+    observe(&sim.handle());
     let cluster = paper_cluster(&sim);
     let wl = Workload::new(app, NpbClass::C, np);
     let mut spec = JobSpec::npb(wl, ppn);
@@ -81,8 +96,22 @@ pub fn fig_migration_tuned(
     ppn: u32,
     tuning: MigrationTuning,
 ) -> (jobmig_core::report::MigrationReport, Vec<u64>) {
+    fig_migration_tuned_observed(app, np, ppn, tuning, |_| {})
+}
+
+/// [`fig_migration_tuned`] exposing the simulation handle before the run
+/// starts (the wall-clock bench stashes it to read the kernel
+/// self-profile after the run).
+pub fn fig_migration_tuned_observed(
+    app: NpbApp,
+    np: u32,
+    ppn: u32,
+    tuning: MigrationTuning,
+    observe: impl FnOnce(&simkit::SimHandle),
+) -> (jobmig_core::report::MigrationReport, Vec<u64>) {
     let mut sim = Simulation::new(SEED);
     sim.handle().tracer().set_enabled(true);
+    observe(&sim.handle());
     let cluster = paper_cluster(&sim);
     let wl = Workload::new(app, NpbClass::C, np);
     let rt = JobRuntime::launch(&cluster, JobSpec::npb(wl, ppn));

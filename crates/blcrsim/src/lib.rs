@@ -31,7 +31,7 @@ pub use ops::{
 };
 pub use stream::{parse_stream, serialize_image, SliceCursor, StreamError};
 
-use ibfabric::DataSlice;
+use ibfabric::{DataSlice, Rope};
 use simkit::Ctx;
 
 /// Receives a checkpoint stream chunk by chunk.
@@ -54,6 +54,7 @@ pub trait CheckpointSink {
 
 /// Supplies a checkpoint stream for restart.
 pub trait CheckpointSource {
-    /// Read the entire stream, paying storage costs.
-    fn read_all(&mut self, ctx: &Ctx) -> Vec<DataSlice>;
+    /// Read the entire stream, paying storage costs. Returns a [`Rope`]
+    /// so store-backed sources can hand out a shared slice table.
+    fn read_all(&mut self, ctx: &Ctx) -> Rope;
 }

@@ -3,7 +3,7 @@
 use crate::image::ProcessImage;
 use crate::stream::{parse_stream, serialize_image, StreamError};
 use crate::{CheckpointSink, CheckpointSource};
-use ibfabric::DataSlice;
+use ibfabric::{DataSlice, Rope};
 use parking_lot::Mutex;
 use simkit::{Ctx, Link, SimTime};
 use std::fmt;
@@ -191,7 +191,7 @@ impl Blcr {
     ) -> Result<ProcessImage, StreamError> {
         let span = ctx.span("ckpt", "restart");
         let slices = source.read_all(ctx);
-        let image = parse_stream(slices)?;
+        let image = parse_stream(slices.into_vec())?;
         ctx.sleep(costs.base);
         let bytes = image.memory_bytes();
         ctx.sleep(Duration::from_secs_f64(
@@ -252,17 +252,17 @@ impl CheckpointSink for StoreSink {
 
 /// A checkpoint source over an in-memory stream (the memory-based
 /// restart path: images restored straight from the buffer pool).
-pub struct MemSource(Vec<DataSlice>);
+pub struct MemSource(Rope);
 
 impl MemSource {
     /// Wrap an assembled in-memory stream.
-    pub fn new(slices: Vec<DataSlice>) -> Self {
+    pub fn new(slices: Rope) -> Self {
         MemSource(slices)
     }
 }
 
 impl CheckpointSource for MemSource {
-    fn read_all(&mut self, _ctx: &Ctx) -> Vec<DataSlice> {
+    fn read_all(&mut self, _ctx: &Ctx) -> Rope {
         std::mem::take(&mut self.0)
     }
 }
@@ -284,7 +284,7 @@ impl StoreSource {
 }
 
 impl CheckpointSource for StoreSource {
-    fn read_all(&mut self, ctx: &Ctx) -> Vec<DataSlice> {
+    fn read_all(&mut self, ctx: &Ctx) -> Rope {
         self.store
             .read_all(ctx, &self.path)
             .unwrap_or_else(|| panic!("restart from missing checkpoint file {}", self.path))
@@ -372,8 +372,8 @@ mod tests {
     fn restart_costs_scale_with_image_size() {
         struct VecSource(Vec<DataSlice>);
         impl CheckpointSource for VecSource {
-            fn read_all(&mut self, _ctx: &Ctx) -> Vec<DataSlice> {
-                std::mem::take(&mut self.0)
+            fn read_all(&mut self, _ctx: &Ctx) -> Rope {
+                std::mem::take(&mut self.0).into()
             }
         }
         let mut sim = Simulation::new(0);
@@ -407,8 +407,8 @@ mod tests {
     fn corrupt_stream_surfaces_parse_error() {
         struct JunkSource;
         impl CheckpointSource for JunkSource {
-            fn read_all(&mut self, _ctx: &Ctx) -> Vec<DataSlice> {
-                vec![DataSlice::bytes(vec![9u8; 128])]
+            fn read_all(&mut self, _ctx: &Ctx) -> Rope {
+                vec![DataSlice::bytes(vec![9u8; 128])].into()
             }
         }
         let mut sim = Simulation::new(0);

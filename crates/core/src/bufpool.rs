@@ -28,7 +28,7 @@
 
 use crate::calib;
 use blcrsim::CheckpointSink;
-use ibfabric::{DataSlice, Hca, Qp, QpAddr, RemoteMr};
+use ibfabric::{DataSlice, Hca, Qp, QpAddr, RemoteMr, Rope};
 use parking_lot::Mutex;
 use simkit::{Ctx, Event, Queue, Semaphore, SimHandle};
 use std::collections::{BTreeMap, HashMap};
@@ -513,7 +513,7 @@ impl SourcePool {
             seq: 0,
             fill: 0,
             total: 0,
-            chunk: Vec::new(),
+            chunk: Rope::new(),
         }
     }
 
@@ -613,8 +613,9 @@ pub struct AggregationSink {
     fill: u64,
     total: u64,
     /// Shadow of the slices written into the current chunk, for the
-    /// per-chunk checksum that rides the RDMA-read request.
-    chunk: Vec<DataSlice>,
+    /// per-chunk checksum that rides the RDMA-read request. A rope: the
+    /// slice views are shared with the MR write, never copied.
+    chunk: Rope,
 }
 
 impl AggregationSink {
@@ -639,7 +640,7 @@ impl AggregationSink {
     fn flush_chunk(&mut self, ctx: &Ctx) {
         if let Some(slot) = self.slot.take() {
             if self.fill > 0 {
-                let sum = stream_checksum(&self.chunk);
+                let sum = stream_checksum(self.chunk.as_slices());
                 self.pool
                     .submit_chunk(ctx, self.rank, self.seq, slot, self.fill, sum);
                 self.seq += 1;
@@ -691,8 +692,10 @@ pub struct AssembledImage {
     pub bytes: u64,
     /// Source-side image checksum (verify after restart).
     pub expected_checksum: u64,
-    /// In-memory stream (memory-based restart mode).
-    pub slices: Option<Vec<DataSlice>>,
+    /// In-memory stream (memory-based restart mode). A [`Rope`]: cloning
+    /// the image — the per-rank readiness hook, the images map — shares
+    /// the slice table instead of copying it.
+    pub slices: Option<Rope>,
 }
 
 /// Result of a completed target-side pull.
@@ -829,7 +832,7 @@ fn target_single_lane(
 
     let mut images: HashMap<u32, AssembledImage> = HashMap::new();
     let mut created: HashMap<u32, String> = HashMap::new();
-    let mut memory: HashMap<u32, Vec<DataSlice>> = HashMap::new();
+    let mut memory: HashMap<u32, Rope> = HashMap::new();
     let bytes_pulled = AtomicU64::new(0);
     loop {
         let Ok(msg) = qp.recv(ctx) else {
@@ -909,8 +912,7 @@ fn target_single_lane(
                     }
                     RestartMode::MemoryBased => {
                         let slices = memory.remove(&eof.rank).unwrap_or_default();
-                        let total: u64 = slices.iter().map(|s| s.len).sum();
-                        if total != eof.total_bytes {
+                        if slices.len() != eof.total_bytes {
                             ctx.instant_with("pool", "stream_incomplete", || {
                                 vec![
                                     ("rank", eof.rank.into()),
@@ -930,6 +932,7 @@ fn target_single_lane(
                     slices,
                 };
                 if let Some(hook) = &hooks.on_rank_ready {
+                    // jmlint: allow(hot_alloc) — rope-backed image: clone is a refcount bump
                     hook(ctx, eof.rank, image.clone());
                 }
                 images.insert(eof.rank, image);
@@ -1010,7 +1013,7 @@ struct RankAssembly {
     staged_bytes: u64,
     eof: Option<RankEof>,
     path: Option<String>,
-    memory: Vec<DataSlice>,
+    memory: Rope,
 }
 
 /// The striped target engine: the manager QP carries all control traffic
@@ -1328,6 +1331,7 @@ fn finalize_ready_rank(
         },
     };
     if let Some(hook) = on_ready {
+        // jmlint: allow(hot_alloc) — rope-backed image: clone is a refcount bump
         hook(ctx, rank, image.clone());
     }
     shared.images.lock().insert(rank, image);

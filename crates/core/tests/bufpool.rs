@@ -205,7 +205,7 @@ fn memory_mode_keeps_streams_off_the_filesystem() {
             .expect("pull");
         let info = &res.images[&0];
         let slices = info.slices.as_ref().expect("in-memory stream");
-        let parsed = blcrsim::parse_stream(slices.clone()).unwrap();
+        let parsed = blcrsim::parse_stream(slices.to_vec()).unwrap();
         assert_eq!(parsed.checksum(), info.expected_checksum);
     });
     sim.run().unwrap();
@@ -336,7 +336,7 @@ fn multi_lane_memory_mode_reassembles_in_order() {
         for r in 0..2u32 {
             let info = &res.images[&r];
             let slices = info.slices.as_ref().expect("in-memory stream");
-            let parsed = blcrsim::parse_stream(slices.clone()).unwrap();
+            let parsed = blcrsim::parse_stream(slices.to_vec()).unwrap();
             assert_eq!(parsed.checksum(), info.expected_checksum, "rank {r}");
         }
     });

@@ -32,7 +32,9 @@ pub mod orchestrator;
 pub mod policy;
 pub mod soak;
 
-pub use orchestrator::{run_policy, run_policy_with_plan, FleetConfig, PolicyStats};
+pub use orchestrator::{
+    run_policy, run_policy_observed, run_policy_with_plan, FleetConfig, PolicyStats,
+};
 pub use policy::{
     AlertLevel, FleetAlert, FleetPolicy, FleetView, PeriodicCr, PolicyAction, PolicyKind,
     Proactive, Reactive, Utility,

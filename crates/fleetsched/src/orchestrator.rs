@@ -726,12 +726,26 @@ pub fn run_policy(cfg: &FleetConfig, policy: PolicyKind) -> PolicyStats {
 /// one — the hook tests use to stage exact failure scenarios (spare
 /// exhaustion storms, staggered deaths).
 pub fn run_policy_with_plan(cfg: &FleetConfig, policy: PolicyKind, plan: &DoomPlan) -> PolicyStats {
+    run_policy_observed(cfg, policy, plan, |_| {})
+}
+
+/// [`run_policy_with_plan`] exposing the simulation handle before the
+/// run starts, so callers can arm tracing/digesting or stash the handle
+/// for post-run inspection (used by the determinism oracle and the
+/// wall-clock bench).
+pub fn run_policy_observed(
+    cfg: &FleetConfig,
+    policy: PolicyKind,
+    plan: &DoomPlan,
+    observe: impl FnOnce(&simkit::SimHandle),
+) -> PolicyStats {
     assert_eq!(
         cfg.workload.np,
         cfg.nodes_per_slot * cfg.ppn,
         "workload np must fill the slot"
     );
     let mut sim = Simulation::new(cfg.seed);
+    observe(&sim.handle());
     let mut spec = ClusterSpec::sized(cfg.slots as u32 * cfg.nodes_per_slot, cfg.spares);
     spec.ftb = FtbConfig {
         heartbeat: cfg.ftb_heartbeat,

@@ -24,7 +24,7 @@ mod verbs;
 
 pub use fault::{FaultHook, ReadFault, SendVerdict};
 pub use net::{Datagram, Net, NetConfig, NetError};
-pub use payload::{pattern_byte, total_len, DataSlice, DataSrc};
+pub use payload::{pattern_byte, total_len, DataSlice, DataSrc, Rope};
 pub use sparsebuf::SparseBuf;
 pub use verbs::{Hca, IbConfig, IbFabric, IbMessage, Mr, Qp, QpAddr, RemoteMr, VerbsError};
 

@@ -252,6 +252,119 @@ pub fn total_len(slices: &[DataSlice]) -> u64 {
     slices.iter().map(|s| s.len).sum()
 }
 
+/// A cheaply-cloneable run of [`DataSlice`]s.
+///
+/// The slice table lives behind one `Arc`, so cloning a rope — handing an
+/// assembled image to a readiness hook, caching a staged file, queueing a
+/// restart source — is a refcount bump, not an O(slices) table copy.
+/// Appends copy-on-write: a uniquely-owned rope grows its table in place,
+/// a shared one clones the table first (the *bytes* behind each slice are
+/// never copied either way — every [`DataSrc`] is itself a view).
+///
+/// The running total length is maintained on push, so [`Rope::len`] is
+/// O(1) where `total_len(&vec)` walks the table.
+#[derive(Clone, Debug, Default)]
+pub struct Rope {
+    slices: Arc<Vec<DataSlice>>,
+    len: u64,
+}
+
+impl Rope {
+    /// An empty rope.
+    pub fn new() -> Self {
+        Rope::default()
+    }
+
+    /// Total logical bytes across all slices (O(1)).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the rope holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slices in the table.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// The underlying slice run (for checksum folds and iteration).
+    pub fn as_slices(&self) -> &[DataSlice] {
+        &self.slices
+    }
+
+    /// Append one slice (copy-on-write; zero-length slices are dropped).
+    pub fn push(&mut self, s: DataSlice) {
+        if s.len == 0 {
+            return;
+        }
+        self.len += s.len;
+        Arc::make_mut(&mut self.slices).push(s);
+    }
+
+    /// Append a run of slices (copy-on-write).
+    pub fn extend(&mut self, slices: impl IntoIterator<Item = DataSlice>) {
+        let tbl = Arc::make_mut(&mut self.slices);
+        for s in slices {
+            if s.len == 0 {
+                continue;
+            }
+            self.len += s.len;
+            tbl.push(s);
+        }
+    }
+
+    /// Drop all slices. A shared table is released, not cleared in place.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        match Arc::get_mut(&mut self.slices) {
+            Some(tbl) => tbl.clear(),
+            None => self.slices = Arc::new(Vec::new()),
+        }
+    }
+
+    /// Extract the slice table: a move when uniquely owned, a table copy
+    /// (slice descriptors only, never bytes) when shared.
+    pub fn into_vec(self) -> Vec<DataSlice> {
+        Arc::try_unwrap(self.slices).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Copy the slice table out (descriptors only, never bytes).
+    pub fn to_vec(&self) -> Vec<DataSlice> {
+        (*self.slices).clone()
+    }
+}
+
+impl From<Vec<DataSlice>> for Rope {
+    fn from(slices: Vec<DataSlice>) -> Self {
+        let mut slices = slices;
+        slices.retain(|s| s.len > 0);
+        let len = total_len(&slices);
+        Rope {
+            slices: Arc::new(slices),
+            len,
+        }
+    }
+}
+
+impl FromIterator<DataSlice> for Rope {
+    fn from_iter<I: IntoIterator<Item = DataSlice>>(iter: I) -> Self {
+        let mut r = Rope::new();
+        r.extend(iter);
+        r
+    }
+}
+
+impl<'a> IntoIterator for &'a Rope {
+    type Item = &'a DataSlice;
+    type IntoIter = std::slice::Iter<'a, DataSlice>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.slices.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -148,6 +148,7 @@ fn main() -> ExitCode {
         rules::hash_iter(&src, &mut raw);
         rules::wall_clock(&src, &mut raw);
         rules::hot_unwrap(&src, &mut raw);
+        rules::hot_alloc(&src, &mut raw);
         rules::span_exit(&src, &mut raw);
         dataflow::wal_before_effect(&src, &mut raw);
         dataflow::epoch_fence(&src, &mut raw);

@@ -368,6 +368,84 @@ pub fn span_exit(src: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// hot_alloc
+// ---------------------------------------------------------------------------
+
+/// Files on the chunk data path: every non-test function here runs once
+/// per chunk (or per slice) during a migration, so a byte-vector clone
+/// or materialization multiplies with image size.
+const CHUNK_PATH_FILES: &[&str] = &[
+    "core/src/bufpool.rs",
+    "ibfabric/src/payload.rs",
+    "ibfabric/src/sparsebuf.rs",
+    "ibfabric/src/verbs.rs",
+    "blcrsim/src/stream.rs",
+    "blcrsim/src/ops.rs",
+    "storesim/src/localfs.rs",
+    "storesim/src/pvfs.rs",
+    "livemig/src/delta.rs",
+];
+
+/// Receiver names that hold payload slice tables or whole images. A
+/// `.clone()` reached from one of these is either an O(slices) table
+/// copy (regression) or a sanctioned O(1) rope/`Arc` clone — the latter
+/// carries an allow marker stating why it is cheap.
+const PAYLOAD_IDENTS: &[&str] = &["slices", "chunk", "image", "img", "memory", "stream"];
+
+/// Flag `.clone()` on payload-table receivers and `.to_vec()` byte
+/// materializations inside chunk-path files. The zero-copy data path
+/// moves slice *views* (`DataSlice`, `Rope`); cloning the backing
+/// tables or materializing bytes undoes it silently. Cheap-by-design
+/// clones (rope refcount bumps, `Arc` handles) carry
+/// `// jmlint: allow(hot_alloc)` markers documenting why.
+pub fn hot_alloc(src: &SourceFile, out: &mut Vec<Finding>) {
+    let p = src.path.to_string_lossy().replace('\\', "/");
+    if !CHUNK_PATH_FILES.iter().any(|f| p.ends_with(f)) {
+        return;
+    }
+    for (n, line) in src.lines.iter().enumerate() {
+        let lineno = n + 1;
+        let code = &line.code;
+        // The unit-test module at the bottom of a file is not a hot path.
+        if code.contains("#[cfg(test)]") {
+            break;
+        }
+        if code.contains(".to_vec()") {
+            out.push(Finding {
+                path: src.path.clone(),
+                line: lineno,
+                rule: "hot_alloc",
+                message: "`.to_vec()` materializes payload bytes on the chunk path — \
+                          keep slice views (`DataSlice`/`Rope`) instead"
+                    .to_string(),
+            });
+            continue;
+        }
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(".clone()") {
+            let pos = from + rel;
+            from = pos + ".clone()".len();
+            let Some(recv) = trailing_ident(&code[..pos]) else {
+                continue;
+            };
+            if PAYLOAD_IDENTS.contains(&recv) {
+                out.push(Finding {
+                    path: src.path.clone(),
+                    line: lineno,
+                    rule: "hot_alloc",
+                    message: format!(
+                        "`{recv}.clone()` on the chunk path — if this copies a slice \
+                         table or bytes, hand out a `Rope`/`DataSlice` view; if it is \
+                         an O(1) refcount bump, say so with an allow marker"
+                    ),
+                });
+                break; // one finding per line is enough
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,7 @@ pub const VALID_RULES: &[&str] = &[
     "hash_iter",
     "wall_clock",
     "hot_unwrap",
+    "hot_alloc",
     "span_exit",
     "wal_before_effect",
     "epoch_fence",

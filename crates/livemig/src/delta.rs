@@ -274,6 +274,7 @@ fn splice(dst: &mut DataSlice, off: u64, src: &DataSlice) {
         }
     }
     // General path: materialise (small segments / tests only).
+    // jmlint: allow(hot_alloc) — documented fallback for unaligned runs
     let mut buf = dst.to_bytes().to_vec();
     let patch = src.to_bytes();
     buf[off as usize..(off + src.len) as usize].copy_from_slice(&patch);

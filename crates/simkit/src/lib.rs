@@ -46,6 +46,7 @@
 
 mod error;
 mod flownet;
+mod hotstats;
 mod kernel;
 mod link;
 mod process;
@@ -55,12 +56,13 @@ mod trace;
 
 pub use error::{Killed, SimError};
 pub use flownet::{FlowNet, LinkId};
+pub use hotstats::HotStats;
 pub use kernel::{ProcId, RunOutcome, SimHandle, Simulation};
 pub use link::{Link, LinkStats, Sharing};
 pub use process::{Ctx, ProcHandle, Span};
 pub use sync::{Countdown, Event, Gate, Queue, Semaphore};
 pub use time::SimTime;
-pub use trace::{ArgValue, Args, EventKind, TraceEvent, TraceRecord, Tracer};
+pub use trace::{ArgValue, Args, EventKind, TraceDigest, TraceEvent, TraceRecord, Tracer};
 
 /// Convenience constructors for [`std::time::Duration`] used pervasively in
 /// simulation code and tests.

@@ -1,7 +1,7 @@
 //! Per-process execution context.
 
 use crate::error::Killed;
-use crate::kernel::{Kernel, ProcId, SimHandle, YieldMsg};
+use crate::kernel::{Baton, Kernel, ProcId, SimHandle, YieldMsg};
 use crate::time::SimTime;
 use crate::trace::Args;
 use rand::rngs::StdRng;
@@ -19,14 +19,23 @@ use std::time::Duration;
 pub struct Ctx {
     kernel: Arc<Kernel>,
     pid: ProcId,
+    baton: Arc<Baton>,
+    /// Legacy-mode rendezvous (direct handoff disabled): the channel the
+    /// scheduler's dispatch send arrives on.
     resume_rx: Receiver<()>,
 }
 
 impl Ctx {
-    pub(crate) fn new(kernel: Arc<Kernel>, pid: ProcId, resume_rx: Receiver<()>) -> Self {
+    pub(crate) fn new(
+        kernel: Arc<Kernel>,
+        pid: ProcId,
+        baton: Arc<Baton>,
+        resume_rx: Receiver<()>,
+    ) -> Self {
         Ctx {
             kernel,
             pid,
+            baton,
             resume_rx,
         }
     }
@@ -36,8 +45,8 @@ impl Ctx {
         self.pid
     }
 
-    /// This process's name.
-    pub fn name(&self) -> String {
+    /// This process's name (interned at spawn; cloning is a refcount).
+    pub fn name(&self) -> Arc<str> {
         self.kernel.proc_name(self.pid)
     }
 
@@ -169,16 +178,25 @@ impl Ctx {
     /// timer via `schedule_wake`, or membership in a primitive's waiter
     /// list). Checks the kill flag on resume.
     pub(crate) fn block(&self) {
-        self.kernel
-            .yield_tx
-            .send(YieldMsg {
-                pid: self.pid.0,
-                finished: None,
-            })
-            .expect("scheduler gone while process running");
-        self.resume_rx
-            .recv()
-            .expect("scheduler dropped resume channel");
+        // Fast path: dispatch the next event ourselves (one context
+        // switch). Chain breaks — finish, quiescence, limit, stop flag,
+        // handoff disabled — wake the scheduler thread instead.
+        if !self.kernel.try_handoff() {
+            self.kernel
+                .yield_tx
+                .send(YieldMsg {
+                    pid: self.pid.0,
+                    finished: None,
+                })
+                .expect("scheduler gone while process running");
+        }
+        if self.kernel.direct_on() {
+            self.baton.take();
+        } else {
+            self.resume_rx
+                .recv()
+                .expect("scheduler dropped resume channel");
+        }
         self.check_killed();
     }
 }

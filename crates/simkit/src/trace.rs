@@ -113,6 +113,90 @@ pub struct TraceEvent {
     pub args: Args,
 }
 
+/// Running digest over the full trace-event stream.
+///
+/// FNV-1a-64 folded over a stable byte encoding of every event (time,
+/// pid, category, name, kind, args) in emission order. Because the
+/// kernel is deterministic, two runs of the same scenario produce the
+/// same digest **iff** their trace streams are byte-identical — this is
+/// the oracle the wall-clock optimization work is gated on: an optimized
+/// kernel must reproduce the pre-optimization digest bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceDigest {
+    /// FNV-1a-64 over the encoded event stream (`0xcbf29ce484222325`
+    /// when no event has been folded).
+    pub hash: u64,
+    /// Number of events folded in.
+    pub events: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl TraceDigest {
+    fn new() -> Self {
+        TraceDigest {
+            hash: FNV_OFFSET,
+            events: 0,
+        }
+    }
+
+    #[inline]
+    fn fold_bytes(&mut self, bytes: &[u8]) {
+        let mut h = self.hash;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.hash = h;
+    }
+
+    fn fold_event(&mut self, ev: &TraceEvent) {
+        self.fold_bytes(&ev.time.as_nanos().to_le_bytes());
+        match ev.pid {
+            Some(p) => {
+                self.fold_bytes(&[0x01]);
+                self.fold_bytes(&p.0.to_le_bytes());
+            }
+            None => self.fold_bytes(&[0xFF]),
+        }
+        self.fold_bytes(ev.cat.as_bytes());
+        self.fold_bytes(&[0]);
+        self.fold_bytes(ev.name.as_bytes());
+        self.fold_bytes(&[0]);
+        match &ev.kind {
+            EventKind::Begin => self.fold_bytes(&[1]),
+            EventKind::End => self.fold_bytes(&[2]),
+            EventKind::Instant => self.fold_bytes(&[3]),
+            EventKind::Counter(v) => {
+                self.fold_bytes(&[4]);
+                self.fold_bytes(&v.to_bits().to_le_bytes());
+            }
+            EventKind::Message => self.fold_bytes(&[5]),
+        }
+        for (k, v) in &ev.args {
+            self.fold_bytes(k.as_bytes());
+            self.fold_bytes(&[0]);
+            match v {
+                ArgValue::U64(u) => {
+                    self.fold_bytes(&[1]);
+                    self.fold_bytes(&u.to_le_bytes());
+                }
+                ArgValue::F64(f) => {
+                    self.fold_bytes(&[2]);
+                    self.fold_bytes(&f.to_bits().to_le_bytes());
+                }
+                ArgValue::Str(s) => {
+                    self.fold_bytes(&[3]);
+                    self.fold_bytes(s.as_bytes());
+                    self.fold_bytes(&[0]);
+                }
+            }
+        }
+        self.events += 1;
+    }
+}
+
 /// Collects [`TraceEvent`]s when enabled; optionally echoes them to stderr
 /// as they are produced (useful when a test deadlocks before it can drain).
 ///
@@ -120,6 +204,8 @@ pub struct TraceEvent {
 pub struct Tracer {
     enabled: AtomicBool,
     echo: AtomicBool,
+    digest_on: AtomicBool,
+    digest: Mutex<TraceDigest>,
     events: Mutex<Vec<TraceEvent>>,
     proc_names: Mutex<HashMap<u32, String>>,
 }
@@ -129,9 +215,24 @@ impl Tracer {
         Tracer {
             enabled: AtomicBool::new(false),
             echo: AtomicBool::new(false),
+            digest_on: AtomicBool::new(false),
+            digest: Mutex::new(TraceDigest::new()),
             events: Mutex::new(Vec::new()),
             proc_names: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Fold every subsequent event into a running [`TraceDigest`] instead
+    /// of (or in addition to) collecting it. Digesting arms event
+    /// construction like `set_enabled` but stores nothing per event, so
+    /// soak-length runs can be digested in O(1) memory.
+    pub fn set_digest_enabled(&self, on: bool) {
+        self.digest_on.store(on, Ordering::Relaxed);
+    }
+
+    /// The running digest over every event folded so far.
+    pub fn digest(&self) -> TraceDigest {
+        *self.digest.lock()
     }
 
     /// Turn event collection on or off.
@@ -153,7 +254,9 @@ impl Tracer {
 
     #[inline]
     pub(crate) fn armed(&self) -> bool {
-        self.enabled.load(Ordering::Relaxed) || self.echo.load(Ordering::Relaxed)
+        self.enabled.load(Ordering::Relaxed)
+            || self.echo.load(Ordering::Relaxed)
+            || self.digest_on.load(Ordering::Relaxed)
     }
 
     /// Record a process name so exporters can label its track. Called by
@@ -167,10 +270,14 @@ impl Tracer {
         self.proc_names.lock().clone()
     }
 
-    /// Append a structured event (no-op unless enabled or echoing).
+    /// Append a structured event (no-op unless enabled, digesting or
+    /// echoing).
     pub fn emit(&self, ev: TraceEvent) {
         if !self.armed() {
             return;
+        }
+        if self.digest_on.load(Ordering::Relaxed) {
+            self.digest.lock().fold_event(&ev);
         }
         if self.echo.load(Ordering::Relaxed) {
             let t = ev.time;
@@ -382,6 +489,59 @@ mod tests {
         assert_eq!(evs[0].args, vec![("cycle", ArgValue::U64(0))]);
         assert_eq!(evs[1].kind, EventKind::Counter(0.5));
         assert_eq!(evs[2].kind, EventKind::End);
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let emit_seq = |names: &[&str]| {
+            let t = Tracer::new();
+            t.set_digest_enabled(true);
+            for (i, n) in names.iter().enumerate() {
+                t.instant(
+                    SimTime::from_nanos(i as u64),
+                    Some(ProcId(1)),
+                    "pool",
+                    *n,
+                    vec![("k", (i as u64).into())],
+                );
+            }
+            t.digest()
+        };
+        let a = emit_seq(&["x", "y"]);
+        let b = emit_seq(&["x", "y"]);
+        let c = emit_seq(&["x", "z"]);
+        assert_eq!(a, b, "same stream, same digest");
+        assert_ne!(a.hash, c.hash, "different stream, different digest");
+        assert_eq!(a.events, 2);
+        // digesting alone stores no events
+        let t = Tracer::new();
+        t.set_digest_enabled(true);
+        t.instant(SimTime::ZERO, None, "pool", "x", Vec::new());
+        assert!(t.is_empty());
+        assert_eq!(t.digest().events, 1);
+    }
+
+    #[test]
+    fn digest_distinguishes_kind_and_args() {
+        let one = |kind: EventKind, args: Args| {
+            let t = Tracer::new();
+            t.set_digest_enabled(true);
+            t.emit(TraceEvent {
+                time: SimTime::ZERO,
+                pid: None,
+                cat: "c",
+                name: "n".into(),
+                kind,
+                args,
+            });
+            t.digest().hash
+        };
+        let h1 = one(EventKind::Instant, Vec::new());
+        let h2 = one(EventKind::Begin, Vec::new());
+        let h3 = one(EventKind::Counter(1.0), Vec::new());
+        let h4 = one(EventKind::Instant, vec![("a", 1u64.into())]);
+        let h5 = one(EventKind::Instant, vec![("a", "1".into())]);
+        assert!(h1 != h2 && h1 != h3 && h1 != h4 && h4 != h5);
     }
 
     #[test]

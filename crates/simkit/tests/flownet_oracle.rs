@@ -1,0 +1,123 @@
+//! Property: incremental FlowNet retiming is observably identical to the
+//! full `recompute_and_retime` oracle.
+//!
+//! The incremental path skips rescheduling a flow's completion wake when
+//! its rate and wake instant are provably unchanged (see the skip-guard
+//! conditions in `flownet.rs`). This property drives random flow
+//! add/remove schedules — staggered starts, shared links, mid-flight
+//! kills — through both modes and asserts the runs are *bit*-identical:
+//! same completion nanoseconds per flow, same per-link completed bytes,
+//! and the same FNV digest over the full trace stream.
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use simkit::{FlowNet, Sharing, Simulation, TraceDigest};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+struct FlowSpec {
+    /// Start delay in nanoseconds.
+    start_ns: u64,
+    /// Transfer size in bytes.
+    bytes: u64,
+    /// Bitmask selecting which links the flow crosses (masked to the
+    /// link count; an empty selection falls back to link 0).
+    link_mask: u32,
+    /// Kill the owning process this many ns after its start, if set.
+    kill_after_ns: Option<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Observed {
+    /// (flow index, completion time in ns) for flows that finished.
+    completions: Vec<(usize, u64)>,
+    /// Completed bytes per link.
+    link_bytes: Vec<u64>,
+    digest: TraceDigest,
+}
+
+fn run_schedule(full_retime: bool, caps: &[f64], flows: &[FlowSpec]) -> Observed {
+    let mut sim = Simulation::new(7);
+    let handle = sim.handle();
+    handle.tracer().set_digest_enabled(true);
+    let net = FlowNet::new(&handle);
+    net.set_full_retime(full_retime);
+    let links: Vec<_> = caps
+        .iter()
+        .enumerate()
+        .map(|(i, c)| net.add_link(&format!("l{i}"), *c, Sharing::Fair))
+        .collect();
+    let completions: Arc<Mutex<Vec<(usize, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    for (i, f) in flows.iter().enumerate() {
+        let mut path: Vec<_> = links
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| f.link_mask & (1 << j) != 0)
+            .map(|(_, l)| *l)
+            .collect();
+        if path.is_empty() {
+            path.push(links[0]);
+        }
+        let net = net.clone();
+        let done = Arc::clone(&completions);
+        let start = Duration::from_nanos(f.start_ns);
+        let bytes = f.bytes;
+        let ph = sim.spawn(&format!("flow{i}"), move |ctx| {
+            ctx.sleep(start);
+            net.transfer(ctx, &path, bytes);
+            done.lock().push((i, ctx.now().as_nanos()));
+        });
+        if let Some(after) = f.kill_after_ns {
+            let at = Duration::from_nanos(f.start_ns.saturating_add(after));
+            sim.spawn(&format!("kill{i}"), move |ctx| {
+                ctx.sleep(at);
+                ph.kill();
+            });
+        }
+    }
+    sim.run().unwrap();
+    let mut completions = Arc::try_unwrap(completions).unwrap().into_inner();
+    completions.sort();
+    Observed {
+        completions,
+        link_bytes: links.iter().map(|l| net.bytes_completed_on(*l)).collect(),
+        digest: handle.tracer().digest(),
+    }
+}
+
+fn flow_strategy() -> impl Strategy<Value = FlowSpec> {
+    (
+        0u64..2_000_000_000,
+        1u64..50_000_000,
+        any::<u32>(),
+        any::<bool>(),
+        0u64..1_000_000_000,
+    )
+        .prop_map(|(start_ns, bytes, link_mask, kill, kill_ns)| FlowSpec {
+            start_ns,
+            bytes,
+            link_mask,
+            kill_after_ns: kill.then_some(kill_ns),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_retiming_matches_full_oracle(
+        caps_mbps in proptest::collection::vec(1u64..1000, 1..5),
+        flows in proptest::collection::vec(flow_strategy(), 1..10),
+    ) {
+        let caps: Vec<f64> = caps_mbps.iter().map(|m| *m as f64 * 1e6).collect();
+        let incremental = run_schedule(false, &caps, &flows);
+        let oracle = run_schedule(true, &caps, &flows);
+        // Completion instants bit-identical (u64 nanos — any rate drift
+        // would shift these), per-link byte totals identical, and the
+        // whole trace stream byte-identical.
+        prop_assert_eq!(&incremental.completions, &oracle.completions);
+        prop_assert_eq!(&incremental.link_bytes, &oracle.link_bytes);
+        prop_assert_eq!(incremental.digest, oracle.digest);
+    }
+}

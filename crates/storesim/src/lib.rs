@@ -31,7 +31,7 @@ pub use fault::{StoreFault, StoreFaultHook};
 pub use localfs::LocalFs;
 pub use pvfs::{Pvfs, PvfsConfig};
 
-use ibfabric::DataSlice;
+use ibfabric::{DataSlice, Rope};
 use simkit::Ctx;
 
 /// A filesystem that checkpoint streams can be written to and read from.
@@ -62,7 +62,9 @@ pub trait CkptStore: Send + Sync {
     }
 
     /// Read the whole file back, paying disk or cache cost as appropriate.
-    fn read_all(&self, ctx: &Ctx, path: &str) -> Option<Vec<DataSlice>>;
+    /// Returns a [`Rope`]: the store keeps the slice table shared, so the
+    /// read hands out views instead of copying descriptors.
+    fn read_all(&self, ctx: &Ctx, path: &str) -> Option<Rope>;
 
     /// File length in bytes, if it exists.
     fn len(&self, path: &str) -> Option<u64>;

@@ -3,7 +3,7 @@
 use crate::disk::Disk;
 use crate::fault::{StoreFault, StoreFaultHook};
 use crate::CkptStore;
-use ibfabric::DataSlice;
+use ibfabric::{DataSlice, Rope};
 use parking_lot::Mutex;
 use simkit::Ctx;
 use std::collections::BTreeMap;
@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 struct StoredFile {
-    slices: Vec<DataSlice>,
+    slices: Rope,
     len: u64,
     /// Bytes of this file resident in the page cache (written since the
     /// last `drop_caches`). Reads of these bytes run at memory speed.
@@ -75,7 +75,7 @@ impl CkptStore for LocalFs {
         self.inner.lock().files.insert(
             path.to_string(),
             StoredFile {
-                slices: Vec::new(),
+                slices: Rope::new(),
                 len: 0,
                 cached: 0,
             },
@@ -121,11 +121,12 @@ impl CkptStore for LocalFs {
         Ok(())
     }
 
-    fn read_all(&self, ctx: &Ctx, path: &str) -> Option<Vec<DataSlice>> {
+    fn read_all(&self, ctx: &Ctx, path: &str) -> Option<Rope> {
         ctx.sleep(self.meta_latency);
         let (slices, len, cached) = {
             let inner = self.inner.lock();
             let f = inner.files.get(path)?;
+            // jmlint: allow(hot_alloc) — rope clone: shared table, no copy
             (f.slices.clone(), f.len, f.cached)
         };
         self.disk.read(ctx, len, cached);
@@ -193,9 +194,9 @@ mod tests {
             fs.append(ctx, "ckpt.0", DataSlice::bytes(&b"tail"[..]), true);
             assert_eq!(fs.len("ckpt.0"), Some(1004));
             let back = fs.read_all(ctx, "ckpt.0").unwrap();
-            assert_eq!(back.len(), 2);
-            assert!(back[0].content_eq(&DataSlice::pattern(4, 0, 1000)));
-            assert_eq!(back[1].to_bytes().as_ref(), b"tail");
+            assert_eq!(back.slice_count(), 2);
+            assert!(back.as_slices()[0].content_eq(&DataSlice::pattern(4, 0, 1000)));
+            assert_eq!(back.as_slices()[1].to_bytes().as_ref(), b"tail");
             assert_eq!(fs.bytes_written(), 1004);
             assert_eq!(fs.bytes_read(), 1004);
         });

@@ -10,7 +10,7 @@
 use crate::disk::{Disk, DiskConfig};
 use crate::fault::{StoreFault, StoreFaultHook};
 use crate::CkptStore;
-use ibfabric::{DataSlice, Net, NodeId};
+use ibfabric::{DataSlice, Net, NodeId, Rope};
 use parking_lot::Mutex;
 use simkit::{Ctx, SimHandle};
 use std::collections::BTreeMap;
@@ -44,7 +44,7 @@ impl Default for PvfsConfig {
 }
 
 struct StoredFile {
-    slices: Vec<DataSlice>,
+    slices: Rope,
     len: u64,
     cached: u64,
     /// First server index for this file's stripe 0 (spreads load).
@@ -203,7 +203,7 @@ impl CkptStore for PvfsClient {
         inner.files.insert(
             path.to_string(),
             StoredFile {
-                slices: Vec::new(),
+                slices: Rope::new(),
                 len: 0,
                 cached: 0,
                 start_server: start,
@@ -267,11 +267,12 @@ impl CkptStore for PvfsClient {
         Ok(())
     }
 
-    fn read_all(&self, ctx: &Ctx, path: &str) -> Option<Vec<DataSlice>> {
+    fn read_all(&self, ctx: &Ctx, path: &str) -> Option<Rope> {
         ctx.sleep(self.fs.cfg.meta_latency);
         let (slices, len, cached, start) = {
             let inner = self.fs.inner.lock();
             let f = inner.files.get(path)?;
+            // jmlint: allow(hot_alloc) — rope clone: shared table, no copy
             (f.slices.clone(), f.len, f.cached, f.start_server)
         };
         let span = ctx.span_with("store", "pvfs_read", || {
@@ -352,7 +353,7 @@ mod tests {
             client.create(ctx, "f");
             client.append(ctx, "f", DataSlice::pattern(2, 0, 5 << 20), true);
             let back = client.read_all(ctx, "f").unwrap();
-            assert!(back[0].content_eq(&DataSlice::pattern(2, 0, 5 << 20)));
+            assert!(back.as_slices()[0].content_eq(&DataSlice::pattern(2, 0, 5 << 20)));
         });
         sim.run().unwrap();
     }
